@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper and writes its
+text rendering to ``benchmarks/output/<name>.txt`` so EXPERIMENTS.md can be
+cross-checked against fresh runs.  ``REPRO_FULL=1`` in the environment
+extends sweeps to their full (slow) ranges.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def full_sweeps() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture
+def record_output(output_dir):
+    """Write a figure/table rendering to the output directory and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _record

@@ -1,0 +1,17 @@
+"""Figure 1: direct vs hierarchical broadcast volume across nodes."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig1_broadcast_volume, render_fig1
+
+COUNT = 1024
+
+
+def test_fig1_volume(benchmark, record_output):
+    data = benchmark(fig1_broadcast_volume, 2, 3, COUNT)
+    record_output("fig1_volume", render_fig1(data, COUNT))
+    # Direct moves three redundant copies across nodes; hierarchical moves one
+    # and distributes the rest within nodes (Figure 1's caption).
+    assert data["direct"]["inter-node"] == 3 * COUNT
+    assert data["hierarchical"]["inter-node"] == COUNT
+    assert data["hierarchical"]["intra-node"] == 4 * COUNT

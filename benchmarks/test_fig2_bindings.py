@@ -1,0 +1,24 @@
+"""Figure 2: GPU-to-NIC binding policies and their utilization ceilings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig2_bindings, render_fig2
+from repro.machine.nic import Binding, utilization
+
+
+def test_fig2_bindings(benchmark, record_output):
+    data = benchmark(fig2_bindings)
+    record_output("fig2_bindings", render_fig2(data))
+    by_policy = {case["policy"]: case for case in data}
+    assert by_policy["packed"]["utilization"] == pytest.approx(1.0)
+    # Figure 2(b): round-robin 3-on-2 reaches only 75% of theoretical.
+    assert by_policy["round-robin"]["utilization"] == pytest.approx(0.75)
+    assert by_policy["bijective"]["utilization"] == pytest.approx(1.0)
+
+
+def test_aurora_binding_ceiling(benchmark):
+    """Section 6.3.5: 12 GPUs round-robin on 8 NICs -> 75%."""
+    util = benchmark(utilization, 12, 8, Binding.ROUND_ROBIN)
+    assert util == pytest.approx(0.75)

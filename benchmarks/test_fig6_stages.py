@@ -1,0 +1,15 @@
+"""Figure 6: striped tree forms 4 stages; striped ring forms 5."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig6_stage_counts
+
+
+def test_fig6_stage_counts(benchmark, record_output):
+    counts = benchmark(fig6_stage_counts)
+    lines = ["Figure 6: dependency stages of striped factorizations (4 nodes x 3 GPUs)"]
+    for label, n in counts.items():
+        lines.append(f"  {label:14s} {n} stages")
+    record_output("fig6_stages", "\n".join(lines))
+    assert counts["tree {2,2,3}"] == 4  # stages 0-3 in Figure 6(a)
+    assert counts["ring {4,3}"] == 5  # stages 0-4 in Figure 6(b)

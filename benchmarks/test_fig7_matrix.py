@@ -1,0 +1,45 @@
+"""Figure 7 (bottom): hierarchical communication matrices with mixed libraries."""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig7_matrices, render_fig7
+
+
+def test_fig7_matrices(benchmark, record_output):
+    mats = benchmark(fig7_matrices)
+    record_output("fig7_matrices", render_fig7(mats))
+
+    tree = mats["tree"]
+    # (a) tree {2,2,3} with {MPI, NCCL, IPC}: intra-node 3x3 diagonal blocks
+    # are IPC; cross-group-of-6 traffic is MPI; node-to-node within a group
+    # is NCCL — the paper's colored blocks.
+    libs = tree["library"]
+    p = len(libs)
+    for src in range(p):
+        for dst in range(p):
+            cell = libs[src][dst]
+            if not cell:
+                continue
+            if src // 3 == dst // 3:
+                assert cell == "IPC"
+            elif src // 6 == dst // 6:
+                assert cell == "NCCL"
+            else:
+                assert cell == "MPI"
+
+    ring = mats["ring"]
+    libs = ring["library"]
+    for src in range(p):
+        for dst in range(p):
+            cell = libs[src][dst]
+            if not cell:
+                continue
+            if src // 3 == dst // 3:
+                assert cell == "IPC"
+            else:
+                assert cell == "NCCL"
+
+    # Every GPU participates (striping employs all NICs/GPUs).
+    vol = tree["volume"]
+    senders = {s for s in range(p) if any(vol[s])}
+    assert senders == set(range(p))

@@ -1,0 +1,42 @@
+"""Section 6.2's measurement protocol: sweep buffer sizes until saturation.
+
+"We vary d across large message sizes (larger than a MB) until the
+throughput saturates the achievable bandwidth."  This bench runs that sweep
+for the fully-optimized broadcast on each system and verifies the protocol's
+premise: throughput grows monotonically(ish) with payload and flattens —
+the last doubling of the payload buys almost no extra throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import machines
+from repro.bench.configs import best_config
+from repro.bench.runner import peak_throughput, sweep_payloads
+
+PAYLOADS = [1 << s for s in range(20, 31, 2)]  # 1 MB .. 1 GB
+
+
+@pytest.mark.parametrize("system", ["delta", "perlmutter"])
+def test_saturation_sweep(benchmark, record_output, system):
+    machine = machines.by_name(system, nodes=4)
+    cfg = best_config(machine, "broadcast")
+    sweep = benchmark.pedantic(
+        sweep_payloads, args=(machine, "broadcast", cfg, PAYLOADS),
+        iterations=1, rounds=1,
+    )
+    lines = [f"Section 6.2 sweep: broadcast on {machine.describe()}"]
+    for m in sweep:
+        lines.append(f"  {m.payload_bytes / (1 << 20):8.0f} MB"
+                     f"  {m.throughput:8.2f} GB/s")
+    record_output(f"saturation_{system}", "\n".join(lines))
+
+    thr = [m.throughput for m in sweep]
+    # Saturation: the 1 GB point is within 10% of the peak, and the peak is
+    # not at the smallest size.
+    assert thr[-1] > 0.9 * peak_throughput(sweep)
+    assert thr[0] < 0.9 * peak_throughput(sweep)
+    # Monotone growth up to noise: each doubling helps or holds.
+    for a, b in zip(thr, thr[1:]):
+        assert b > a * 0.95

@@ -1,0 +1,38 @@
+"""Table 2: composition + synthesis cost of every collective.
+
+Benchmarks the end-to-end ``compose + init`` path (registration,
+factorization, dependency analysis, event pricing) for each of the eight
+collectives on a 4-node Perlmutter model under the fully optimized tree
+configuration — the persistent-communicator setup cost a user pays once
+(Section 5.2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import Communicator, machines
+from repro.bench.configs import tree_config
+from repro.bench.runner import payload_count
+
+PAYLOAD = 1 << 26  # 64 MB: synthesis cost is payload-independent
+
+MACHINE = machines.perlmutter(nodes=4)
+
+
+def _synthesize(name: str):
+    count = payload_count(MACHINE, PAYLOAD)
+    comm = Communicator(MACHINE, materialize=False)
+    repro.compose(comm, name, count)
+    cfg = tree_config(MACHINE, pipeline=4)
+    comm.init(**cfg.init_kwargs())
+    return comm
+
+
+@pytest.mark.parametrize("name", repro.FIGURE8_ORDER)
+def test_table2_synthesis(benchmark, name):
+    comm = benchmark(_synthesize, name)
+    assert len(comm.schedule) > 0
+    benchmark.extra_info["p2p_ops"] = len(comm.schedule)
+    benchmark.extra_info["steps"] = comm.program.num_steps

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""A custom collective over a sparse GPU subset (tree pruning, Section 4.2).
+
+HiCCL's primitives accept arbitrary leaf sets: "the leaf GPUs may be a
+sparse subset of all GPUs" and "in case of custom collectives, the tree
+structure is pruned according to the sparsity of the leaf GPUs."
+
+This example builds a halo-exchange-flavoured pattern a real application
+might need: GPU 0 broadcasts model metadata to one GPU per node, while two
+disjoint groups independently all-reduce their own gradients — all in one
+communicator, with concurrent primitives in a single step.
+
+Run:  python examples/custom_sparse_collective.py
+"""
+
+import numpy as np
+
+from repro import Communicator, Library, ReduceOp, machines
+
+machine = machines.frontier(nodes=4)  # 32 GCDs
+p = machine.world_size
+g = machine.gpus_per_node
+count = 512
+
+comm = Communicator(machine, dtype=np.float32)
+meta = comm.alloc(count, "meta")
+meta_out = comm.alloc(count, "meta_out")
+grads = comm.alloc(count, "grads")
+grads_out = comm.alloc(count, "grads_out")
+
+# 1) Broadcast metadata from GPU 0 to each node's first GCD only.
+node_leaders = [node * g for node in range(machine.nodes)]
+comm.add_multicast(meta, meta_out, count, 0, node_leaders)
+
+# 2) Two concurrent group all-reduces (disjoint buffers => same step is fine):
+#    group A = even nodes' GCDs, group B = odd nodes' GCDs.
+group_a = [r for r in range(p) if machine.node_of(r) % 2 == 0]
+group_b = [r for r in range(p) if machine.node_of(r) % 2 == 1]
+for group in (group_a, group_b):
+    for idx, j in enumerate(group):
+        # Reduce-scatter within the group: member idx owns slice idx.
+        chunk = count // len(group)
+        comm.add_reduction(grads[idx * chunk:], grads_out[idx * chunk:],
+                           chunk, group, j, ReduceOp.SUM)
+comm.add_fence()
+for group in (group_a, group_b):
+    for idx, i in enumerate(group):
+        chunk = count // len(group)
+        others = [r for r in group if r != i]
+        comm.add_multicast(grads_out[idx * chunk:], grads_out[idx * chunk:],
+                           chunk, i, others)
+
+comm.init(
+    hierarchy=[4, 4, 2],
+    library=[Library.MPI, Library.IPC, Library.IPC],
+    stripe=4,
+    pipeline=4,
+)
+
+rng = np.random.default_rng(1)
+meta_data = rng.standard_normal((p, count)).astype(np.float32)
+grad_data = rng.integers(-6, 7, size=(p, count)).astype(np.float32)
+comm.set_all(meta, meta_data)
+comm.set_all(grads, grad_data)
+elapsed = comm.run()
+
+# Verify: leaders got GPU 0's metadata...
+out = comm.gather_all(meta_out)
+for leader in node_leaders:
+    assert np.allclose(out[leader], meta_data[0])
+# ...and each group's all-reduce used only its own members' gradients.
+gout = comm.gather_all(grads_out)
+for group in (group_a, group_b):
+    chunk = count // len(group)
+    expected = grad_data[group].sum(axis=0)
+    for member in group:
+        got = gout[member][: chunk * len(group)]
+        assert np.allclose(got, expected[: chunk * len(group)])
+
+# Pruning check: nodes outside a primitive's leaf set carry no traffic for it.
+print(f"custom collective on {machine.describe()}")
+print(f"  {len(comm.schedule)} p2p ops, {comm.program.num_steps} steps, "
+      f"simulated {elapsed * 1e6:.1f} us")
+print("  metadata broadcast + two concurrent group all-reduces verified.")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The paper's Listing 2, line by line.
+
+Composes All-reduce explicitly as a Reduce-scatter followed by a fence and
+an in-place All-gather — the multi-step form of Figure 4 — using the raw
+primitive API rather than a pre-built composer, with Aurora's optimization
+parameters from the listing (hierarchy {numproc/12, 6, 2}, libraries
+{MPI, IPC, IPC}).
+
+Run:  python examples/listing2_allreduce.py
+"""
+
+import numpy as np
+
+from repro import Communicator, Library, ReduceOp, machines
+
+machine = machines.aurora(nodes=4)  # 48 GPU tiles
+numproc = machine.world_size
+count = 256  # elements per chunk
+
+# persistent communicator
+comm = Communicator(machine, dtype=np.float32)
+sendbuf = comm.alloc(numproc * count, "sendbuf")
+recvbuf = comm.alloc(numproc * count, "recvbuf")
+
+all_ranks = list(range(numproc))
+
+# step 1) register Reduce-scatter using primitives
+for j in range(numproc):
+    comm.add_reduction(sendbuf[j * count:], recvbuf[j * count:], count,
+                       all_ranks, j, ReduceOp.SUM)
+# step 2) register fence to express data dependency
+comm.add_fence()
+# step 3) register All-gather using primitives (in place: reuse recvbuf)
+for i in range(numproc):
+    others = [r for r in all_ranks if r != i]
+    comm.add_multicast(recvbuf[i * count:], recvbuf[i * count:], count,
+                       i, others)
+
+# optimization parameters for Aurora (Listing 2 lines 13-17)
+hierarchy = [numproc // 12, 6, 2]
+library = [Library.MPI, Library.IPC, Library.IPC]
+stripe = 8   # engage all eight NICs
+ring = 1
+pipeline = 4
+
+# initialization (line 19)
+comm.init(hierarchy, library, ring=ring, stripe=stripe, pipeline=pipeline)
+
+# fill inputs, then: nonblocking start, blocking wait (lines 21-23)
+rng = np.random.default_rng(42)
+data = rng.integers(-4, 5, size=(numproc, numproc * count)).astype(np.float32)
+comm.set_all(sendbuf, data)
+comm.start()
+elapsed = comm.wait()
+
+assert np.allclose(comm.gather_all(recvbuf), data.sum(axis=0)[None, :])
+print(f"Listing 2 All-reduce on {machine.describe()}")
+print(f"  fine-grained fence: {comm.program.num_steps} steps, "
+      f"{len(comm.schedule)} point-to-point ops")
+print(f"  simulated time {elapsed * 1e3:.3f} ms "
+      f"({numproc * count * 4 / 1e9 / elapsed:.2f} GB/s)")
+print("  result verified against numpy.")

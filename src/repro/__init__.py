@@ -1,0 +1,64 @@
+"""repro — a Python reproduction of HiCCL (hierarchical collective comms).
+
+Public API tour::
+
+    import numpy as np
+    import repro
+    from repro import Communicator, Library, machines
+
+    m = machines.perlmutter(nodes=4)
+    comm = Communicator(m, dtype=np.float32)
+    send, recv = repro.compose(comm, "all_reduce", count=1 << 16)
+    comm.init(hierarchy=[4, 4], library=[Library.NCCL, Library.IPC],
+              stripe=4, ring=1, pipeline=16)
+    comm.start()
+    elapsed = comm.wait()          # simulated seconds on the modeled machine
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from . import collectives, machine as machines
+from .core.buffers import BufferHandle, BufferView
+from .core.communicator import Communicator
+from .core.composition import COLLECTIVES, FIGURE8_ORDER, compose
+from .core.ops import ReduceOp
+from .core.plan import OptimizationPlan
+from .errors import (
+    CompositionError,
+    ExecutionError,
+    HicclError,
+    HierarchyError,
+    InitializationError,
+    LibraryAssignmentError,
+    RaceConditionError,
+    ScheduleError,
+)
+from .machine.spec import MachineSpec
+from .transport.library import Library
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferHandle",
+    "BufferView",
+    "COLLECTIVES",
+    "Communicator",
+    "CompositionError",
+    "ExecutionError",
+    "FIGURE8_ORDER",
+    "HicclError",
+    "HierarchyError",
+    "InitializationError",
+    "Library",
+    "LibraryAssignmentError",
+    "MachineSpec",
+    "OptimizationPlan",
+    "RaceConditionError",
+    "ReduceOp",
+    "ScheduleError",
+    "__version__",
+    "collectives",
+    "compose",
+    "machines",
+]

@@ -1,0 +1,19 @@
+"""Baseline collective implementations the paper compares against."""
+
+from .base import RawCollective
+from .ccl_like import CCL_COLLECTIVES, CCL_OFFERED, ccl_collective
+from .direct import direct_collective
+from .mpi_like import MPI_COLLECTIVES, mpi_collective
+from .oneccl_like import ONECCL_OFFERED, oneccl_collective
+
+__all__ = [
+    "CCL_COLLECTIVES",
+    "CCL_OFFERED",
+    "MPI_COLLECTIVES",
+    "ONECCL_OFFERED",
+    "RawCollective",
+    "ccl_collective",
+    "direct_collective",
+    "mpi_collective",
+    "oneccl_collective",
+]

@@ -1,0 +1,94 @@
+"""Shared infrastructure for baseline collective implementations.
+
+Two kinds of baselines exist:
+
+* *Program-based* — algorithms expressible as HiCCL primitive compositions
+  over a **flat** hierarchy ``{p}`` (binomial trees, linear gather/scatter,
+  pairwise all-to-all...).  These return a regular
+  :class:`~repro.core.communicator.Communicator` so they share every code
+  path of the library, just with a baseline library profile.
+
+* *Raw-schedule* — ring algorithms whose per-rank buffer roles are
+  asymmetric (NCCL-style ring reduce-scatter) and therefore cannot be
+  written with symmetric primitive views.  Those build a
+  :class:`~repro.core.schedule.Schedule` directly and run through the same
+  simulator via :class:`RawCollective`.
+
+Either way, a baseline is something with ``run() -> simulated seconds`` and
+a ``schedule`` — exactly what the figure harness consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schedule import Schedule
+from ..errors import InitializationError
+from ..machine.spec import MachineSpec
+from ..simulator.engine import TimingResult, simulate
+from ..simulator.executor import execute
+from ..simulator.process import MemoryPool
+from ..transport.library import Library
+
+
+class RawCollective:
+    """Run a hand-built schedule with the same engine/executor as HiCCL."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        schedule: Schedule,
+        libraries: tuple[Library, ...],
+        buffers: dict[str, int],
+        dtype=np.float32,
+        materialize: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.schedule = schedule
+        self.libraries = libraries
+        self.dtype = np.dtype(dtype)
+        self.materialize = materialize
+        self.pool = MemoryPool(machine.world_size, dtype=self.dtype)
+        if materialize:
+            for name, count in buffers.items():
+                self.pool.alloc_symmetric(name, count)
+        self._timing: TimingResult | None = None
+        self.last_elapsed: float | None = None
+
+    @property
+    def timing(self) -> TimingResult:
+        if self._timing is None:
+            self._timing = simulate(
+                self.schedule, self.machine, self.libraries, self.dtype.itemsize
+            )
+        return self._timing
+
+    def run(self) -> float:
+        if self.materialize:
+            execute(self.schedule, self.pool)
+        self.last_elapsed = self.timing.elapsed
+        return self.last_elapsed
+
+    def measure(self, warmup: int = 5, rounds: int = 10) -> float:
+        for _ in range(warmup):
+            self.run()
+        return min(self.run() for _ in range(max(1, rounds)))
+
+    # Buffer access mirroring Communicator for the test suite.
+    def set_all(self, name, values) -> None:
+        name = getattr(name, "name", name)
+        self.pool.set_all(name, values)
+
+    def gather_all(self, name) -> np.ndarray:
+        name = getattr(name, "name", name)
+        return self.pool.gather_all(name)
+
+
+def check_world(machine: MachineSpec, minimum: int = 2) -> int:
+    """Validate the machine has enough ranks for a collective; returns p."""
+    p = machine.world_size
+    if p < minimum:
+        raise InitializationError(
+            f"baseline collectives need at least {minimum} ranks, got {p}"
+        )
+    return p

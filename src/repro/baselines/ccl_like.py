@@ -1,0 +1,404 @@
+"""NCCL / RCCL vendor-library baselines (the dark-blue bars of Figure 8).
+
+NCCL and RCCL implement their collectives as multi-channel pipelined rings:
+ranks are ordered node-contiguously so a ring crosses each node boundary
+exactly once per direction, each *channel* rotates the intra-node order so
+different channels' boundary GPUs bind different NICs, and payloads are cut
+into slices that chase each other around the ring (fused reduction kernels
+keep the accumulation off the critical path — the reason NCCL's Reduce beats
+a deep HiCCL pipeline in Section 6.4).
+
+These schedules are hand-built with :class:`~repro.core.schedule
+.ScheduleBuilder` because a ring reduce-scatter gives each rank asymmetric
+buffer roles that HiCCL's symmetric primitive views cannot express; they run
+through exactly the same event engine and functional executor as HiCCL.
+
+NCCL offers no Gather/Scatter/All-to-all (Table 1); following the paper
+(Figure 9's red curves) Gather and Scatter are implemented directly with
+NCCL's point-to-point functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ops import ReduceOp
+from ..core.schedule import ScheduleBuilder
+from ..errors import CompositionError
+from ..machine.spec import MachineSpec
+from ..transport.library import Library
+from .base import RawCollective, check_world
+
+#: Slice count used to pipeline ring stages (NCCL's internal chunking).
+DEFAULT_SLICES = 32
+
+
+def _ring_order(machine: MachineSpec, channel: int) -> list[int]:
+    """Node-contiguous ring; intra-node order rotated per channel.
+
+    Rotation makes channel ``c``'s node-boundary endpoints (the GPUs whose
+    NICs carry the inter-node hops) differ across channels, engaging all
+    NICs — NCCL's multi-channel trick.
+    """
+    g = machine.gpus_per_node
+    order: list[int] = []
+    for node in range(machine.nodes):
+        base = node * g
+        order.extend(base + (local + channel) % g for local in range(g))
+    return order
+
+
+def _num_channels(machine: MachineSpec) -> int:
+    return max(1, min(machine.nic_count, machine.gpus_per_node))
+
+
+def _slice_ranges(offset: int, count: int, slices: int) -> list[tuple[int, int]]:
+    base, extra = divmod(count, slices)
+    out = []
+    off = offset
+    for s in range(slices):
+        size = base + (1 if s < extra else 0)
+        if size:
+            out.append((off, size))
+        off += size
+    return out
+
+
+class _RingBuild:
+    """Shared state while emitting one ring collective."""
+
+    def __init__(self, machine: MachineSpec, count: int):
+        self.machine = machine
+        self.p = check_world(machine)
+        self.count = count  # elements per rank-chunk
+        self.b = ScheduleBuilder(machine.world_size)
+        self.channels = _num_channels(machine)
+
+    def channel_regions(self, chunk: int, channel: int):
+        """(offset, size) sub-ranges of ``chunk`` owned by ``channel``."""
+        base, extra = divmod(self.count, self.channels)
+        off = chunk * self.count
+        for c in range(channel):
+            off += base + (1 if c < extra else 0)
+        size = base + (1 if channel < extra else 0)
+        return off, size
+
+
+def ccl_broadcast(machine: MachineSpec, count: int, root: int = 0,
+                  dtype=np.float32, materialize: bool = True,
+                  library: Library = Library.NCCL,
+                  slices: int = DEFAULT_SLICES) -> RawCollective:
+    """Pipelined ring broadcast of ``p*count`` elements from the root."""
+    return _ring_pipeline(machine, count, root, dtype, materialize, library,
+                          slices, reduce_op=None)
+
+
+def _ring_pipeline(machine, count, root, dtype, materialize, library, slices,
+                   reduce_op):
+    """Common pipelined-chain builder for ring Broadcast / Reduce.
+
+    Broadcast: slices of the full ``p*count`` payload flow root -> ... ->
+    last; every rank keeps a copy.  Reduce (``reduce_op`` set): the chain
+    runs in reverse and each hop accumulates the local contribution.
+    """
+    p = check_world(machine)
+    total = p * count
+    b = ScheduleBuilder(machine.world_size)
+    channels = _num_channels(machine)
+    for channel in range(channels):
+        order = _ring_order(machine, channel)
+        pos_root = order.index(root)
+        if reduce_op is None:
+            chain = [order[(pos_root + i) % p] for i in range(p)]
+        else:
+            chain = [order[(pos_root + 1 + i) % p] for i in range(p)]
+        # Channel's share of every rank-chunk: slice the flat payload.
+        base, extra = divmod(total, channels)
+        ch_off = sum(base + (1 if c < extra else 0) for c in range(channel))
+        ch_size = base + (1 if channel < extra else 0)
+        if ch_size == 0:
+            continue
+        for s_off, s_size in _slice_ranges(ch_off, ch_size, slices):
+            if reduce_op is None:
+                prev_loc = ("sendbuf", s_off)
+                dep: tuple[int, ...] = ()
+                src = chain[0]
+                uid = b.copy(src, prev_loc, ("recvbuf", s_off), s_size,
+                             channel=channel, tag="ccl-place")
+                for hop, dst in enumerate(chain[1:]):
+                    uid = b.send(src, dst, prev_loc, ("recvbuf", s_off), s_size,
+                                 level=0, channel=channel, stage=hop,
+                                 deps=dep, tag="ccl-ring")
+                    prev_loc = ("recvbuf", s_off)
+                    dep = (uid,)
+                    src = dst
+            else:
+                # Reverse chain accumulating toward the root.
+                src = chain[0]
+                prev_loc = ("sendbuf", s_off)
+                dep = ()
+                for hop, dst in enumerate(chain[1:] + [root]):
+                    if dst == root:
+                        target = ("recvbuf", s_off)
+                    else:
+                        target = b.alloc_scratch(dst, s_size, hint="cclred")
+                    # Receiver folds its own contribution in with the
+                    # incoming partial (fused in one kernel by NCCL).
+                    uid0 = b.copy(dst, ("sendbuf", s_off), target, s_size,
+                                  channel=channel, tag="ccl-own")
+                    uid = b.send(src, dst, prev_loc, target, s_size,
+                                 level=0, channel=channel, stage=hop,
+                                 reduce_op=reduce_op, deps=dep + (uid0,),
+                                 tag="ccl-ring-red")
+                    prev_loc = target
+                    dep = (uid,)
+                    src = dst
+                    if dst == root:
+                        break
+    schedule = b.build()
+    return RawCollective(
+        machine, schedule, (library,),
+        buffers={"sendbuf": total, "recvbuf": total},
+        dtype=dtype, materialize=materialize,
+    )
+
+
+def ccl_reduce(machine: MachineSpec, count: int, root: int = 0,
+               op: ReduceOp = ReduceOp.SUM, dtype=np.float32,
+               materialize: bool = True, library: Library = Library.NCCL,
+               slices: int = DEFAULT_SLICES) -> RawCollective:
+    """Pipelined ring reduction of ``p*count`` elements onto the root."""
+    return _ring_pipeline(machine, count, root, dtype, materialize, library,
+                          slices, reduce_op=op)
+
+
+def _emit_ring_reduce_scatter(rb: _RingBuild, op: ReduceOp,
+                              into: str, slices: int) -> dict[tuple[int, int, int, int], int]:
+    """Ring reduce-scatter phase; returns completion uid per (channel, rank, chunk, slice).
+
+    Chunk ``r`` (destined for rank ``r``) finishes at rank ``r`` in buffer
+    ``into`` at the chunk's own offset.  Standard algorithm: the partial for
+    the chunk owned by ring position ``j`` starts at position ``j+1`` and
+    accumulates around the ring, arriving complete at position ``j``.
+    """
+    machine, p, b = rb.machine, rb.p, rb.b
+    finals: dict[tuple[int, int, int], int] = {}
+    for channel in range(rb.channels):
+        order = _ring_order(machine, channel)
+        for j in range(p):  # ring position owning this chunk
+            owner = order[j]
+            chunk = owner  # chunk index == owning rank
+            ch_off, ch_size = rb.channel_regions(chunk, channel)
+            if ch_size == 0:
+                continue
+            for sl, (s_off, s_size) in enumerate(_slice_ranges(ch_off, ch_size, slices)):
+                src = order[(j + 1) % p]
+                prev_loc = ("sendbuf", s_off)
+                dep: tuple[int, ...] = ()
+                for k in range(p - 1):
+                    dst = order[(j + 2 + k) % p]
+                    if dst == owner:
+                        target = (into, s_off)
+                    else:
+                        target = b.alloc_scratch(dst, s_size, hint="rs")
+                    own = b.copy(dst, ("sendbuf", s_off), target, s_size,
+                                 channel=channel, tag="ccl-own")
+                    uid = b.send(src, dst, prev_loc, target, s_size,
+                                 level=0, channel=channel, stage=k,
+                                 reduce_op=op, deps=dep + (own,),
+                                 tag="ccl-rs")
+                    prev_loc, dep, src = target, (uid,), dst
+                finals[(channel, owner, chunk, sl)] = dep[0]
+    return finals
+
+
+def _emit_ring_allgather(rb: _RingBuild, src_buf: str, slices: int,
+                         entry_deps: dict[tuple[int, int, int, int], int] | None) -> None:
+    """Ring all-gather phase: chunk ``r`` circulates from rank ``r``.
+
+    ``entry_deps`` (from a reduce-scatter phase) gates each chunk's first
+    hop, giving the fine-grained RS->AG overlap NCCL's pipelining achieves.
+    """
+    machine, p, b = rb.machine, rb.p, rb.b
+    for channel in range(rb.channels):
+        order = _ring_order(machine, channel)
+        for j in range(p):
+            owner = order[j]
+            chunk = owner
+            ch_off, ch_size = rb.channel_regions(chunk, channel)
+            if ch_size == 0:
+                continue
+            for sl, (s_off, s_size) in enumerate(_slice_ranges(ch_off, ch_size, slices)):
+                src = owner
+                prev_loc = (src_buf, s_off)
+                dep: tuple[int, ...] = ()
+                if entry_deps is not None:
+                    gate = entry_deps.get((channel, owner, chunk, sl))
+                    if gate is not None:
+                        dep = (gate,)
+                for k in range(p - 1):
+                    dst = order[(j + 1 + k) % p]
+                    uid = b.send(src, dst, prev_loc, ("recvbuf", s_off), s_size,
+                                 level=0, channel=channel, stage=k,
+                                 deps=dep, tag="ccl-ag")
+                    prev_loc, dep, src = ("recvbuf", s_off), (uid,), dst
+
+
+def ccl_all_gather(machine: MachineSpec, count: int, dtype=np.float32,
+                   materialize: bool = True, library: Library = Library.NCCL,
+                   slices: int = DEFAULT_SLICES) -> RawCollective:
+    """Multi-channel ring all-gather."""
+    p = check_world(machine)
+    rb = _RingBuild(machine, count)
+    # Own chunk placement: sendbuf holds one chunk at offset 0 on each rank;
+    # copy it into the rank's recv slot before circulating.
+    place: dict[tuple[int, int, int, int], int] = {}
+    for channel in range(rb.channels):
+        for r in range(p):
+            ch_off, ch_size = rb.channel_regions(r, channel)
+            if ch_size == 0:
+                continue
+            local_off = ch_off - r * count
+            for sl, (s_off, s_size) in enumerate(_slice_ranges(ch_off, ch_size, slices)):
+                uid = rb.b.copy(r, ("sendbuf", s_off - r * count),
+                                ("recvbuf", s_off), s_size,
+                                channel=channel, tag="ccl-place")
+                place[(channel, r, r, sl)] = uid
+    _emit_ring_allgather(rb, "recvbuf", slices, place)
+    schedule = rb.b.build()
+    return RawCollective(
+        machine, schedule, (library,),
+        buffers={"sendbuf": count, "recvbuf": p * count},
+        dtype=dtype, materialize=materialize,
+    )
+
+
+def ccl_reduce_scatter(machine: MachineSpec, count: int,
+                       op: ReduceOp = ReduceOp.SUM, dtype=np.float32,
+                       materialize: bool = True, library: Library = Library.NCCL,
+                       slices: int = DEFAULT_SLICES) -> RawCollective:
+    """Multi-channel ring reduce-scatter.
+
+    Each rank's result lands in ``recvbuf`` at offset 0 (MPI semantics);
+    internally the ring works on per-chunk offsets, so a final local move
+    shifts the finished chunk down.
+    """
+    p = check_world(machine)
+    rb = _RingBuild(machine, count)
+    finals = _emit_ring_reduce_scatter(rb, op, into="stage", slices=slices)
+    # Move each rank's finished chunk from its staged offset to offset 0.
+    for channel in range(rb.channels):
+        for r in range(p):
+            ch_off, ch_size = rb.channel_regions(r, channel)
+            if ch_size == 0:
+                continue
+            for sl, (s_off, s_size) in enumerate(_slice_ranges(ch_off, ch_size, slices)):
+                gate = finals.get((channel, r, r, sl))
+                if gate is None:
+                    continue
+                rb.b.copy(r, ("stage", s_off), ("recvbuf", s_off - r * count),
+                          s_size, channel=channel, deps=(gate,),
+                          tag="ccl-shift")
+    schedule = rb.b.build()
+    return RawCollective(
+        machine, schedule, (library,),
+        buffers={"sendbuf": p * count, "recvbuf": count, "stage": p * count},
+        dtype=dtype, materialize=materialize,
+    )
+
+
+def ccl_all_reduce(machine: MachineSpec, count: int,
+                   op: ReduceOp = ReduceOp.SUM, dtype=np.float32,
+                   materialize: bool = True, library: Library = Library.NCCL,
+                   slices: int = DEFAULT_SLICES) -> RawCollective:
+    """Ring reduce-scatter + ring all-gather (NCCL's large-message path)."""
+    p = check_world(machine)
+    rb = _RingBuild(machine, count)
+    finals = _emit_ring_reduce_scatter(rb, op, into="recvbuf", slices=slices)
+    _emit_ring_allgather(rb, "recvbuf", slices, finals)
+    schedule = rb.b.build()
+    return RawCollective(
+        machine, schedule, (library,),
+        buffers={"sendbuf": p * count, "recvbuf": p * count},
+        dtype=dtype, materialize=materialize,
+    )
+
+
+def ccl_gather(machine: MachineSpec, count: int, root: int = 0,
+               dtype=np.float32, materialize: bool = True,
+               library: Library = Library.NCCL,
+               slices: int = DEFAULT_SLICES) -> RawCollective:
+    """Direct gather with p2p sends (NCCL has no Gather — Figure 9a red)."""
+    p = check_world(machine)
+    b = ScheduleBuilder(machine.world_size)
+    for i in range(p):
+        if i == root:
+            b.copy(root, ("sendbuf", 0), ("recvbuf", i * count), count,
+                   tag="p2p-gather")
+        else:
+            b.send(i, root, ("sendbuf", 0), ("recvbuf", i * count), count,
+                   level=0, tag="p2p-gather")
+    return RawCollective(
+        machine, b.build(), (library,),
+        buffers={"sendbuf": count, "recvbuf": p * count},
+        dtype=dtype, materialize=materialize,
+    )
+
+
+def ccl_scatter(machine: MachineSpec, count: int, root: int = 0,
+                dtype=np.float32, materialize: bool = True,
+                library: Library = Library.NCCL,
+                slices: int = DEFAULT_SLICES) -> RawCollective:
+    """Direct scatter with p2p sends (NCCL has no Scatter — Figure 9b red)."""
+    p = check_world(machine)
+    b = ScheduleBuilder(machine.world_size)
+    for j in range(p):
+        if j == root:
+            b.copy(root, ("sendbuf", j * count), ("recvbuf", 0), count,
+                   tag="p2p-scatter")
+        else:
+            b.send(root, j, ("sendbuf", j * count), ("recvbuf", 0), count,
+                   level=0, tag="p2p-scatter")
+    return RawCollective(
+        machine, b.build(), (library,),
+        buffers={"sendbuf": p * count, "recvbuf": count},
+        dtype=dtype, materialize=materialize,
+    )
+
+
+#: Collectives NCCL/RCCL actually offer (Table 1).  Gather and Scatter are
+#: *not* among them — ``ccl_gather``/``ccl_scatter`` exist only as the
+#: p2p-based reference curves of Figure 9 and must be requested explicitly
+#: via ``include_p2p=True``.
+CCL_OFFERED = frozenset(
+    {"broadcast", "reduce", "all_gather", "reduce_scatter", "all_reduce"}
+)
+
+CCL_COLLECTIVES = {
+    "broadcast": ccl_broadcast,
+    "reduce": ccl_reduce,
+    "gather": ccl_gather,
+    "scatter": ccl_scatter,
+    "all_gather": ccl_all_gather,
+    "reduce_scatter": ccl_reduce_scatter,
+    "all_reduce": ccl_all_reduce,
+}
+
+
+def ccl_collective(machine: MachineSpec, name: str, count: int,
+                   dtype=np.float32, materialize: bool = True,
+                   library: Library = Library.NCCL,
+                   include_p2p: bool = False) -> RawCollective:
+    """Build the NCCL/RCCL baseline for a named collective.
+
+    Collectives outside Table 1's NCCL column raise ``CompositionError``
+    unless ``include_p2p=True``, which additionally exposes the direct
+    p2p Gather/Scatter implementations (Figure 9's red curves).
+    """
+    offered = CCL_OFFERED | ({"gather", "scatter"} if include_p2p else set())
+    if name not in offered:
+        raise CompositionError(
+            f"NCCL/RCCL offer no {name!r} collective (Table 1)"
+        )
+    fn = CCL_COLLECTIVES[name]
+    return fn(machine, count, dtype=dtype, materialize=materialize, library=library)

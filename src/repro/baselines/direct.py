@@ -1,0 +1,35 @@
+"""Direct (flat) HiCCL configurations — the red bars of Figure 8.
+
+Section 6.3.2: "Red bars represent direct implementations of collectives
+with non-blocking point-to-point functions, assuming there is no hierarchy
+across GPUs — i.e., the description of the network hierarchy for these
+experiments is just {p}.  Direct implementations use NCCL on Delta and
+Perlmutter, and MPI on Frontier and Aurora as they are the most performant
+options."
+
+This is genuinely HiCCL with ``hierarchy=[p]`` and no optimizations, which
+is exactly how we build it: the same composition, lowered with a flat plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.communicator import Communicator
+from ..core.composition import compose
+from ..machine.spec import MachineSpec
+from ..transport.library import DIRECT_LIBRARY, Library
+from .base import check_world
+
+
+def direct_collective(machine: MachineSpec, name: str, count: int,
+                      dtype=np.float32, materialize: bool = True,
+                      library: Library | None = None) -> Communicator:
+    """HiCCL with hierarchy ``{p}``, no striping, no ring, no pipelining."""
+    p = check_world(machine)
+    if library is None:
+        library = DIRECT_LIBRARY.get(machine.name, Library.MPI)
+    comm = Communicator(machine, dtype=dtype, materialize=materialize)
+    compose(comm, name, count)
+    comm.init(hierarchy=[p], library=[library], ring=1, stripe=1, pipeline=1)
+    return comm

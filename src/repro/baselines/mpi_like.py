@@ -1,0 +1,268 @@
+"""GPU-aware MPI collective baselines (the light-blue bars of Figure 8).
+
+The paper's observation is that GPU-aware MPI implementations ship
+*functional* but not *throughput-optimized* collectives: classic CPU-era
+algorithms running over a conservative GPU data path, one NIC per process,
+no multi-NIC striping, host-mediated reductions.  We reproduce that by
+composing the textbook algorithms as HiCCL primitive programs over a flat
+hierarchy and pricing them with the :data:`Library.MPI_COLL` envelope:
+
+=================  =====================================================
+Collective         Algorithm (typical MPICH/OpenMPI large-message path)
+=================  =====================================================
+Broadcast          van de Geijn scatter + ring all-gather
+Reduce             binomial tree reduction
+Gather / Scatter   linear (root sends/receives p-1 messages)
+All-gather         ring (p-1 rounds)
+Reduce-scatter     binomial reduce + linear scatter
+All-reduce         binomial reduce + van de Geijn broadcast
+All-to-all         pairwise exchange
+=================  =====================================================
+
+Every baseline returns an initialized
+:class:`~repro.core.communicator.Communicator`, so the functional executor
+can verify these algorithms move data correctly too — the test suite holds
+baselines to the same correctness bar as HiCCL itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.communicator import Communicator
+from ..core.ops import ReduceOp
+from ..errors import CompositionError
+from ..machine.spec import MachineSpec
+from ..transport.library import Library
+from .base import check_world
+
+
+def _flat_init(comm: Communicator, library: Library = Library.MPI_COLL) -> None:
+    p = comm.world_size
+    comm.init(hierarchy=[p], library=[library], ring=1, stripe=1, pipeline=1)
+
+
+def _binomial_rounds(p: int) -> int:
+    rounds = 0
+    while (1 << rounds) < p:
+        rounds += 1
+    return rounds
+
+
+def _compose_ring_allgather(comm, src_of_chunk, recv, count: int) -> None:
+    """Ring all-gather: p-1 rounds, chunk (r-k) forwarded to rank r+1.
+
+    ``src_of_chunk(r)`` gives the view of rank r's own chunk in round 0
+    (its send buffer for a plain all-gather; its recv-buffer chunk when used
+    as the second phase of a van de Geijn broadcast).
+    """
+    p = comm.world_size
+    for k in range(p - 1):
+        for r in range(p):
+            chunk = (r - k) % p
+            src = src_of_chunk(r) if k == 0 else recv[chunk * count :]
+            comm.add_multicast(src, recv[chunk * count :], count, r, [(r + 1) % p])
+        comm.add_fence()
+
+
+def mpi_broadcast(machine: MachineSpec, count: int, root: int = 0,
+                  dtype=np.float32, materialize: bool = True,
+                  library: Library = Library.MPI_COLL) -> Communicator:
+    """van de Geijn: scatter the payload, then ring all-gather it."""
+    p = check_world(machine)
+    comm = Communicator(machine, dtype=dtype, materialize=materialize)
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    for j in range(p):
+        comm.add_reduction(send[j * count :], recv[j * count :], count,
+                           [root], j, ReduceOp.SUM)
+    comm.add_fence()
+    _compose_ring_allgather(comm, lambda r: recv[r * count :], recv, count)
+    _flat_init(comm, library)
+    return comm
+
+
+def mpi_reduce(machine: MachineSpec, count: int, root: int = 0,
+               op: ReduceOp = ReduceOp.SUM, dtype=np.float32,
+               materialize: bool = True,
+                  library: Library = Library.MPI_COLL) -> Communicator:
+    """Binomial tree reduction onto the root."""
+    p = check_world(machine)
+    comm = Communicator(machine, dtype=dtype, materialize=materialize)
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    total = p * count
+    # Seed every rank's partial (handles non-power-of-two stragglers that
+    # first contribute in a late round), then fold pairwise.
+    for r in range(p):
+        comm.add_multicast(send, recv, total, r, [r])
+    comm.add_fence()
+    # Round k: ranks at odd multiples of 2^k fold into even multiples.
+    for k in range(_binomial_rounds(p)):
+        stride = 1 << k
+        added = False
+        for vr in range(0, p, 2 * stride):
+            vsrc = vr + stride
+            if vsrc >= p:
+                continue
+            a = (vsrc + root) % p
+            b = (vr + root) % p
+            comm.add_reduction(recv, recv, total, [a, b], b, op)
+            added = True
+        if added:
+            comm.add_fence()
+    _flat_init(comm, library)
+    return comm
+
+
+def mpi_gather(machine: MachineSpec, count: int, root: int = 0,
+               dtype=np.float32, materialize: bool = True,
+                  library: Library = Library.MPI_COLL) -> Communicator:
+    """Linear gather: every rank sends directly to the root."""
+    p = check_world(machine)
+    comm = Communicator(machine, dtype=dtype, materialize=materialize)
+    send = comm.alloc(count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    for i in range(p):
+        comm.add_multicast(send, recv[i * count :], count, i, [root])
+    _flat_init(comm, library)
+    return comm
+
+
+def mpi_scatter(machine: MachineSpec, count: int, root: int = 0,
+                dtype=np.float32, materialize: bool = True,
+                  library: Library = Library.MPI_COLL) -> Communicator:
+    """Linear scatter: the root sends each rank its chunk directly."""
+    p = check_world(machine)
+    comm = Communicator(machine, dtype=dtype, materialize=materialize)
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(count, "recvbuf")
+    for j in range(p):
+        comm.add_reduction(send[j * count :], recv, count, [root], j, ReduceOp.SUM)
+    _flat_init(comm, library)
+    return comm
+
+
+def mpi_all_gather(machine: MachineSpec, count: int, dtype=np.float32,
+                   materialize: bool = True,
+                  library: Library = Library.MPI_COLL) -> Communicator:
+    """Ring all-gather (the classic large-message MPI algorithm)."""
+    p = check_world(machine)
+    comm = Communicator(machine, dtype=dtype, materialize=materialize)
+    send = comm.alloc(count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    # Place own chunk, then circulate.
+    for r in range(p):
+        comm.add_multicast(send, recv[r * count :], count, r, [r])
+    comm.add_fence()
+    _compose_ring_allgather(comm, lambda r: recv[r * count :], recv, count)
+    _flat_init(comm, library)
+    return comm
+
+
+def mpi_reduce_scatter(machine: MachineSpec, count: int,
+                       op: ReduceOp = ReduceOp.SUM, dtype=np.float32,
+                       materialize: bool = True,
+                  library: Library = Library.MPI_COLL) -> Communicator:
+    """Reduce to rank 0, then scatter the chunks (untuned two-phase path)."""
+    p = check_world(machine)
+    comm = Communicator(machine, dtype=dtype, materialize=materialize)
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(count, "recvbuf")
+    total_buf = comm.alloc(p * count, "total")
+    total = p * count
+    for r in range(p):
+        comm.add_multicast(send, total_buf, total, r, [r])
+    comm.add_fence()
+    for k in range(_binomial_rounds(p)):
+        stride = 1 << k
+        added = False
+        for vr in range(0, p, 2 * stride):
+            vsrc = vr + stride
+            if vsrc >= p:
+                continue
+            comm.add_reduction(total_buf, total_buf, total,
+                               [vsrc, vr], vr, op)
+            added = True
+        if added:
+            comm.add_fence()
+    for j in range(p):
+        comm.add_reduction(total_buf[j * count :], recv, count, [0], j, op)
+    _flat_init(comm, library)
+    return comm
+
+
+def mpi_all_reduce(machine: MachineSpec, count: int,
+                   op: ReduceOp = ReduceOp.SUM, dtype=np.float32,
+                   materialize: bool = True,
+                  library: Library = Library.MPI_COLL) -> Communicator:
+    """Binomial reduce to rank 0 followed by a van de Geijn broadcast."""
+    p = check_world(machine)
+    comm = Communicator(machine, dtype=dtype, materialize=materialize)
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    total = p * count
+    for r in range(p):
+        comm.add_multicast(send, recv, total, r, [r])
+    comm.add_fence()
+    for k in range(_binomial_rounds(p)):
+        stride = 1 << k
+        added = False
+        for vr in range(0, p, 2 * stride):
+            vsrc = vr + stride
+            if vsrc >= p:
+                continue
+            comm.add_reduction(recv, recv, total,
+                               [vsrc, vr], vr, op)
+            added = True
+        if added:
+            comm.add_fence()
+    # Broadcast the result from rank 0: scatter + ring all-gather, in place.
+    for j in range(1, p):
+        comm.add_reduction(recv[j * count :], recv[j * count :], count,
+                           [0], j, op)
+    comm.add_fence()
+    _compose_ring_allgather(comm, lambda r: recv[r * count :], recv, count)
+    _flat_init(comm, library)
+    return comm
+
+
+def mpi_all_to_all(machine: MachineSpec, count: int, dtype=np.float32,
+                   materialize: bool = True,
+                  library: Library = Library.MPI_COLL) -> Communicator:
+    """Direct exchange: every pair moves its chunk point-to-point."""
+    p = check_world(machine)
+    comm = Communicator(machine, dtype=dtype, materialize=materialize)
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    for i in range(p):
+        for j in range(p):
+            comm.add_multicast(send[j * count :], recv[i * count :], count, i, [j])
+    _flat_init(comm, library)
+    return comm
+
+
+MPI_COLLECTIVES = {
+    "broadcast": mpi_broadcast,
+    "reduce": mpi_reduce,
+    "gather": mpi_gather,
+    "scatter": mpi_scatter,
+    "all_gather": mpi_all_gather,
+    "reduce_scatter": mpi_reduce_scatter,
+    "all_reduce": mpi_all_reduce,
+    "all_to_all": mpi_all_to_all,
+}
+
+
+def mpi_collective(machine: MachineSpec, name: str, count: int,
+                   dtype=np.float32, materialize: bool = True,
+                  library: Library = Library.MPI_COLL) -> Communicator:
+    """Build the MPI baseline for a named collective."""
+    try:
+        fn = MPI_COLLECTIVES[name]
+    except KeyError:
+        raise CompositionError(
+            f"no MPI baseline for {name!r}; available: {sorted(MPI_COLLECTIVES)}"
+        ) from None
+    return fn(machine, count, dtype=dtype, materialize=materialize,
+              library=library)

@@ -1,0 +1,42 @@
+"""OneCCL vendor-library baseline (Aurora's dark-blue bars in Figure 8).
+
+The paper measures OneCCL (on the pre-production Aurora SDK) an order of
+magnitude behind HiCCL (12.1x geomean, Section 6.3.1).  OneCCL's algorithms
+are conventional (trees and rings, much like MPI's), so the gap is in the
+*transport*: poor sustained utilization of the Slingshot fabric and no
+multi-NIC awareness on the early software stack.  We therefore reuse the
+textbook algorithm compositions of :mod:`repro.baselines.mpi_like` but price
+them with the :data:`Library.ONECCL_COLL` envelope.
+
+Per Table 1, OneCCL offers Broadcast, Reduce, All-to-all, All-gather(v),
+Reduce-scatter, and All-reduce — but no Gather or Scatter; requesting those
+raises ``CompositionError`` just as the paper's Figure 8(d) shows only MPI
+and HiCCL bars for them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.communicator import Communicator
+from ..errors import CompositionError
+from ..machine.spec import MachineSpec
+from ..transport.library import Library
+from .base import check_world
+from .mpi_like import MPI_COLLECTIVES
+
+#: Collectives OneCCL actually offers (Table 1).
+ONECCL_OFFERED = frozenset(
+    {"broadcast", "reduce", "all_to_all", "all_gather", "reduce_scatter", "all_reduce"}
+)
+
+
+def oneccl_collective(machine: MachineSpec, name: str, count: int,
+                      dtype=np.float32, materialize: bool = True) -> Communicator:
+    """Build the OneCCL baseline for a named collective."""
+    check_world(machine)
+    if name not in ONECCL_OFFERED:
+        raise CompositionError(f"OneCCL offers no {name!r} collective (Table 1)")
+    builder = MPI_COLLECTIVES[name]
+    return builder(machine, count, dtype=dtype, materialize=materialize,
+                   library=Library.ONECCL_COLL)

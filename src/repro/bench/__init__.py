@@ -1,0 +1,43 @@
+"""Benchmark harness: configs (Table 5), runner (Section 6.2), figures."""
+
+from .configs import (
+    HicclConfig,
+    best_config,
+    direct_config,
+    hierarchical_config,
+    pipelined_config,
+    ring_config,
+    striped_config,
+    tree_config,
+)
+from .report import SpeedupReport, geomean, render_throughput_table, speedups
+from .runner import (
+    DEFAULT_PAYLOAD_BYTES,
+    Measurement,
+    payload_count,
+    peak_throughput,
+    run_baseline,
+    run_hiccl,
+    sweep_payloads,
+)
+
+__all__ = [
+    "DEFAULT_PAYLOAD_BYTES",
+    "HicclConfig",
+    "Measurement",
+    "SpeedupReport",
+    "best_config",
+    "direct_config",
+    "geomean",
+    "hierarchical_config",
+    "payload_count",
+    "peak_throughput",
+    "pipelined_config",
+    "render_throughput_table",
+    "ring_config",
+    "run_baseline",
+    "run_hiccl",
+    "speedups",
+    "striped_config",
+    "tree_config",
+]

@@ -1,0 +1,174 @@
+"""Table 5: hierarchical factorizations and per-level libraries per system.
+
+============ =========== ================= ==========================
+System       Topology    Hierarchy         Libraries
+============ =========== ================= ==========================
+Delta /      Tree        {2, 2, 4}         {NCCL, NCCL, IPC}
+Perlmutter   Ring+Tree   {4, 4}            {NCCL, IPC}
+Frontier     Tree        {2, 2, 4, 2}      {MPI, MPI, IPC, IPC}
+             Ring+Tree   {4, 4, 2}         {MPI, IPC, IPC}
+Aurora       Tree        {2, 2, 6, 2}      {MPI, MPI, IPC, IPC}
+             Ring+Tree   {4, 6, 2}         {MPI, IPC, IPC}
+============ =========== ================= ==========================
+
+Bold (intra-node) factors come from the node architecture (dual-die devices
+contribute the trailing ``{.., 2}``); the leading factors tile the nodes with
+a multi-rail binary tree or a ring.  The builders below generalize the 4-node
+table rows to any power-of-two node count, which is what the Figure 10
+scaling sweep needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import InitializationError
+from ..machine.spec import MachineSpec
+from ..transport.library import Library
+
+#: Default inter-node point-to-point backend per system (Table 5).
+INTER_LIBRARY = {
+    "delta": Library.NCCL,
+    "perlmutter": Library.NCCL,
+    "frontier": Library.MPI,
+    "aurora": Library.MPI,
+}
+
+#: Pipeline depths used for Figure 8's fully-optimized bars.  Section 6.4:
+#: trees saturate with shallow pipelines (~k stages); rings need ~32.
+TREE_PIPELINE = 16
+RING_PIPELINE = 32
+
+
+@dataclass(frozen=True)
+class HicclConfig:
+    """One column of Table 5, ready to feed ``Communicator.init``."""
+
+    name: str
+    hierarchy: tuple[int, ...]
+    libraries: tuple[Library, ...]
+    stripe: int = 1
+    ring: int = 1
+    pipeline: int = 1
+
+    def init_kwargs(self) -> dict:
+        return {
+            "hierarchy": list(self.hierarchy),
+            "library": list(self.libraries),
+            "stripe": self.stripe,
+            "ring": self.ring,
+            "pipeline": self.pipeline,
+        }
+
+    def with_pipeline(self, m: int) -> "HicclConfig":
+        return replace(self, pipeline=m)
+
+    def with_stripe(self, s: int) -> "HicclConfig":
+        return replace(self, stripe=s)
+
+
+def _binary_factors(n: int) -> list[int]:
+    """Factor a power-of-two node count into 2s (multi-rail binary tree)."""
+    factors = []
+    while n > 1:
+        if n % 2:
+            raise InitializationError(
+                f"tree config generalization needs a power-of-two node count, got {n}"
+            )
+        factors.append(2)
+        n //= 2
+    return factors
+
+
+def _intra_factors(machine: MachineSpec) -> list[int]:
+    return [level.extent for level in machine.levels]
+
+
+def tree_config(machine: MachineSpec, pipeline: int = TREE_PIPELINE,
+                stripe: int | None = None) -> HicclConfig:
+    """Table 5 tree row for this machine, scaled to its node count."""
+    inter = INTER_LIBRARY.get(machine.name, Library.MPI)
+    inter_factors = _binary_factors(machine.nodes)
+    intra = _intra_factors(machine)
+    libraries = [inter] * len(inter_factors) + [Library.IPC] * len(intra)
+    if not inter_factors:
+        # Single node: purely intra-node tree.
+        libraries = [Library.IPC] * len(intra)
+    return HicclConfig(
+        name="tree",
+        hierarchy=tuple(inter_factors + intra),
+        libraries=tuple(libraries),
+        stripe=stripe if stripe is not None else machine.gpus_per_node,
+        ring=1,
+        pipeline=pipeline,
+    )
+
+
+def ring_config(machine: MachineSpec, pipeline: int = RING_PIPELINE,
+                stripe: int | None = None) -> HicclConfig:
+    """Table 5 ring+tree row: a ring over nodes, a tree within."""
+    if machine.nodes < 2:
+        raise InitializationError("ring topology needs at least two nodes")
+    inter = INTER_LIBRARY.get(machine.name, Library.MPI)
+    intra = _intra_factors(machine)
+    return HicclConfig(
+        name="ring",
+        hierarchy=tuple([machine.nodes] + intra),
+        libraries=tuple([inter] + [Library.IPC] * len(intra)),
+        stripe=stripe if stripe is not None else machine.gpus_per_node,
+        ring=machine.nodes,
+        pipeline=pipeline,
+    )
+
+
+def direct_config(machine: MachineSpec) -> HicclConfig:
+    """Figure 8's red bars: flat hierarchy, no optimizations."""
+    from ..transport.library import DIRECT_LIBRARY
+
+    return HicclConfig(
+        name="direct",
+        hierarchy=(machine.world_size,),
+        libraries=(DIRECT_LIBRARY.get(machine.name, Library.MPI),),
+        stripe=1,
+        ring=1,
+        pipeline=1,
+    )
+
+
+def hierarchical_config(machine: MachineSpec) -> HicclConfig:
+    """Figure 8's orange bars: tree factorization only (no stripe/pipeline)."""
+    cfg = tree_config(machine, pipeline=1, stripe=1)
+    return replace(cfg, name="hierarchical")
+
+
+def striped_config(machine: MachineSpec) -> HicclConfig:
+    """Figure 8's green bars: + multi-NIC striping (still unpipelined)."""
+    cfg = tree_config(machine, pipeline=1)
+    return replace(cfg, name="striped")
+
+
+def pipelined_config(machine: MachineSpec, topology: str = "tree") -> HicclConfig:
+    """Figure 8's yellow bars: all optimizations on."""
+    if topology == "ring":
+        cfg = ring_config(machine)
+    else:
+        cfg = tree_config(machine)
+    return replace(cfg, name=f"pipelined-{topology}")
+
+
+def best_config(machine: MachineSpec, collective: str) -> HicclConfig:
+    """The configuration HiCCL's Figure 8 bars use per collective.
+
+    Broadcast and Reduce win with ring+tree (Section 6.3.4); every other
+    collective uses the tree topology.
+    """
+    if collective in ("broadcast", "reduce") and machine.nodes >= 2:
+        return pipelined_config(machine, "ring")
+    cfg = pipelined_config(machine, "tree")
+    if collective in ("gather", "scatter", "all_to_all"):
+        # Tree pipelines saturate with ~k stages (Section 6.4: "converges to
+        # the empirical bound with a pipeline with only k = 4 stages"), and
+        # all-to-all's per-pair payloads are small; deeper pipelines only
+        # add per-message latency.
+        cfg = cfg.with_pipeline(4)
+    return cfg

@@ -1,0 +1,398 @@
+"""Data generators for every figure and table of the paper's evaluation.
+
+Each ``figN_*`` function returns plain data (dicts / lists of
+:class:`~repro.bench.runner.Measurement`) plus a ``render_*`` helper that
+formats it as the text analogue of the paper's plot.  The pytest-benchmark
+files under ``benchmarks/`` call these and print the rendered output, so
+running ``pytest benchmarks/ --benchmark-only -s`` regenerates the entire
+evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.ccl_like import ccl_collective
+from ..core.communicator import Communicator
+from ..core.composition import FIGURE8_ORDER
+from ..machine.nic import binding_table, nic_loads, utilization
+from ..machine.spec import MachineSpec
+from ..machine.topology import TreeTopology
+from ..model.bounds import (
+    BOUND_KIND,
+    achievable_bound,
+    empirical_bounds,
+    theoretical_bound,
+)
+from ..transport.library import Library
+from .configs import (
+    best_config,
+    direct_config,
+    hierarchical_config,
+    pipelined_config,
+    ring_config,
+    striped_config,
+    tree_config,
+)
+from .runner import Measurement, payload_count, run_baseline, run_hiccl
+
+# --------------------------------------------------------------------- Fig 1
+def fig1_broadcast_volume(nodes: int = 2, gpus_per_node: int = 3,
+                          count: int = 1024) -> dict[str, dict[str, int]]:
+    """Direct vs hierarchical broadcast volume (Figure 1).
+
+    Returns inter/intra-node element volumes for both strategies; the direct
+    strategy redundantly moves ``(p - g)`` copies across nodes while the
+    hierarchical one moves exactly ``nodes - 1``.
+    """
+    from ..machine.machines import generic
+
+    machine = generic(nodes, gpus_per_node, 1, name="fig1")
+    out = {}
+    for label, hierarchy, libs in (
+        ("direct", [machine.world_size], [Library.MPI]),
+        ("hierarchical", [nodes, gpus_per_node], [Library.MPI, Library.IPC]),
+    ):
+        comm = Communicator(machine, materialize=False)
+        send = comm.alloc(count, "sendbuf")
+        recv = comm.alloc(count, "recvbuf")
+        comm.add_multicast(send, recv, count, 0, list(range(machine.world_size)))
+        comm.init(hierarchy=hierarchy, library=libs)
+        out[label] = comm.schedule.volume_by_kind(machine)
+    return out
+
+
+def render_fig1(data: dict[str, dict[str, int]], count: int = 1024) -> str:
+    """Text rendering of Figure 1's volume comparison."""
+    lines = ["Figure 1: broadcast volume across 2 nodes x 3 GPUs (units of d)"]
+    for label, vols in data.items():
+        inter = vols["inter-node"] / count
+        intra = vols["intra-node"] / count
+        lines.append(f"  {label:13s} inter-node={inter:.0f}d intra-node={intra:.0f}d")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- Fig 2
+def fig2_bindings() -> list[dict]:
+    """The three binding examples of Figure 2 with their utilizations."""
+    cases = [
+        ("packed", 3, 1, "a"),
+        ("round-robin", 3, 2, "b"),
+        ("bijective", 3, 3, "c"),
+    ]
+    out = []
+    from ..machine.nic import Binding
+
+    policy_of = {"packed": Binding.PACKED, "round-robin": Binding.ROUND_ROBIN,
+                 "bijective": Binding.BIJECTIVE}
+    for policy, g, k, panel in cases:
+        pol = policy_of[policy]
+        out.append({
+            "panel": panel,
+            "policy": policy,
+            "g": g,
+            "k": k,
+            "table": binding_table(g, k, pol),
+            "loads": nic_loads(g, k, pol),
+            "utilization": utilization(g, k, pol),
+        })
+    return out
+
+
+def render_fig2(data: list[dict]) -> str:
+    """Text rendering of Figure 2's binding diagrams."""
+    lines = ["Figure 2: GPU-to-NIC bindings"]
+    for case in data:
+        arrows = " ".join(f"g{g}->n{n}" for g, n in case["table"])
+        lines.append(
+            f"  ({case['panel']}) {case['policy']:12s} g={case['g']} k={case['k']}: "
+            f"{arrows}  loads={case['loads']} util={case['utilization']:.0%}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- Fig 5
+FIG5_FACTORIZATIONS = [
+    ("a", [3, 8]),
+    ("b", [4, 6]),
+    ("c", [3, 2, 4]),
+    ("d", [2, 2, 6]),
+    ("e", [3, 2, 2, 2]),
+    ("f", [2, 2, 2, 3]),
+]
+
+
+def fig5_trees() -> list[tuple[str, TreeTopology]]:
+    """The six 24-GPU factorizations of Figure 5."""
+    return [(panel, TreeTopology(factors, 24)) for panel, factors in FIG5_FACTORIZATIONS]
+
+
+def render_fig5() -> str:
+    """Text rendering of Figure 5's six tree structures."""
+    lines = ["Figure 5: tree structures across 24 GPUs"]
+    for panel, topo in fig5_trees():
+        lines.append(f"({panel}) {topo.ascii_tree()}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- Fig 6
+def fig6_stage_counts(count: int = 1 << 12) -> dict[str, int]:
+    """Stage counts of the striped tree (4) and striped ring (5) of Figure 6.
+
+    12 GPUs as 4 nodes x 3 GPUs; broadcast from GPU 0 with stripe(3).
+    """
+    from ..machine.machines import generic
+
+    machine = generic(4, 3, 1, name="fig6")
+    out = {}
+    for label, hierarchy, ring in (
+        ("tree {2,2,3}", [2, 2, 3], 1),
+        ("ring {4,3}", [4, 3], 4),
+    ):
+        comm = Communicator(machine, materialize=False)
+        send = comm.alloc(count, "sendbuf")
+        recv = comm.alloc(count, "recvbuf")
+        comm.add_multicast(send, recv, count, 0, list(range(12)))
+        comm.init(hierarchy=hierarchy,
+                  library=[Library.MPI] * (len(hierarchy) - 1) + [Library.IPC],
+                  ring=ring, stripe=3, pipeline=1)
+        out[label] = comm.schedule.stage_count()
+    return out
+
+
+# --------------------------------------------------------------------- Fig 7
+def fig7_matrices(count: int = 1 << 12) -> dict[str, dict]:
+    """Hierarchical communication matrices of Figure 7 (bottom).
+
+    (a) broadcast on {2,2,3} with {MPI, NCCL, IPC} and stripe(3);
+    (b) broadcast on {4,3} + ring(4) with {NCCL, IPC} and stripe(3).
+    Returns per-case the 12x12 volume matrix and the library label matrix.
+    """
+    from ..machine.machines import generic
+
+    machine = generic(4, 3, 1, name="fig7")
+    cases = {
+        "tree": dict(hierarchy=[2, 2, 3],
+                     library=[Library.MPI, Library.NCCL, Library.IPC],
+                     ring=1, stripe=3, pipeline=5),
+        "ring": dict(hierarchy=[4, 3],
+                     library=[Library.NCCL, Library.IPC],
+                     ring=4, stripe=3, pipeline=5),
+    }
+    out = {}
+    for label, kwargs in cases.items():
+        comm = Communicator(machine, materialize=False)
+        send = comm.alloc(count, "sendbuf")
+        recv = comm.alloc(count, "recvbuf")
+        comm.add_multicast(send, recv, count, 0, list(range(12)))
+        comm.init(**kwargs)
+        out[label] = {
+            "volume": comm.schedule.comm_matrix(),
+            "library": comm.schedule.library_matrix(comm.plan.libraries),
+        }
+    return out
+
+
+def render_fig7(matrices: dict[str, dict]) -> str:
+    """Text rendering of Figure 7's communication matrices."""
+    lines = ["Figure 7 (bottom): hierarchical communication matrices"]
+    for label, mats in matrices.items():
+        lines.append(f"  [{label}] sending GPU x receiving GPU (library initial)")
+        lib = mats["library"]
+        for src, row in enumerate(lib):
+            cells = "".join((cell[0] if cell else ".") for cell in row)
+            lines.append(f"    {src:2d} {cells}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- Fig 8
+#: Implementations shown per collective in Figure 8, in bar order.
+FIG8_VARIANTS = ("mpi", "vendor", "direct", "hierarchical", "striped", "pipelined")
+
+
+def fig8_system(machine: MachineSpec, payload_bytes: int = 1 << 29,
+                collectives=FIGURE8_ORDER) -> list[Measurement]:
+    """One panel of Figure 8: every collective x every implementation."""
+    rows: list[Measurement] = []
+    for name in collectives:
+        for family in ("mpi", "vendor"):
+            m = run_baseline(machine, name, family, payload_bytes=payload_bytes,
+                             warmup=0, rounds=1)
+            if m is not None:
+                rows.append(m)
+        for cfg_fn in (direct_config, hierarchical_config, striped_config):
+            cfg = cfg_fn(machine)
+            rows.append(run_hiccl(machine, name, cfg, payload_bytes=payload_bytes,
+                                  warmup=0, rounds=1))
+        rows.append(run_hiccl(machine, name, best_config(machine, name),
+                              payload_bytes=payload_bytes, warmup=0, rounds=1))
+        # Broadcast/Reduce additionally show the tree-topology bar.
+        if name in ("broadcast", "reduce"):
+            rows.append(run_hiccl(machine, name, pipelined_config(machine, "tree"),
+                                  payload_bytes=payload_bytes, warmup=0, rounds=1))
+    return rows
+
+
+def fig8_bounds(machine: MachineSpec) -> dict[str, dict[str, float]]:
+    """Theoretical frames + empirical triangles per collective."""
+    from .configs import INTER_LIBRARY
+
+    inter = INTER_LIBRARY.get(machine.name, Library.MPI)
+    emp = empirical_bounds(machine, inter_library=inter)
+    out = {}
+    for name in FIGURE8_ORDER:
+        kind = BOUND_KIND[name]
+        out[name] = {
+            "theoretical": theoretical_bound(machine, name),
+            "achievable": achievable_bound(machine, name),
+            "empirical": getattr(emp, kind.replace("-", "_")),
+            "empirical_kind": kind,
+            "intra_node": emp.intra_node,
+        }
+    return out
+
+
+def render_fig8(machine: MachineSpec, rows: list[Measurement],
+                bounds: dict[str, dict[str, float]]) -> str:
+    """Text rendering of one Figure 8 panel (bars + bound frames)."""
+    by_coll: dict[str, list[Measurement]] = {}
+    for m in rows:
+        by_coll.setdefault(m.collective, []).append(m)
+    lines = [
+        f"Figure 8 ({machine.name}): peak collective throughput, GB/s "
+        f"({machine.describe()})"
+    ]
+    for name in FIGURE8_ORDER:
+        if name not in by_coll:
+            continue
+        b = bounds[name]
+        lines.append(
+            f"  {name} [theoretical {b['theoretical']:.1f}, achievable "
+            f"{b['achievable']:.1f}, empirical({b['empirical_kind']}) "
+            f"{b['empirical']:.1f}]"
+        )
+        for m in by_coll[name]:
+            bar = "#" * max(1, int(m.throughput / max(b["achievable"], 1e-9) * 40))
+            lines.append(f"    {m.implementation:18s} {m.throughput:8.2f}  {bar}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- Fig 9
+FIG9_CASES = {
+    # (collective, topology): Figure 9's four panels on Perlmutter.
+    "gather": "tree",
+    "scatter": "tree",
+    "broadcast": "ring",
+    "reduce": "ring",
+}
+
+FIG9_DEPTHS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def fig9_curves(machine: MachineSpec, collective: str,
+                payloads_bytes=None,
+                depths=FIG9_DEPTHS) -> dict[int, list[Measurement]]:
+    """Throughput vs buffer size for each pipeline depth (one Fig 9 panel)."""
+    if payloads_bytes is None:
+        payloads_bytes = [1 << s for s in range(14, 31, 2)]  # 16 KB .. 1 GB
+    topology = FIG9_CASES[collective]
+    out: dict[int, list[Measurement]] = {}
+    for m_depth in depths:
+        if topology == "ring":
+            cfg = ring_config(machine, pipeline=m_depth)
+        else:
+            cfg = tree_config(machine, pipeline=m_depth)
+        out[m_depth] = [
+            run_hiccl(machine, collective, cfg, payload_bytes=pb,
+                      warmup=0, rounds=1)
+            for pb in payloads_bytes
+        ]
+    return out
+
+
+def fig9_references(machine: MachineSpec, collective: str,
+                    payloads_bytes) -> dict[str, list[Measurement]]:
+    """MPICH and NCCL (or NCCL-p2p) reference curves for a Fig 9 panel."""
+    out: dict[str, list[Measurement]] = {"mpich": [], "nccl": []}
+    for pb in payloads_bytes:
+        m = run_baseline(machine, collective, "mpi", payload_bytes=pb,
+                         warmup=0, rounds=1)
+        if m:
+            out["mpich"].append(m)
+        count = payload_count(machine, pb)
+        try:
+            vrun = ccl_collective(machine, collective, count,
+                                  materialize=False, include_p2p=True)
+        except Exception:
+            continue
+        seconds = vrun.measure(warmup=0, rounds=1)
+        out["nccl"].append(Measurement(machine.name, collective, "nccl",
+                                       count * machine.world_size * 4, seconds))
+    return out
+
+
+def render_fig9(collective: str, curves: dict[int, list[Measurement]]) -> str:
+    """Text rendering of one Figure 9 panel (GB/s by size and depth)."""
+    lines = [f"Figure 9 ({collective}, {FIG9_CASES[collective]}): GB/s by "
+             "buffer size (rows) and pipeline depth m (columns)"]
+    depths = sorted(curves)
+    payloads = [m.payload_bytes for m in curves[depths[0]]]
+    header = f"{'payload':>10s}" + "".join(f"  m={d:<5d}" for d in depths)
+    lines.append(header)
+    for i, pb in enumerate(payloads):
+        label = f"{pb / (1 << 20):.2g}MB" if pb < (1 << 30) else f"{pb / (1 << 30):.2g}GB"
+        cells = "".join(f"{curves[d][i].throughput:8.2f}" for d in depths)
+        lines.append(f"{label:>10s}{cells}")
+    return "\n".join(lines)
+
+
+# -------------------------------------------------------------------- Fig 10
+FIG10_DEPTHS = (1, 2, 4, 8, 16, 32)
+
+
+def fig10_scaling(machine_factory, node_counts=(2, 4, 8, 16, 32, 64),
+                  payload_bytes: int = 1 << 30,
+                  depths=FIG10_DEPTHS,
+                  mpi_cap_bytes: int = 1 << 30) -> dict[str, dict[int, float]]:
+    """All-reduce scaling (Figure 10): GB/s per node count per series.
+
+    Series: ``hiccl-m{depth}`` for each pipeline depth, plus the vendor ring
+    and MPI baselines.  MPI is measured at a capped 1 GB payload, matching
+    the paper's note about MPI's large-count limitations [17].
+    """
+    series: dict[str, dict[int, float]] = {f"hiccl-m{d}": {} for d in depths}
+    series["vendor"] = {}
+    series["mpi"] = {}
+    for nodes in node_counts:
+        machine = machine_factory(nodes)
+        count = payload_count(machine, payload_bytes)
+        for d in depths:
+            cfg = ring_config(machine, pipeline=d)
+            meas = run_hiccl(machine, "all_reduce", cfg,
+                             payload_bytes=payload_bytes, warmup=0, rounds=1)
+            series[f"hiccl-m{d}"][nodes] = meas.throughput
+        vendor = run_baseline(machine, "all_reduce", "vendor",
+                              payload_bytes=payload_bytes, warmup=0, rounds=1)
+        if vendor:
+            series["vendor"][nodes] = vendor.throughput
+        mpi = run_baseline(machine, "all_reduce", "mpi",
+                           payload_bytes=min(payload_bytes, mpi_cap_bytes),
+                           warmup=0, rounds=1)
+        if mpi:
+            series["mpi"][nodes] = mpi.throughput
+    return series
+
+
+def render_fig10(system: str, series: dict[str, dict[int, float]]) -> str:
+    """Text rendering of one Figure 10 panel (GB/s by node count)."""
+    lines = [f"Figure 10 ({system}): All-reduce throughput (GB/s) vs nodes"]
+    names = sorted(series)
+    node_counts = sorted({n for s in series.values() for n in s})
+    header = f"{'series':>12s}" + "".join(f"{n:>9d}" for n in node_counts)
+    lines.append(header)
+    for name in names:
+        cells = "".join(
+            f"{series[name].get(n, float('nan')):>9.2f}" for n in node_counts
+        )
+        lines.append(f"{name:>12s}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Command-line interface: run collectives, tune, and inspect machines.
+
+Entry point: ``python -m repro <command>``::
+
+    python -m repro machines                        # list Table 4 systems
+    python -m repro run all_reduce --system perlmutter --nodes 4 \\
+        --payload 256M --topology ring --pipeline 32
+    python -m repro compare broadcast --system frontier --payload 1G
+    python -m repro tune broadcast --system perlmutter --payload 256M
+    python -m repro bounds --system aurora
+
+Outputs are plain text; the heavy lifting lives in the library so every
+command is also reachable programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _parse_size(text: str) -> int:
+    """'256M', '1G', '4096' -> bytes."""
+    text = text.strip().upper()
+    multipliers = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    if text and text[-1] in multipliers:
+        return int(float(text[:-1]) * multipliers[text[-1]])
+    return int(text)
+
+
+def _machine(args):
+    from .machine.machines import by_name
+
+    return by_name(args.system, nodes=args.nodes)
+
+
+def cmd_machines(args) -> int:
+    """List the Table 4 machine models."""
+    from .machine.machines import PAPER_SYSTEMS, by_name
+
+    print("Paper systems (Table 4):")
+    for name in PAPER_SYSTEMS:
+        print(" ", by_name(name, nodes=args.nodes).describe())
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Run one collective under a chosen configuration and report GB/s."""
+    from .bench.configs import best_config, ring_config, tree_config
+    from .bench.runner import payload_count, run_hiccl
+    from .model.bounds import achievable_bound
+
+    machine = _machine(args)
+    if args.topology == "auto":
+        cfg = best_config(machine, args.collective)
+    elif args.topology == "ring":
+        cfg = ring_config(machine, pipeline=args.pipeline or 32)
+    else:
+        cfg = tree_config(machine, pipeline=args.pipeline or 16)
+    if args.pipeline:
+        cfg = cfg.with_pipeline(args.pipeline)
+    meas = run_hiccl(machine, args.collective, cfg,
+                     payload_bytes=_parse_size(args.payload),
+                     warmup=0, rounds=1)
+    bound = achievable_bound(machine, args.collective)
+    print(f"{args.collective} on {machine.describe()}")
+    print(f"  config: {cfg.name} hierarchy={list(cfg.hierarchy)} "
+          f"stripe({cfg.stripe}) ring({cfg.ring}) pipeline({cfg.pipeline})")
+    print(f"  payload {meas.payload_bytes / 1e6:.1f} MB  "
+          f"simulated {meas.seconds * 1e3:.3f} ms  "
+          f"throughput {meas.throughput:.2f} GB/s "
+          f"({meas.throughput / bound:.0%} of achievable bound)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Compare HiCCL against the MPI/vendor/direct baselines."""
+    from .bench.figures import fig8_bounds
+    from .bench.runner import run_baseline, run_hiccl
+    from .bench.configs import best_config
+    from .bench.report import render_throughput_table
+
+    machine = _machine(args)
+    payload = _parse_size(args.payload)
+    rows = []
+    for family in ("mpi", "vendor", "direct"):
+        m = run_baseline(machine, args.collective, family,
+                         payload_bytes=payload, warmup=0, rounds=1)
+        if m:
+            rows.append(m)
+    rows.append(run_hiccl(machine, args.collective,
+                          best_config(machine, args.collective),
+                          payload_bytes=payload, warmup=0, rounds=1))
+    print(render_throughput_table(
+        rows, title=f"{args.collective} on {machine.describe()} (GB/s)"
+    ))
+    bounds = fig8_bounds(machine)[args.collective]
+    print(f"bounds: theoretical {bounds['theoretical']:.1f}, achievable "
+          f"{bounds['achievable']:.1f}, empirical {bounds['empirical']:.1f} GB/s")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Autotune the optimization parameters for a collective."""
+    from .bench.runner import payload_count
+    from .core.autotune import tune
+    from .core.composition import compose
+
+    machine = _machine(args)
+    count = payload_count(machine, _parse_size(args.payload))
+
+    def compose_fn(comm):
+        compose(comm, args.collective, count)
+
+    result = tune(compose_fn, machine, pipelines=(1, 4, 16, 32))
+    print(f"tuning {args.collective} on {machine.describe()}")
+    print(result.render(args.top))
+    return 0
+
+
+def cmd_bounds(args) -> int:
+    """Print Table 3 + empirical bounds for one system."""
+    from .core.composition import FIGURE8_ORDER
+    from .model.bounds import achievable_bound, empirical_bounds, theoretical_bound
+    from .bench.configs import INTER_LIBRARY
+    from .transport.library import Library
+
+    machine = _machine(args)
+    inter = INTER_LIBRARY.get(machine.name, Library.MPI)
+    emp = empirical_bounds(machine, inter_library=inter)
+    print(f"Throughput bounds for {machine.describe()} (GB/s)")
+    print(f"  empirical: uni {emp.unidirectional:.1f}, bidi "
+          f"{emp.bidirectional:.1f}, intra-node {emp.intra_node:.1f}")
+    print(f"  {'collective':16s} {'theoretical':>12s} {'achievable':>11s}")
+    for name in FIGURE8_ORDER:
+        print(f"  {name:16s} {theoretical_bound(machine, name):12.1f} "
+              f"{achievable_bound(machine, name):11.1f}")
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    """Render the pipeline timeline as an ASCII Gantt chart."""
+    from .bench.configs import best_config
+    from .bench.runner import payload_count
+    from .core.communicator import Communicator
+    from .core.composition import compose
+    from .simulator.trace import ascii_gantt, build_trace, utilization_report
+
+    machine = _machine(args)
+    count = payload_count(machine, _parse_size(args.payload))
+    comm = Communicator(machine, materialize=False)
+    compose(comm, args.collective, count)
+    cfg = best_config(machine, args.collective)
+    if args.pipeline:
+        cfg = cfg.with_pipeline(args.pipeline)
+    comm.init(**cfg.init_kwargs())
+    events = build_trace(comm.schedule, comm.timing, machine,
+                         comm.plan.libraries)
+    print(ascii_gantt(events, width=args.width))
+    print()
+    print(utilization_report(comm.timing).render(6))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HiCCL reproduction: simulated hierarchical collectives",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, collective=True):
+        if collective:
+            p.add_argument("collective", help="e.g. all_reduce, broadcast")
+        p.add_argument("--system", default="perlmutter",
+                       help="delta|perlmutter|frontier|aurora")
+        p.add_argument("--nodes", type=int, default=4)
+        p.add_argument("--payload", default="256M",
+                       help="total payload, e.g. 64M, 1G")
+
+    p = sub.add_parser("machines", help="list the Table 4 machine models")
+    p.add_argument("--nodes", type=int, default=4)
+    p.set_defaults(fn=cmd_machines)
+
+    p = sub.add_parser("run", help="run one collective under a config")
+    common(p)
+    p.add_argument("--topology", choices=("auto", "tree", "ring"),
+                   default="auto")
+    p.add_argument("--pipeline", type=int, default=0)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="HiCCL vs MPI/vendor/direct baselines")
+    common(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("tune", help="autotune the optimization parameters")
+    common(p)
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser("bounds", help="Table 3 + empirical bounds for a system")
+    common(p, collective=False)
+    p.set_defaults(fn=cmd_bounds)
+
+    p = sub.add_parser("gantt", help="ASCII pipeline timeline (Figure 7)")
+    common(p)
+    p.add_argument("--pipeline", type=int, default=0)
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(fn=cmd_gantt)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

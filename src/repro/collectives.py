@@ -1,0 +1,133 @@
+"""One-call collective API — the convenience layer over the Communicator.
+
+For users who want results rather than communicators::
+
+    import repro.collectives as coll
+    out = coll.all_reduce(machine, data)           # data: (p, n) array
+    out = coll.broadcast(machine, vector, root=2)  # -> (p, n) replicated
+
+Each call composes, optimizes (with the Table 5 configuration for the
+machine, or an explicit :class:`~repro.bench.configs.HicclConfig`), runs the
+functional simulation, verifies buffer shapes, and returns numpy results
+plus the simulated time via the ``return_time`` flag.
+
+This is also the layer application-style examples build on; the heavy
+research API (explicit primitives, fences, plans) stays in ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bench.configs import HicclConfig, best_config
+from .core.communicator import Communicator
+from .core.composition import compose
+from .core.ops import ReduceOp
+from .errors import CompositionError
+from .machine.spec import MachineSpec
+
+
+def _run(machine: MachineSpec, name: str, count: int, data: np.ndarray,
+         config: HicclConfig | None, dtype, return_time: bool, **kwargs):
+    comm = Communicator(machine, dtype=dtype)
+    send, recv = compose(comm, name, count, **kwargs)
+    cfg = config if config is not None else best_config(machine, name)
+    comm.init(**cfg.init_kwargs())
+    comm.set_all(send, data)
+    elapsed = comm.run()
+    out = comm.gather_all(recv)
+    if return_time:
+        return out, elapsed
+    return out
+
+
+def _as_matrix(machine: MachineSpec, data, per_rank_elems: int,
+               name: str) -> np.ndarray:
+    arr = np.asarray(data)
+    p = machine.world_size
+    if arr.ndim != 2 or arr.shape[0] != p:
+        raise CompositionError(
+            f"{name}: expected a (p, n) array with p={p} rows, got {arr.shape}"
+        )
+    if arr.shape[1] % per_rank_elems != 0:
+        raise CompositionError(
+            f"{name}: row length {arr.shape[1]} not divisible by {per_rank_elems}"
+        )
+    return arr
+
+
+def broadcast(machine: MachineSpec, data, root: int = 0, *,
+              config: HicclConfig | None = None, return_time: bool = False):
+    """Replicate ``data[root]`` to every rank.  ``data``: (p, n) array."""
+    arr = _as_matrix(machine, data, machine.world_size, "broadcast")
+    count = arr.shape[1] // machine.world_size
+    return _run(machine, "broadcast", count, arr, config, arr.dtype,
+                return_time, root=root)
+
+
+def reduce(machine: MachineSpec, data, root: int = 0,
+           op: ReduceOp = ReduceOp.SUM, *,
+           config: HicclConfig | None = None, return_time: bool = False):
+    """Elementwise-reduce all rows onto ``root``.  ``data``: (p, n)."""
+    arr = _as_matrix(machine, data, machine.world_size, "reduce")
+    count = arr.shape[1] // machine.world_size
+    return _run(machine, "reduce", count, arr, config, arr.dtype,
+                return_time, root=root, op=op)
+
+
+def all_reduce(machine: MachineSpec, data, op: ReduceOp = ReduceOp.SUM, *,
+               config: HicclConfig | None = None, return_time: bool = False):
+    """Elementwise-reduce all rows, result on every rank.  ``data``: (p, n)."""
+    arr = _as_matrix(machine, data, machine.world_size, "all_reduce")
+    count = arr.shape[1] // machine.world_size
+    return _run(machine, "all_reduce", count, arr, config, arr.dtype,
+                return_time, op=op)
+
+
+def scatter(machine: MachineSpec, data, root: int = 0, *,
+            config: HicclConfig | None = None, return_time: bool = False):
+    """Deal row-chunks of ``data[root]`` across ranks."""
+    arr = _as_matrix(machine, data, machine.world_size, "scatter")
+    count = arr.shape[1] // machine.world_size
+    return _run(machine, "scatter", count, arr, config, arr.dtype,
+                return_time, root=root)
+
+
+def gather(machine: MachineSpec, data, root: int = 0, *,
+           config: HicclConfig | None = None, return_time: bool = False):
+    """Concatenate every rank's row on the root.  ``data``: (p, n)."""
+    arr = np.asarray(data)
+    p = machine.world_size
+    if arr.ndim != 2 or arr.shape[0] != p:
+        raise CompositionError(f"gather: expected (p, n) array, got {arr.shape}")
+    return _run(machine, "gather", arr.shape[1], arr, config, arr.dtype,
+                return_time, root=root)
+
+
+def all_gather(machine: MachineSpec, data, *,
+               config: HicclConfig | None = None, return_time: bool = False):
+    """Concatenate every rank's row on every rank.  ``data``: (p, n)."""
+    arr = np.asarray(data)
+    p = machine.world_size
+    if arr.ndim != 2 or arr.shape[0] != p:
+        raise CompositionError(f"all_gather: expected (p, n) array, got {arr.shape}")
+    return _run(machine, "all_gather", arr.shape[1], arr, config, arr.dtype,
+                return_time)
+
+
+def reduce_scatter(machine: MachineSpec, data, op: ReduceOp = ReduceOp.SUM, *,
+                   config: HicclConfig | None = None, return_time: bool = False):
+    """Reduce all rows, then deal chunk ``j`` to rank ``j``."""
+    arr = _as_matrix(machine, data, machine.world_size, "reduce_scatter")
+    count = arr.shape[1] // machine.world_size
+    return _run(machine, "reduce_scatter", count, arr, config, arr.dtype,
+                return_time, op=op)
+
+
+def all_to_all(machine: MachineSpec, data, *,
+               config: HicclConfig | None = None, return_time: bool = False):
+    """Transpose chunk ownership: rank i's chunk j -> rank j's chunk i."""
+    arr = _as_matrix(machine, data, machine.world_size, "all_to_all")
+    count = arr.shape[1] // machine.world_size
+    return _run(machine, "all_to_all", count, arr, config, arr.dtype,
+                return_time)

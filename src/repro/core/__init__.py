@@ -1,0 +1,50 @@
+"""HiCCL core: primitives, composition, factorization, communicator."""
+
+from .autotune import Candidate, TuneResult, hierarchy_candidates, tune
+from .buffers import BufferHandle, BufferView
+from .communicator import Communicator
+from .composition import COLLECTIVES, FIGURE8_ORDER, compose
+from .factorize import Lowering, lower_program, split_even
+from .ops import ReduceOp, accumulate, reference_reduce
+from .plan import OptimizationPlan
+from .primitives import Fence, Multicast, Program, Reduction
+from .schedule import P2POp, Schedule, ScheduleBuilder
+from .vcollectives import (
+    V_COLLECTIVES,
+    compose_all_gatherv,
+    compose_gatherv,
+    compose_reduce_scatterv,
+    compose_scatterv,
+)
+
+__all__ = [
+    "BufferHandle",
+    "Candidate",
+    "TuneResult",
+    "V_COLLECTIVES",
+    "compose_all_gatherv",
+    "compose_gatherv",
+    "compose_reduce_scatterv",
+    "compose_scatterv",
+    "hierarchy_candidates",
+    "tune",
+    "BufferView",
+    "COLLECTIVES",
+    "Communicator",
+    "FIGURE8_ORDER",
+    "Fence",
+    "Lowering",
+    "Multicast",
+    "OptimizationPlan",
+    "P2POp",
+    "Program",
+    "ReduceOp",
+    "Reduction",
+    "Schedule",
+    "ScheduleBuilder",
+    "accumulate",
+    "compose",
+    "lower_program",
+    "reference_reduce",
+    "split_even",
+]

@@ -1,0 +1,242 @@
+"""Table 2: composing the standard collectives from primitives.
+
+Every collective of Table 1 is expressed here as a composition of multicast,
+reduction, and fence primitives over a :class:`~repro.core.communicator
+.Communicator` — single-step forms and the more efficient multi-step forms:
+
+==================  ==============================================  =========
+Collective          Single-step                                     Multi-step
+==================  ==============================================  =========
+Broadcast           ``M(i, U, dp)``                                 All-gather . Scatter
+Reduce              ``R(U, j, dp, op)``                             Gather . Reduce-scatter
+All-gather          ``sum_i M(i, U, d)``                            Broadcast . Gather
+Reduce-scatter      ``sum_j R(U, j, d, op)``                        Scatter . Reduce
+All-reduce          ``sum_j R(U, j, dp, op)``                       All-gather . Reduce-scatter
+Scatter             ``sum_j R(i, j, d, op)``
+Gather              ``sum_i M(i, j, d)``
+All-to-all          ``sum_i sum_j M(i, j, d)``
+==================  ==============================================  =========
+
+The canonical buffer sizing follows Section 6.2: the largest buffer is
+``p*d`` elements ("buffer sizes of pd bytes"), with ``d`` elements per rank
+pair; ``count`` below is always the *per-chunk* element count ``d`` so the
+total payload of every collective is ``p * count`` elements.
+
+Each ``compose_*`` function registers primitives on a fresh or caller-provided
+communicator and returns the (send, recv) buffer handles, so examples, tests,
+and benchmarks all build collectives through the same public path.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompositionError
+from .communicator import Communicator
+from .ops import ReduceOp
+
+
+def _all_ranks(comm: Communicator) -> list[int]:
+    return list(range(comm.world_size))
+
+
+def _others(comm: Communicator, root: int) -> list[int]:
+    return [r for r in range(comm.world_size) if r != root]
+
+
+# --------------------------------------------------------------------- roots
+def compose_broadcast(comm: Communicator, count: int, root: int = 0):
+    """Broadcast ``p*count`` elements from ``root`` to everyone: ``M(i,U,dp)``."""
+    p = comm.world_size
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    comm.add_multicast(send, recv, p * count, root, _all_ranks(comm))
+    return send, recv
+
+
+def compose_reduce(comm: Communicator, count: int, root: int = 0,
+                   op: ReduceOp = ReduceOp.SUM):
+    """Reduce ``p*count`` elements from everyone into ``root``: ``R(U,j,dp)``."""
+    p = comm.world_size
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    comm.add_reduction(send, recv, p * count, _all_ranks(comm), root, op)
+    return send, recv
+
+
+def compose_scatter(comm: Communicator, count: int, root: int = 0):
+    """Root sends chunk ``j`` to rank ``j``: ``sum_j R(i, j, d)``.
+
+    Composed with unary reductions per Table 2 (a single-leaf reduction is a
+    point-to-point move with the operation omitted).
+    """
+    p = comm.world_size
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(count, "recvbuf")
+    for j in range(p):
+        comm.add_reduction(send[j * count :], recv, count, [root], j, ReduceOp.SUM)
+    return send, recv
+
+
+def compose_gather(comm: Communicator, count: int, root: int = 0):
+    """Rank ``i``'s chunk lands at offset ``i`` on root: ``sum_i M(i, j, d)``."""
+    p = comm.world_size
+    send = comm.alloc(count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    for i in range(p):
+        comm.add_multicast(send, recv[i * count :], count, i, [root])
+    return send, recv
+
+
+def compose_all_gather(comm: Communicator, count: int):
+    """Every rank broadcasts its chunk: ``sum_i M(i, U, d)``."""
+    p = comm.world_size
+    send = comm.alloc(count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    for i in range(p):
+        comm.add_multicast(send, recv[i * count :], count, i, _all_ranks(comm))
+    return send, recv
+
+
+def compose_reduce_scatter(comm: Communicator, count: int,
+                           op: ReduceOp = ReduceOp.SUM):
+    """Chunk ``j`` of everyone reduces to rank ``j``: ``sum_j R(U, j, d)``."""
+    p = comm.world_size
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(count, "recvbuf")
+    for j in range(p):
+        comm.add_reduction(send[j * count :], recv, count, _all_ranks(comm), j, op)
+    return send, recv
+
+
+def compose_all_to_all(comm: Communicator, count: int):
+    """``p^2`` point-to-point moves: ``sum_i sum_j M(i, j, d)``."""
+    p = comm.world_size
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    for i in range(p):
+        for j in range(p):
+            comm.add_multicast(send[j * count :], recv[i * count :], count, i, [j])
+    return send, recv
+
+
+def compose_all_reduce(comm: Communicator, count: int,
+                       op: ReduceOp = ReduceOp.SUM, multi_step: bool = True):
+    """All-reduce of ``p*count`` elements.
+
+    ``multi_step=True`` builds the efficient two-step form of Figure 4 /
+    Listing 2 — a Reduce-scatter, a fence, then an in-place All-gather that
+    reuses the receive buffer.  ``multi_step=False`` builds the single-step
+    Table 2 form (``sum_j R(U, j, dp)``), which moves ``d p^2`` data and
+    exists mainly to demonstrate why the fence matters.
+    """
+    p = comm.world_size
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    every = _all_ranks(comm)
+    if multi_step:
+        # Step 1: Reduce-scatter into chunk j of the recv buffer (Listing 2).
+        for j in range(p):
+            comm.add_reduction(send[j * count :], recv[j * count :], count,
+                               every, j, op)
+        # Step 2: fence, then in-place All-gather of the reduced chunks.
+        comm.add_fence()
+        for i in range(p):
+            comm.add_multicast(recv[i * count :], recv[i * count :], count,
+                               i, _others(comm, i))
+    else:
+        for j in range(p):
+            comm.add_reduction(send, recv, p * count, every, j, op)
+    return send, recv
+
+
+def compose_broadcast_multi_step(comm: Communicator, count: int, root: int = 0):
+    """Broadcast as All-gather . Scatter (Table 2, Multiple)."""
+    p = comm.world_size
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    # Scatter: root deals chunk j of its send buffer to rank j's recv chunk j.
+    for j in range(p):
+        comm.add_reduction(send[j * count :], recv[j * count :], count,
+                           [root], j, ReduceOp.SUM)
+    comm.add_fence()
+    # All-gather: everyone rebroadcasts its chunk in place.
+    for i in range(p):
+        comm.add_multicast(recv[i * count :], recv[i * count :], count,
+                           i, _others(comm, i))
+    return send, recv
+
+
+def compose_reduce_multi_step(comm: Communicator, count: int, root: int = 0,
+                              op: ReduceOp = ReduceOp.SUM):
+    """Reduce as Gather . Reduce-scatter (Table 2, Multiple)."""
+    p = comm.world_size
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    scratch = comm.alloc(count, "partial")
+    every = _all_ranks(comm)
+    # Reduce-scatter: chunk j of everyone reduces onto rank j's partial.
+    for j in range(p):
+        comm.add_reduction(send[j * count :], scratch, count, every, j, op)
+    comm.add_fence()
+    # Gather the reduced chunks onto the root.
+    for i in range(p):
+        comm.add_multicast(scratch, recv[i * count :], count, i, [root])
+    return send, recv
+
+
+def compose_all_gather_multi_step(comm: Communicator, count: int, root: int = 0):
+    """All-gather as Broadcast . Gather (Table 2, Multiple)."""
+    p = comm.world_size
+    send = comm.alloc(count, "sendbuf")
+    recv = comm.alloc(p * count, "recvbuf")
+    for i in range(p):
+        comm.add_multicast(send, recv[i * count :], count, i, [root])
+    comm.add_fence()
+    comm.add_multicast(recv, recv, p * count, root, _others(comm, root))
+    return send, recv
+
+
+def compose_reduce_scatter_multi_step(comm: Communicator, count: int,
+                                      root: int = 0, op: ReduceOp = ReduceOp.SUM):
+    """Reduce-scatter as Scatter . Reduce (Table 2, Multiple)."""
+    p = comm.world_size
+    send = comm.alloc(p * count, "sendbuf")
+    recv = comm.alloc(count, "recvbuf")
+    total = comm.alloc(p * count, "total")
+    comm.add_reduction(send, total, p * count, _all_ranks(comm), root, op)
+    comm.add_fence()
+    for j in range(p):
+        comm.add_reduction(total[j * count :], recv, count, [root], j, op)
+    return send, recv
+
+
+#: name -> (composer, send_elements_factor, recv_elements_factor).  The
+#: factors express buffer sizes in units of ``count`` relative to ``p`` and
+#: are used by the harness for payload accounting (payload = p*count*itemsize
+#: for every collective, per Section 6.2).
+COLLECTIVES = {
+    "broadcast": compose_broadcast,
+    "reduce": compose_reduce,
+    "scatter": compose_scatter,
+    "gather": compose_gather,
+    "all_gather": compose_all_gather,
+    "reduce_scatter": compose_reduce_scatter,
+    "all_reduce": compose_all_reduce,
+    "all_to_all": compose_all_to_all,
+}
+
+#: Presentation order of Figure 8's panels.
+FIGURE8_ORDER = [
+    "broadcast", "reduce", "gather", "scatter",
+    "all_gather", "reduce_scatter", "all_reduce", "all_to_all",
+]
+
+
+def compose(comm: Communicator, name: str, count: int, **kwargs):
+    """Compose a named collective; see :data:`COLLECTIVES`."""
+    try:
+        fn = COLLECTIVES[name]
+    except KeyError:
+        raise CompositionError(
+            f"unknown collective {name!r}; available: {sorted(COLLECTIVES)}"
+        ) from None
+    return fn(comm, count, **kwargs)

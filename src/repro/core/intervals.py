@@ -1,0 +1,244 @@
+"""Interval bookkeeping for fine-grained fence dependencies.
+
+The paper's fence "is not a barrier, but a mechanism to express data
+dependencies between collections of primitives" (Section 3.3).  During
+lowering we must therefore discover, for every point-to-point operation, the
+*exact* earlier operations whose written byte ranges overlap the ranges it
+reads or writes.  This module provides the two data structures used for that
+analysis, both bisect-based over disjoint sorted ranges so queries and
+updates stay O(log n + k):
+
+``IntervalMap``
+    Maps half-open integer intervals ``[start, stop)`` to the id of the last
+    operation that *wrote* that range.  Inserting a new write overwrites any
+    overlapped portion of existing intervals (splitting them as needed), so
+    the map always equals "most recent writer per element".
+
+``IntervalSet``
+    Tracks *reader* op ids per element — used for write-after-read
+    dependencies when a later step reuses a buffer an earlier step read (the
+    in-place All-gather of Figure 4 relies on this).  Internally a disjoint
+    interval map whose payload is a set of tags, since multiple ops may read
+    the same range concurrently.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Half-open interval ``[start, stop)`` tagged with an op id."""
+
+    start: int
+    stop: int
+    tag: int
+
+    def overlaps(self, start: int, stop: int) -> bool:
+        return start < stop and self.start < stop and start < self.stop
+
+
+class IntervalMap:
+    """Most-recent-writer map over half-open integer intervals."""
+
+    __slots__ = ("_starts", "_entries")
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._entries: list[Interval] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def _locate(self, start: int, stop: int) -> tuple[int, int]:
+        """Index range [lo, hi) of entries overlapping ``[start, stop)``."""
+        lo = bisect.bisect_left(self._starts, start)
+        if lo > 0 and self._entries[lo - 1].stop > start:
+            lo -= 1
+        hi = lo
+        n = len(self._entries)
+        while hi < n and self._entries[hi].start < stop:
+            hi += 1
+        return lo, hi
+
+    def overlapping(self, start: int, stop: int) -> list[Interval]:
+        """Return entries overlapping ``[start, stop)`` in position order."""
+        if start >= stop or not self._entries:
+            return []
+        lo, hi = self._locate(start, stop)
+        return [e for e in self._entries[lo:hi] if e.overlaps(start, stop)]
+
+    def tags_overlapping(self, start: int, stop: int) -> list[int]:
+        """Distinct op ids writing any element of ``[start, stop)``."""
+        seen: dict[int, None] = {}
+        for entry in self.overlapping(start, stop):
+            seen.setdefault(entry.tag)
+        return list(seen)
+
+    def write(self, start: int, stop: int, tag: int) -> None:
+        """Record that op ``tag`` wrote ``[start, stop)``.
+
+        Overlapped portions of existing intervals are replaced; partially
+        overlapped intervals are trimmed/split so the map stays disjoint.
+        """
+        if start >= stop:
+            return
+        if not self._entries:
+            self._entries.append(Interval(start, stop, tag))
+            self._starts.append(start)
+            return
+        lo, hi = self._locate(start, stop)
+        overlapped = [e for e in self._entries[lo:hi] if e.overlaps(start, stop)]
+        if not overlapped:
+            pos = bisect.bisect_left(self._starts, start)
+            self._entries.insert(pos, Interval(start, stop, tag))
+            self._starts.insert(pos, start)
+            return
+        first = lo if self._entries[lo].overlaps(start, stop) else lo + 1
+        last = first + len(overlapped)
+        replacement: list[Interval] = []
+        head = overlapped[0]
+        if head.start < start:
+            replacement.append(Interval(head.start, start, head.tag))
+        replacement.append(Interval(start, stop, tag))
+        tail = overlapped[-1]
+        if tail.stop > stop:
+            replacement.append(Interval(stop, tail.stop, tail.tag))
+        self._entries[first:last] = replacement
+        self._starts[first:last] = [e.start for e in replacement]
+
+    def covered(self, start: int, stop: int) -> bool:
+        """Whether every element of ``[start, stop)`` has a recorded writer."""
+        cursor = start
+        for entry in self.overlapping(start, stop):
+            if entry.start > cursor:
+                return False
+            cursor = max(cursor, entry.stop)
+        return cursor >= stop
+
+
+class IntervalSet:
+    """Readers-per-element map: disjoint sorted ranges carrying tag sets."""
+
+    __slots__ = ("_starts", "_stops", "_tags")
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._stops: list[int] = []
+        self._tags: list[frozenset[int]] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __iter__(self):
+        """Iterate as flat ``Interval`` records (one per (range, tag))."""
+        for start, stop, tags in zip(self._starts, self._stops, self._tags):
+            for tag in sorted(tags):
+                yield Interval(start, stop, tag)
+
+    def _locate(self, start: int, stop: int) -> tuple[int, int]:
+        lo = bisect.bisect_left(self._starts, start)
+        if lo > 0 and self._stops[lo - 1] > start:
+            lo -= 1
+        hi = lo
+        n = len(self._starts)
+        while hi < n and self._starts[hi] < stop:
+            hi += 1
+        return lo, hi
+
+    def add(self, start: int, stop: int, tag: int) -> None:
+        """Record that op ``tag`` read ``[start, stop)``."""
+        if start >= stop:
+            return
+        lo, hi = self._locate(start, stop)
+        new_starts: list[int] = []
+        new_stops: list[int] = []
+        new_tags: list[frozenset[int]] = []
+        cursor = start
+        single = frozenset((tag,))
+        for i in range(lo, hi):
+            s, e, tags = self._starts[i], self._stops[i], self._tags[i]
+            if e <= start or s >= stop:
+                # Entry inside the located window but not actually overlapping.
+                new_starts.append(s)
+                new_stops.append(e)
+                new_tags.append(tags)
+                continue
+            if s < start:  # head piece outside the new range
+                new_starts.append(s)
+                new_stops.append(start)
+                new_tags.append(tags)
+                s = start
+            if cursor < s:  # gap before this entry gets the new tag alone
+                new_starts.append(cursor)
+                new_stops.append(s)
+                new_tags.append(single)
+            mid_stop = min(e, stop)
+            new_starts.append(s)
+            new_stops.append(mid_stop)
+            new_tags.append(tags | single)
+            cursor = mid_stop
+            if e > stop:  # tail piece outside the new range
+                new_starts.append(stop)
+                new_stops.append(e)
+                new_tags.append(tags)
+        if cursor < stop:
+            new_starts.append(cursor)
+            new_stops.append(stop)
+            new_tags.append(single)
+        self._starts[lo:hi] = new_starts
+        self._stops[lo:hi] = new_stops
+        self._tags[lo:hi] = new_tags
+
+    def tags_overlapping(self, start: int, stop: int) -> list[int]:
+        if start >= stop or not self._starts:
+            return []
+        lo, hi = self._locate(start, stop)
+        seen: dict[int, None] = {}
+        for i in range(lo, hi):
+            if self._starts[i] < stop and start < self._stops[i]:
+                for tag in self._tags[i]:
+                    seen.setdefault(tag)
+        return list(seen)
+
+    def remove_range(self, start: int, stop: int) -> None:
+        """Forget readers of ``[start, stop)``, trimming partial overlaps.
+
+        Called when an op overwrites a range: later writers only need a
+        write-after-write dependency on that op, which transitively orders
+        them after the pruned readers.
+        """
+        if start >= stop or not self._starts:
+            return
+        lo, hi = self._locate(start, stop)
+        new_starts: list[int] = []
+        new_stops: list[int] = []
+        new_tags: list[frozenset[int]] = []
+        for i in range(lo, hi):
+            s, e, tags = self._starts[i], self._stops[i], self._tags[i]
+            if e <= start or s >= stop:
+                new_starts.append(s)
+                new_stops.append(e)
+                new_tags.append(tags)
+                continue
+            if s < start:
+                new_starts.append(s)
+                new_stops.append(start)
+                new_tags.append(tags)
+            if e > stop:
+                new_starts.append(stop)
+                new_stops.append(e)
+                new_tags.append(tags)
+        self._starts[lo:hi] = new_starts
+        self._stops[lo:hi] = new_stops
+        self._tags[lo:hi] = new_tags
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._stops.clear()
+        self._tags.clear()

@@ -1,0 +1,188 @@
+"""Latency-oriented collective compositions (the paper's Section 6.5).
+
+"In principle, latency-oriented collective design can be achieved with
+HiCCL's API, however, it is not in the scope of this work."  This module is
+that design, built strictly from the public primitives:
+
+* :func:`compose_broadcast_binomial` — log2(p) rounds of pairwise
+  multicasts separated by fences: O(log p) latency instead of the
+  throughput trees' deep pipelines;
+* :func:`compose_reduce_binomial` — the mirrored folding reduction;
+* :func:`compose_all_reduce_recursive_doubling` — the classic
+  latency-optimal all-reduce: in round k, ranks exchange partials with
+  their ``rank XOR 2^k`` partner and both fold, finishing in log2(p)
+  rounds with no gather/broadcast phase (power-of-two rank counts);
+* :func:`adaptive_all_reduce` — a size dispatcher: recursive doubling
+  under a latency/bandwidth crossover threshold, the two-step
+  reduce-scatter/all-gather composition above it.
+
+All of these lower through the same factorization machinery; for latency
+work the natural plan is the flat hierarchy ``{p}`` with pipeline depth 1
+(deep hierarchies and pipelines only add per-hop latency — Figure 9's
+small-message droop).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import CompositionError
+from ..machine.spec import MachineSpec
+from ..transport.library import DIRECT_LIBRARY, Library
+from .communicator import Communicator
+from .ops import ReduceOp
+
+
+def _rounds(p: int) -> int:
+    rounds = 0
+    while (1 << rounds) < p:
+        rounds += 1
+    return rounds
+
+
+def compose_broadcast_binomial(comm: Communicator, count: int,
+                               root: int = 0):
+    """Binomial-tree broadcast: holders double every round.
+
+    Round k: each holder ``h`` (virtual rank < 2^k) forwards to virtual rank
+    ``h + 2^k``.  Works for any ``p``; ranks are rotated so ``root`` is
+    virtual rank 0.
+    """
+    p = comm.world_size
+    send = comm.alloc(count, "sendbuf")
+    recv = comm.alloc(count, "recvbuf")
+    comm.add_multicast(send, recv, count, root, [root])
+    comm.add_fence()
+    for k in range(_rounds(p)):
+        stride = 1 << k
+        added = False
+        for vh in range(stride):
+            vt = vh + stride
+            if vt >= p:
+                continue
+            holder = (vh + root) % p
+            target = (vt + root) % p
+            comm.add_multicast(recv, recv, count, holder, [target])
+            added = True
+        if added:
+            comm.add_fence()
+    return send, recv
+
+
+def compose_reduce_binomial(comm: Communicator, count: int, root: int = 0,
+                            op: ReduceOp = ReduceOp.SUM):
+    """Binomial folding reduction: active ranks halve every round."""
+    p = comm.world_size
+    send = comm.alloc(count, "sendbuf")
+    recv = comm.alloc(count, "recvbuf")
+    for r in range(p):
+        comm.add_multicast(send, recv, count, r, [r])
+    comm.add_fence()
+    for k in range(_rounds(p)):
+        stride = 1 << k
+        added = False
+        for vr in range(0, p, 2 * stride):
+            vsrc = vr + stride
+            if vsrc >= p:
+                continue
+            a = (vsrc + root) % p
+            b = (vr + root) % p
+            comm.add_reduction(recv, recv, count, [a, b], b, op)
+            added = True
+        if added:
+            comm.add_fence()
+    return send, recv
+
+
+def compose_all_reduce_recursive_doubling(comm: Communicator, count: int,
+                                          op: ReduceOp = ReduceOp.SUM):
+    """Recursive doubling: log2(p) exchange-and-fold rounds.
+
+    Requires a power-of-two rank count (the classic algorithm's
+    restriction); each round uses a fresh ping-pong buffer so the two
+    directions of an exchange never race.
+    """
+    p = comm.world_size
+    if p & (p - 1):
+        raise CompositionError(
+            f"recursive doubling needs a power-of-two rank count, got {p}"
+        )
+    send = comm.alloc(count, "sendbuf")
+    rounds = _rounds(p)
+    # Ping-pong accumulators: bufs[0] holds the round-0 input.
+    bufs = [comm.alloc(count, f"acc{k}") for k in range(rounds + 1)]
+    for r in range(p):
+        comm.add_multicast(send, bufs[0], count, r, [r])
+    comm.add_fence()
+    for k in range(rounds):
+        stride = 1 << k
+        cur, nxt = bufs[k], bufs[k + 1]
+        for r in range(p):
+            partner = r ^ stride
+            # Both partners fold the pair's partials into their own copy.
+            comm.add_reduction(cur, nxt, count, [r, partner], r, op)
+        comm.add_fence()
+    return send, bufs[rounds]
+
+
+def latency_plan(machine: MachineSpec) -> dict:
+    """The natural plan for latency work: flat, unstriped, unpipelined."""
+    library = DIRECT_LIBRARY.get(machine.name, Library.MPI)
+    return {
+        "hierarchy": [machine.world_size],
+        "library": [library],
+        "stripe": 1,
+        "ring": 1,
+        "pipeline": 1,
+    }
+
+
+def crossover_bytes(machine: MachineSpec, alpha: float = 20e-6) -> int:
+    """Payload below which log-round latency algorithms beat bandwidth ones.
+
+    Crude alpha-beta crossover: recursive doubling costs ``log2(p) * alpha``
+    plus one payload transit; the two-step form costs ~2 transits of
+    ``d (p-1)/p`` through the node NICs plus pipeline warm-up.  Equating the
+    latency and bandwidth terms gives the break-even message size.
+    """
+    p = machine.world_size
+    if p < 2:
+        return 0
+    kf = machine.node_bandwidth * 1e9
+    log_rounds = max(1, math.ceil(math.log2(p)))
+    # Extra latency the bandwidth-optimal path pays (stages x alpha) vs the
+    # bandwidth it saves (moves d/p chunks instead of d per hop).
+    extra_alpha = (2 * p / machine.gpus_per_node) * alpha
+    saved_per_byte = (log_rounds - 2 * (p - 1) / p) / kf
+    if saved_per_byte <= 0:
+        return 0
+    return int(extra_alpha / saved_per_byte)
+
+
+def adaptive_all_reduce(machine: MachineSpec, count: int, elem_bytes: int = 4,
+                        threshold_bytes: int | None = None):
+    """Pick the latency or throughput all-reduce composition by size.
+
+    Returns ``(communicator, send, recv, kind)`` ready to run; ``kind`` is
+    ``"latency"`` or ``"throughput"``.  This is the dispatcher real
+    libraries (and the paper's future work) put in front of their algorithm
+    menu.
+    """
+    from ..bench.configs import best_config
+    from .composition import compose_all_reduce
+
+    if threshold_bytes is None:
+        threshold_bytes = crossover_bytes(machine)
+    payload = count * machine.world_size * elem_bytes
+    comm = Communicator(machine)
+    p = comm.world_size
+    if payload < threshold_bytes and p >= 2 and not (p & (p - 1)):
+        # Latency regime: recursive doubling on count*p elements per rank
+        # would change semantics; here `count` is the per-chunk size, so the
+        # latency path reduces the full p*count vector per rank directly.
+        send, recv = compose_all_reduce_recursive_doubling(comm, p * count)
+        comm.init(**latency_plan(machine))
+        return comm, send, recv, "latency"
+    send, recv = compose_all_reduce(comm, count)
+    comm.init(**best_config(machine, "all_reduce").init_kwargs())
+    return comm, send, recv, "throughput"

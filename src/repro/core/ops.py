@@ -1,0 +1,83 @@
+"""Reduction operators for the reduction primitive.
+
+The paper's reduction primitive ``R(i, j, d, op)`` carries an elementwise
+computation ``op`` such as sum, max, or logical-or (Section 3.1).  This module
+defines the supported operators together with their numpy realizations so the
+functional executor can apply them to real buffers.
+
+All operators are associative and commutative, which is what permits HiCCL to
+re-associate reductions freely across the hierarchy (tree and ring
+factorizations apply the operator in different orders on different machines).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+import numpy as np
+
+
+class ReduceOp(enum.Enum):
+    """Elementwise reduction operators (mirrors ``HiCCL::op``)."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MAX = "max"
+    MIN = "min"
+    LAND = "land"  # logical and
+    LOR = "lor"  # logical or
+    BAND = "band"  # bitwise and
+    BOR = "bor"  # bitwise or
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReduceOp.{self.name}"
+
+
+# numpy ufunc used to accumulate ``acc = op(acc, incoming)`` in place.
+_ACCUMULATORS: dict[ReduceOp, Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]] = {
+    ReduceOp.SUM: np.add,
+    ReduceOp.PROD: np.multiply,
+    ReduceOp.MAX: np.maximum,
+    ReduceOp.MIN: np.minimum,
+    ReduceOp.LAND: np.logical_and,
+    ReduceOp.LOR: np.logical_or,
+    ReduceOp.BAND: np.bitwise_and,
+    ReduceOp.BOR: np.bitwise_or,
+}
+
+# Operators that only make sense for integer/bool dtypes.
+_INTEGER_ONLY = frozenset({ReduceOp.BAND, ReduceOp.BOR})
+
+
+def accumulate(op: ReduceOp, acc: np.ndarray, incoming: np.ndarray) -> None:
+    """Apply ``acc = op(acc, incoming)`` in place.
+
+    ``acc`` and ``incoming`` must have the same shape and dtype.  Logical
+    operators coerce through booleans and cast back to the accumulator dtype
+    so integer buffers behave like MPI's ``MPI_LAND``/``MPI_LOR``.
+    """
+    ufunc = _ACCUMULATORS[op]
+    if op in (ReduceOp.LAND, ReduceOp.LOR):
+        # numpy logical ufuncs return bools; cast back into the buffer dtype.
+        acc[...] = ufunc(acc.astype(bool), incoming.astype(bool)).astype(acc.dtype)
+    else:
+        ufunc(acc, incoming, out=acc)
+
+
+def supports_dtype(op: ReduceOp, dtype: np.dtype) -> bool:
+    """Whether ``op`` is defined for buffers of ``dtype``."""
+    kind = np.dtype(dtype).kind
+    if op in _INTEGER_ONLY:
+        return kind in "iub"
+    return kind in "iubf"
+
+
+def reference_reduce(op: ReduceOp, arrays: list[np.ndarray]) -> np.ndarray:
+    """Reference (non-distributed) reduction used by the test suite."""
+    if not arrays:
+        raise ValueError("reference_reduce needs at least one array")
+    out = arrays[0].copy()
+    for arr in arrays[1:]:
+        accumulate(op, out, arr)
+    return out

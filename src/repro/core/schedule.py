@@ -1,0 +1,340 @@
+"""Lowered IR: a dependency graph of point-to-point operations.
+
+Factorization lowers every registered primitive down to :class:`P2POp`
+records — "a dependency graph composed of multiple point-to-point
+communication stages" (Section 4.4).  Two interpreters consume the same
+graph: the functional executor (moves real numpy data, proving correctness)
+and the discrete-event engine (prices the graph on a machine model).
+
+The :class:`ScheduleBuilder` is where the paper's fence semantics live.  A
+fence "is not a barrier, but a mechanism to express data dependencies"
+(Section 3.3): when an op of step *k+1* is added, the builder consults
+per-(rank, buffer) interval maps of committed writes/reads and adds
+dependencies only on the ops whose byte ranges actually conflict
+(read-after-write, write-after-write, write-after-read).  ``M0`` therefore
+depends on ``R0`` but not on ``R1`` — exactly Figure 4 — and pipelined
+channels, which touch disjoint ranges, share no cross-channel edges at all.
+
+Within a step, primitives execute concurrently; if lowering detects two ops
+writing overlapping bytes with no ordering between them it raises
+:class:`~repro.errors.RaceConditionError` (the paper declares such
+compositions undefined; we refuse to build them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RaceConditionError, ScheduleError
+from .intervals import IntervalMap, IntervalSet
+from .ops import ReduceOp
+
+#: Location of data on a specific rank: (rank, buffer name, element offset).
+Loc = tuple[int, str, int]
+
+
+@dataclass(frozen=True)
+class P2POp:
+    """One point-to-point transfer (optionally reducing at the destination).
+
+    ``level`` indexes the *virtual* hierarchy level whose boundary the
+    transfer crosses (selecting the per-level library); ``None`` marks local
+    copies, which use the GPU's copy engine.  ``channel`` and ``stage`` are
+    bookkeeping for pipeline reporting (Figures 6-7).
+    """
+
+    uid: int
+    src: int
+    dst: int
+    src_buf: str
+    src_off: int
+    dst_buf: str
+    dst_off: int
+    count: int
+    reduce_op: ReduceOp | None
+    level: int | None
+    channel: int
+    stage: int
+    deps: tuple[int, ...]
+    tag: str = ""
+
+    @property
+    def is_local(self) -> bool:
+        return self.src == self.dst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        arrow = f"{self.src}->{self.dst}"
+        red = f" {self.reduce_op.name}" if self.reduce_op else ""
+        return (
+            f"P2POp#{self.uid}[{arrow} {self.src_buf}+{self.src_off} -> "
+            f"{self.dst_buf}+{self.dst_off} x{self.count}{red} "
+            f"lvl={self.level} ch={self.channel} st={self.stage} deps={list(self.deps)}]"
+        )
+
+
+@dataclass
+class Schedule:
+    """An immutable lowered program: ops in uid order plus scratch sizes."""
+
+    world_size: int
+    ops: list[P2POp]
+    scratch: dict[str, dict[int, int]]  # buffer name -> {rank: element count}
+    num_channels: int = 1
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def validate(self) -> None:
+        """Structural checks: uid ordering and acyclic (deps point backward)."""
+        for idx, op in enumerate(self.ops):
+            if op.uid != idx:
+                raise ScheduleError(f"op uid {op.uid} at position {idx}")
+            for dep in op.deps:
+                if not 0 <= dep < op.uid:
+                    raise ScheduleError(f"op {op.uid} depends on non-prior op {dep}")
+            if op.count <= 0:
+                raise ScheduleError(f"op {op.uid} has non-positive count")
+
+    # ----------------------------------------------------------------- stats
+    def total_elements(self) -> int:
+        return sum(op.count for op in self.ops)
+
+    def volume_by_kind(self, machine) -> dict[str, int]:
+        """Elements moved per physical path kind (Figure 1's d vs 3d)."""
+        out = {"inter-node": 0, "intra-node": 0, "local": 0}
+        for op in self.ops:
+            if op.is_local:
+                out["local"] += op.count
+            elif machine.same_node(op.src, op.dst):
+                out["intra-node"] += op.count
+            else:
+                out["inter-node"] += op.count
+        return out
+
+    def stage_count(self) -> int:
+        """Number of distinct stages in channel 0 (Figure 6's circled counts)."""
+        stages = {op.stage for op in self.ops if op.channel == 0}
+        return len(stages)
+
+    def comm_matrix(self, level_of=None) -> list[list[int]]:
+        """p x p element-volume matrix (Figure 7 bottom).
+
+        With ``level_of`` (a callable ``op -> label``) the matrix instead
+        carries the label of the last op per pair, for library-coloring.
+        """
+        mat = [[0] * self.world_size for _ in range(self.world_size)]
+        for op in self.ops:
+            if op.is_local:
+                continue
+            mat[op.src][op.dst] += op.count
+        return mat
+
+    def library_matrix(self, libraries) -> list[list[str]]:
+        """p x p matrix of library names serving each communicating pair."""
+        mat = [["" for _ in range(self.world_size)] for _ in range(self.world_size)]
+        for op in self.ops:
+            if op.is_local or op.level is None:
+                continue
+            mat[op.src][op.dst] = libraries[op.level].name
+        return mat
+
+    def max_scratch_elements(self) -> int:
+        """Peak scratch footprint on any single rank (memory accounting)."""
+        per_rank: dict[int, int] = {}
+        for sizes in self.scratch.values():
+            for rank, count in sizes.items():
+                per_rank[rank] = per_rank.get(rank, 0) + count
+        return max(per_rank.values(), default=0)
+
+
+class ScheduleBuilder:
+    """Accumulates :class:`P2POp` records with implicit fence dependencies.
+
+    Usage: call :meth:`copy`/:meth:`send` to emit ops (wiring any *explicit*
+    intra-expansion dependencies via ``deps``); call :meth:`end_step` at every
+    fence boundary; finish with :meth:`build`.
+    """
+
+    def __init__(self, world_size: int) -> None:
+        self.world_size = world_size
+        self._ops: list[P2POp] = []
+        self._scratch: dict[str, dict[int, int]] = {}
+        self._scratch_counter = 0
+        self._num_channels = 1
+        # Committed (pre-fence) state: most-recent writers and live readers.
+        self._writers: dict[tuple[int, str], IntervalMap] = {}
+        self._readers: dict[tuple[int, str], IntervalSet] = {}
+        # Current-step state for the race check.
+        self._step_writers: dict[tuple[int, str], IntervalMap] = {}
+        self._step_readers: dict[tuple[int, str], IntervalSet] = {}
+        self._step_start = 0
+
+    # --------------------------------------------------------------- scratch
+    def alloc_scratch(self, rank: int, count: int, hint: str = "s") -> tuple[str, int]:
+        """Reserve ``count`` scratch elements on ``rank``; returns a loc.
+
+        Each allocation gets a fresh buffer name, so scratch regions never
+        alias and need no liveness analysis.  The functional executor
+        materializes them lazily; :meth:`Schedule.max_scratch_elements`
+        reports the footprint.
+        """
+        name = f"_{hint}{self._scratch_counter}"
+        self._scratch_counter += 1
+        self._scratch.setdefault(name, {})[rank] = count
+        return (name, 0)
+
+    def set_num_channels(self, m: int) -> None:
+        self._num_channels = max(1, m)
+
+    # ------------------------------------------------------------------ emit
+    def copy(
+        self,
+        rank: int,
+        src_loc: tuple[str, int],
+        dst_loc: tuple[str, int],
+        count: int,
+        *,
+        channel: int = 0,
+        stage: int = 0,
+        deps: tuple[int, ...] = (),
+        reduce_op: ReduceOp | None = None,
+        tag: str = "",
+    ) -> int:
+        """Local copy (or local accumulate) on ``rank``; returns the uid."""
+        return self._emit(
+            rank, rank, src_loc, dst_loc, count,
+            reduce_op=reduce_op, level=None, channel=channel,
+            stage=stage, deps=deps, tag=tag,
+        )
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        src_loc: tuple[str, int],
+        dst_loc: tuple[str, int],
+        count: int,
+        *,
+        level: int,
+        channel: int = 0,
+        stage: int = 0,
+        deps: tuple[int, ...] = (),
+        reduce_op: ReduceOp | None = None,
+        tag: str = "",
+    ) -> int:
+        """Remote transfer ``src -> dst``; returns the uid."""
+        if src == dst:
+            raise ScheduleError("send requires distinct ranks; use copy()")
+        return self._emit(
+            src, dst, src_loc, dst_loc, count,
+            reduce_op=reduce_op, level=level, channel=channel,
+            stage=stage, deps=deps, tag=tag,
+        )
+
+    def _emit(self, src, dst, src_loc, dst_loc, count, *, reduce_op, level,
+              channel, stage, deps, tag) -> int:
+        if count <= 0:
+            raise ScheduleError("op element count must be positive")
+        uid = len(self._ops)
+        src_buf, src_off = src_loc
+        dst_buf, dst_off = dst_loc
+        reads = [(src, src_buf, src_off, count)]
+        if reduce_op is not None:
+            reads.append((dst, dst_buf, dst_off, count))
+        writes = [(dst, dst_buf, dst_off, count)]
+
+        all_deps = set(deps)
+        # Cross-fence dependencies from committed interval state.
+        for rank, buf, off, cnt in reads:
+            writers = self._writers.get((rank, buf))
+            if writers is not None:
+                all_deps.update(writers.tags_overlapping(off, off + cnt))
+        for rank, buf, off, cnt in writes:
+            writers = self._writers.get((rank, buf))
+            if writers is not None:
+                all_deps.update(writers.tags_overlapping(off, off + cnt))
+            readers = self._readers.get((rank, buf))
+            if readers is not None:
+                all_deps.update(readers.tags_overlapping(off, off + cnt))
+
+        # Intra-step race detection: the most recent same-step writer of any
+        # byte we touch must be among our direct dependencies; a concurrent
+        # read we would clobber must be ordered too.
+        for rank, buf, off, cnt in reads + writes:
+            step_writers = self._step_writers.get((rank, buf))
+            if step_writers is None:
+                continue
+            for tag_uid in step_writers.tags_overlapping(off, off + cnt):
+                if tag_uid not in all_deps:
+                    raise RaceConditionError(
+                        f"op #{uid} ({tag or 'p2p'}) touches "
+                        f"{buf}[{off}:{off + cnt}] on rank {rank} concurrently "
+                        f"written by op #{tag_uid} in the same step; the result "
+                        "would be undefined (Section 3.2)"
+                    )
+        for rank, buf, off, cnt in writes:
+            step_readers = self._step_readers.get((rank, buf))
+            if step_readers is None:
+                continue
+            for tag_uid in step_readers.tags_overlapping(off, off + cnt):
+                if tag_uid != uid and tag_uid not in all_deps:
+                    raise RaceConditionError(
+                        f"op #{uid} ({tag or 'p2p'}) overwrites "
+                        f"{buf}[{off}:{off + cnt}] on rank {rank} while op "
+                        f"#{tag_uid} reads it concurrently in the same step"
+                    )
+
+        # Record current-step footprint.
+        for rank, buf, off, cnt in writes:
+            self._step_writers.setdefault((rank, buf), IntervalMap()).write(off, off + cnt, uid)
+            step_readers = self._step_readers.get((rank, buf))
+            if step_readers is not None:
+                step_readers.remove_range(off, off + cnt)
+        for rank, buf, off, cnt in reads:
+            self._step_readers.setdefault((rank, buf), IntervalSet()).add(off, off + cnt, uid)
+
+        op = P2POp(
+            uid=uid, src=src, dst=dst,
+            src_buf=src_buf, src_off=src_off,
+            dst_buf=dst_buf, dst_off=dst_off,
+            count=count, reduce_op=reduce_op, level=level,
+            channel=channel, stage=stage,
+            deps=tuple(sorted(all_deps)), tag=tag,
+        )
+        self._ops.append(op)
+        return uid
+
+    # ----------------------------------------------------------------- steps
+    def end_step(self) -> None:
+        """Commit the current step at a fence boundary.
+
+        Later ops gain fine-grained dependencies on the committed writes and
+        reads; intra-step race state is reset.
+        """
+        for op in self._ops[self._step_start:]:
+            reads = [(op.src, op.src_buf, op.src_off, op.count)]
+            if op.reduce_op is not None:
+                reads.append((op.dst, op.dst_buf, op.dst_off, op.count))
+            key = (op.dst, op.dst_buf)
+            readers = self._readers.get(key)
+            if readers is not None:
+                readers.remove_range(op.dst_off, op.dst_off + op.count)
+            self._writers.setdefault(key, IntervalMap()).write(
+                op.dst_off, op.dst_off + op.count, op.uid
+            )
+            for rank, buf, off, cnt in reads:
+                self._readers.setdefault((rank, buf), IntervalSet()).add(off, off + cnt, op.uid)
+        self._step_writers.clear()
+        self._step_readers.clear()
+        self._step_start = len(self._ops)
+
+    def build(self) -> Schedule:
+        self.end_step()
+        sched = Schedule(
+            world_size=self.world_size,
+            ops=list(self._ops),
+            scratch={k: dict(v) for k, v in self._scratch.items()},
+            num_channels=self._num_channels,
+        )
+        sched.validate()
+        return sched

@@ -1,0 +1,109 @@
+"""Variable-count collectives (the MPI "v" family).
+
+The paper notes MPI's API "offers additional functions not shown" in
+Table 1 — the vector variants (Scatterv, Gatherv, Allgatherv) whose chunk
+sizes differ per rank, and which OneCCL exposes as ``allgatherv``.  HiCCL's
+compositional primitives express them directly: a v-collective is just the
+same sum of primitives with per-rank counts and offsets, and every
+hierarchical optimization applies unchanged because factorization never
+assumed uniform payloads.
+
+Counts are supplied as a sequence of per-rank element counts; offsets are
+the running sums (MPI's displacement convention with dense packing).
+"""
+
+from __future__ import annotations
+
+from ..errors import CompositionError
+from .communicator import Communicator
+from .ops import ReduceOp
+
+
+def _validate_counts(counts, p: int) -> list[int]:
+    counts = [int(c) for c in counts]
+    if len(counts) != p:
+        raise CompositionError(
+            f"need one count per rank ({p}), got {len(counts)}"
+        )
+    if any(c < 0 for c in counts):
+        raise CompositionError("per-rank counts must be non-negative")
+    if sum(counts) == 0:
+        raise CompositionError("at least one rank must contribute elements")
+    return counts
+
+
+def offsets_of(counts) -> list[int]:
+    """Dense displacements: offset[i] = sum(counts[:i])."""
+    out = [0]
+    for c in counts[:-1]:
+        out.append(out[-1] + c)
+    return out
+
+
+def compose_scatterv(comm: Communicator, counts, root: int = 0):
+    """Root deals chunk ``j`` (of ``counts[j]`` elements) to rank ``j``."""
+    p = comm.world_size
+    counts = _validate_counts(counts, p)
+    offs = offsets_of(counts)
+    total = sum(counts)
+    send = comm.alloc(total, "sendbuf")
+    recv = comm.alloc(max(counts), "recvbuf")
+    for j in range(p):
+        if counts[j] == 0:
+            continue
+        comm.add_reduction(send[offs[j]:], recv, counts[j], [root], j,
+                           ReduceOp.SUM)
+    return send, recv
+
+
+def compose_gatherv(comm: Communicator, counts, root: int = 0):
+    """Rank ``i``'s ``counts[i]`` elements land at displacement ``i`` on root."""
+    p = comm.world_size
+    counts = _validate_counts(counts, p)
+    offs = offsets_of(counts)
+    send = comm.alloc(max(counts), "sendbuf")
+    recv = comm.alloc(sum(counts), "recvbuf")
+    for i in range(p):
+        if counts[i] == 0:
+            continue
+        comm.add_multicast(send, recv[offs[i]:], counts[i], i, [root])
+    return send, recv
+
+
+def compose_all_gatherv(comm: Communicator, counts):
+    """OneCCL's ``allgatherv``: every rank broadcasts its variable chunk."""
+    p = comm.world_size
+    counts = _validate_counts(counts, p)
+    offs = offsets_of(counts)
+    send = comm.alloc(max(counts), "sendbuf")
+    recv = comm.alloc(sum(counts), "recvbuf")
+    for i in range(p):
+        if counts[i] == 0:
+            continue
+        comm.add_multicast(send, recv[offs[i]:], counts[i], i,
+                           list(range(p)))
+    return send, recv
+
+
+def compose_reduce_scatterv(comm: Communicator, counts,
+                            op: ReduceOp = ReduceOp.SUM):
+    """Reduce-scatter with per-rank result sizes (MPI_Reduce_scatter)."""
+    p = comm.world_size
+    counts = _validate_counts(counts, p)
+    offs = offsets_of(counts)
+    send = comm.alloc(sum(counts), "sendbuf")
+    recv = comm.alloc(max(counts), "recvbuf")
+    every = list(range(p))
+    for j in range(p):
+        if counts[j] == 0:
+            continue
+        comm.add_reduction(send[offs[j]:], recv, counts[j], every, j, op)
+    return send, recv
+
+
+V_COLLECTIVES = {
+    "scatterv": compose_scatterv,
+    "gatherv": compose_gatherv,
+    "all_gatherv": compose_all_gatherv,
+    "reduce_scatterv": compose_reduce_scatterv,
+}

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the HiCCL reproduction.
+
+Every error raised by the library derives from :class:`HicclError` so callers
+can catch library failures with a single ``except`` clause.  The concrete
+subclasses mirror the phases of the library: composition (registering
+primitives), initialization (factorization / optimization synthesis), and
+execution (running the lowered schedule).
+"""
+
+from __future__ import annotations
+
+
+class HicclError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CompositionError(HicclError):
+    """Invalid primitive registration (bad ranks, counts, or buffer views)."""
+
+
+class RaceConditionError(CompositionError):
+    """Two primitives in the same step write overlapping buffer regions.
+
+    The paper (Section 3.2) declares the result of such compositions
+    *undefined*; this reproduction detects the overlap during synthesis and
+    refuses to build the schedule rather than silently producing
+    nondeterministic results.
+    """
+
+
+class InitializationError(HicclError):
+    """Invalid optimization parameters passed to ``Communicator.init``."""
+
+
+class HierarchyError(InitializationError):
+    """Hierarchy factor vector does not describe the participating ranks."""
+
+
+class LibraryAssignmentError(InitializationError):
+    """A per-level library assignment is unusable on the target machine.
+
+    For example, assigning the IPC backend to a hierarchy level whose groups
+    span physical node boundaries: IPC put/get only works through shared
+    memory within a node (Section 5.1).
+    """
+
+
+class ExecutionError(HicclError):
+    """Schedule execution failed (engine or functional executor)."""
+
+
+class ScheduleError(HicclError):
+    """The lowered dependency graph is malformed (cycle, dangling dep)."""

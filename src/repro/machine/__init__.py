@@ -1,0 +1,33 @@
+"""Machine substrate: physical system models, NIC bindings, hierarchy math."""
+
+from .machines import PAPER_SYSTEMS, aurora, by_name, delta, frontier, generic, perlmutter
+from .nic import Binding, binding_table, nic_loads, nic_of, utilization
+from .rankmap import RankMap, misplacement_penalty, permute_endpoints
+from .spec import INTER_NODE, INTRA_NODE, SAME_GPU, LevelSpec, MachineSpec, PathInfo
+from .topology import TreeTopology, validate_hierarchy
+
+__all__ = [
+    "Binding",
+    "INTER_NODE",
+    "INTRA_NODE",
+    "SAME_GPU",
+    "LevelSpec",
+    "MachineSpec",
+    "PathInfo",
+    "PAPER_SYSTEMS",
+    "RankMap",
+    "TreeTopology",
+    "aurora",
+    "binding_table",
+    "by_name",
+    "delta",
+    "frontier",
+    "generic",
+    "nic_loads",
+    "misplacement_penalty",
+    "nic_of",
+    "permute_endpoints",
+    "perlmutter",
+    "utilization",
+    "validate_hierarchy",
+]

@@ -1,0 +1,93 @@
+"""GPU-to-NIC binding policies (paper Figure 2).
+
+Multi-GPU nodes carry multiple NICs, and on all of the paper's test systems
+each GPU's inter-node traffic is statically routed through a single NIC
+(Section 2.3).  The association between the ``g`` GPUs and ``k`` NICs of a
+node follows one of three policies:
+
+* **packed** — contiguous blocks of GPUs share a NIC (Figure 2a);
+* **round-robin** — ``gpu % k`` (Figure 2b), used when ``g`` is not a
+  multiple of ``k`` and the source of Aurora's 75% utilization ceiling
+  (Section 6.3.5);
+* **bijective** — one GPU per NIC, requires ``g == k`` (Figure 2c).
+
+``AUTO`` picks packed when ``k`` divides ``g``, bijective when ``g == k``
+(which packed also covers), and round-robin otherwise — matching how the test
+systems are wired.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+
+from ..errors import HierarchyError
+
+
+class Binding(enum.Enum):
+    """GPU-to-NIC association policy."""
+
+    PACKED = "packed"
+    ROUND_ROBIN = "round-robin"
+    BIJECTIVE = "bijective"
+    AUTO = "auto"
+
+
+def resolve(policy: Binding, g: int, k: int) -> Binding:
+    """Resolve ``AUTO`` to a concrete policy for ``g`` GPUs and ``k`` NICs."""
+    if policy is not Binding.AUTO:
+        _validate(policy, g, k)
+        return policy
+    if g == k:
+        return Binding.BIJECTIVE
+    if g % k == 0:
+        return Binding.PACKED
+    return Binding.ROUND_ROBIN
+
+
+def _validate(policy: Binding, g: int, k: int) -> None:
+    if g < 1 or k < 1:
+        raise HierarchyError("need at least one GPU and one NIC per node")
+    if k > g:
+        raise HierarchyError(f"more NICs ({k}) than GPUs ({g}) is not modeled")
+    if policy is Binding.BIJECTIVE and g != k:
+        raise HierarchyError(f"bijective binding requires g == k, got g={g} k={k}")
+
+
+def nic_of(local_gpu: int, g: int, k: int, policy: Binding = Binding.AUTO) -> int:
+    """NIC index serving GPU ``local_gpu`` (0-based within the node)."""
+    if not 0 <= local_gpu < g:
+        raise HierarchyError(f"local GPU index {local_gpu} out of range for g={g}")
+    concrete = resolve(policy, g, k)
+    if concrete is Binding.PACKED:
+        return local_gpu * k // g
+    if concrete is Binding.ROUND_ROBIN:
+        return local_gpu % k
+    return local_gpu  # bijective
+
+
+def nic_loads(g: int, k: int, policy: Binding = Binding.AUTO) -> list[int]:
+    """Number of GPUs bound to each NIC under ``policy``."""
+    counts = Counter(nic_of(i, g, k, policy) for i in range(g))
+    return [counts.get(n, 0) for n in range(k)]
+
+
+def utilization(g: int, k: int, policy: Binding = Binding.AUTO) -> float:
+    """Achievable fraction of aggregate NIC bandwidth under equal GPU load.
+
+    When every GPU injects the same volume, the finish time is set by the
+    most-loaded NIC, so the achievable aggregate bandwidth is
+    ``(g / k) / max(loads)`` of the rated ``k * f``.  Round-robin with
+    ``g = 12, k = 8`` yields loads ``[2,2,2,2,1,1,1,1]`` and therefore
+    ``(12/8)/2 = 0.75`` — the paper's Aurora ceiling.
+    """
+    loads = nic_loads(g, k, policy)
+    busiest = max(loads)
+    if busiest == 0:
+        return 0.0
+    return (g / k) / busiest
+
+
+def binding_table(g: int, k: int, policy: Binding = Binding.AUTO) -> list[tuple[int, int]]:
+    """(gpu, nic) pairs — the arrows of Figure 2."""
+    return [(i, nic_of(i, g, k, policy)) for i in range(g)]

@@ -1,0 +1,174 @@
+"""Rank remapping for hierarchies that don't match rank order.
+
+Section 4.2: "HiCCL assumes that the rank of each process/GPU is assigned in
+a way that reflects the network hierarchy" — contiguous blocks per node.
+Real launchers don't always cooperate: round-robin (cyclic) placement puts
+consecutive ranks on *different* nodes, and custom placements are arbitrary.
+
+:class:`RankMap` is the adapter: a bijection between **application ranks**
+(what the user's primitives name) and **hierarchy ranks** (the contiguous
+layout the factorization arithmetic needs).  Compose with application ranks,
+translate through the map, and the lowered schedule's endpoints come out in
+hierarchy space — the simulated machine's physical layout.
+
+Typical use::
+
+    rmap = RankMap.from_round_robin(machine)       # cyclic launcher
+    comm.add_multicast(send, recv, n, rmap.to_hierarchy(app_root),
+                       rmap.to_hierarchy_all(app_leaves))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HierarchyError
+from .spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class RankMap:
+    """Bijection application-rank <-> hierarchy-rank."""
+
+    #: ``to_hier[app_rank] == hierarchy rank``
+    to_hier: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        p = len(self.to_hier)
+        if sorted(self.to_hier) != list(range(p)):
+            raise HierarchyError(
+                "rank map must be a permutation of 0..p-1"
+            )
+        object.__setattr__(
+            self, "_to_app",
+            tuple(index for index, _ in sorted(enumerate(self.to_hier),
+                                               key=lambda kv: kv[1]))
+        )
+
+    # ------------------------------------------------------------ primitives
+    @property
+    def world_size(self) -> int:
+        return len(self.to_hier)
+
+    def to_hierarchy(self, app_rank: int) -> int:
+        """Hierarchy rank of an application rank."""
+        self._check(app_rank)
+        return self.to_hier[app_rank]
+
+    def to_application(self, hier_rank: int) -> int:
+        """Application rank living at a hierarchy position."""
+        self._check(hier_rank)
+        return self._to_app[hier_rank]
+
+    def to_hierarchy_all(self, app_ranks) -> list[int]:
+        return [self.to_hierarchy(r) for r in app_ranks]
+
+    def to_application_all(self, hier_ranks) -> list[int]:
+        return [self.to_application(r) for r in hier_ranks]
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise HierarchyError(f"rank {rank} out of range 0..{self.world_size - 1}")
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def identity(cls, p: int) -> "RankMap":
+        """Block (contiguous) placement: ranks already match the hierarchy."""
+        return cls(tuple(range(p)))
+
+    @classmethod
+    def from_round_robin(cls, machine: MachineSpec) -> "RankMap":
+        """Cyclic launcher placement: app rank ``i`` sits on node ``i % n``.
+
+        App rank ``i`` is the ``i // n``-th GPU of node ``i % n``, so its
+        hierarchy rank is ``(i % n) * g + i // n``.
+        """
+        n, g = machine.nodes, machine.gpus_per_node
+        return cls(tuple((i % n) * g + i // n for i in range(n * g)))
+
+    @classmethod
+    def from_node_lists(cls, machine: MachineSpec,
+                        nodes_of_ranks) -> "RankMap":
+        """Arbitrary placement: ``nodes_of_ranks[i]`` = node of app rank i.
+
+        GPUs within a node are filled in application-rank order.  Every node
+        must receive exactly ``gpus_per_node`` ranks.
+        """
+        n, g = machine.nodes, machine.gpus_per_node
+        nodes_of_ranks = list(nodes_of_ranks)
+        if len(nodes_of_ranks) != n * g:
+            raise HierarchyError(
+                f"placement names {len(nodes_of_ranks)} ranks; machine has {n * g}"
+            )
+        next_slot = [0] * n
+        mapping = []
+        for app_rank, node in enumerate(nodes_of_ranks):
+            if not 0 <= node < n:
+                raise HierarchyError(f"rank {app_rank}: node {node} out of range")
+            if next_slot[node] >= g:
+                raise HierarchyError(
+                    f"node {node} assigned more than {g} ranks"
+                )
+            mapping.append(node * g + next_slot[node])
+            next_slot[node] += 1
+        return cls(tuple(mapping))
+
+    # -------------------------------------------------------------- analysis
+    def is_identity(self) -> bool:
+        return all(i == h for i, h in enumerate(self.to_hier))
+
+    def displaced_fraction(self) -> float:
+        """Fraction of ranks not already in hierarchy position."""
+        moved = sum(1 for i, h in enumerate(self.to_hier) if i != h)
+        return moved / self.world_size if self.world_size else 0.0
+
+
+def permute_endpoints(schedule, rank_of) -> "Schedule":
+    """A copy of ``schedule`` with every op's endpoints mapped by ``rank_of``.
+
+    Buffers are symmetric (same name/offset on every rank), so relocating the
+    endpoints preserves the data movement's semantics while changing which
+    *physical* links carry it — exactly what a mismatched launcher placement
+    does to a placement-unaware library.
+    """
+    from dataclasses import replace as dc_replace
+
+    from ..core.schedule import Schedule
+
+    ops = [dc_replace(op, src=rank_of(op.src), dst=rank_of(op.dst))
+           for op in schedule.ops]
+    scratch = {
+        name: {rank_of(rank): cnt for rank, cnt in sizes.items()}
+        for name, sizes in schedule.scratch.items()
+    }
+    return Schedule(schedule.world_size, ops, scratch, schedule.num_channels)
+
+
+def misplacement_penalty(machine: MachineSpec, hierarchy, libraries,
+                         count: int = 1 << 20) -> float:
+    """Simulated slowdown of *ignoring* a cyclic placement for a broadcast.
+
+    Correct case: the hierarchy's contiguous groups coincide with physical
+    nodes.  Wrong case: the application was launched cyclically (app rank i
+    on node i % n) but the library grouped consecutive app ranks anyway — so
+    every "intra-node" transfer actually crosses the network.  Realized by
+    lowering once and permuting the endpoints through the cyclic placement.
+    Returns ``t_wrong / t_correct``, quantifying Section 4.2's rank-order
+    assumption.
+    """
+    from ..core.communicator import Communicator
+    from ..simulator.engine import simulate
+
+    comm = Communicator(machine, materialize=False)
+    send = comm.alloc(count, "sendbuf")
+    recv = comm.alloc(count, "recvbuf")
+    comm.add_multicast(send, recv, count, 0, list(range(machine.world_size)))
+    comm.init(hierarchy=list(hierarchy), library=list(libraries),
+              stripe=machine.gpus_per_node, pipeline=4)
+    t_correct = comm.run()
+
+    rmap = RankMap.from_round_robin(machine)
+    wrong = permute_endpoints(comm.schedule, rmap.to_hierarchy)
+    t_wrong = simulate(wrong, machine, comm.plan.libraries,
+                       comm.dtype.itemsize).elapsed
+    return t_wrong / t_correct

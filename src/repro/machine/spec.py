@@ -1,0 +1,217 @@
+"""Declarative machine models (the paper's Table 4 as data).
+
+A :class:`MachineSpec` describes the *physical* shape of a GPU system:
+
+* how many nodes, and the nested intra-node hierarchy of GPU endpoints
+  (devices, dies) with a per-endpoint link bandwidth and latency per level;
+* how many NICs each node has, their per-direction bandwidth, and the
+  GPU-to-NIC binding policy (Figure 2);
+* local-copy and reduction-kernel characteristics of the GPUs themselves.
+
+HiCCL's optimizations take a *virtual* hierarchy (a factor vector); the
+machine spec is what the discrete-event simulator uses to price the resulting
+point-to-point transfers, so a mismatched virtual hierarchy simply performs
+worse (Section 4.1: "the best performance will be achieved when the specified
+hierarchy matches the underlying machine").
+
+Bandwidths are in **GB/s** (1 GB = 1e9 bytes), latencies in **seconds**.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from ..errors import HierarchyError
+from .nic import Binding, nic_of
+
+#: Physical-path kind for a pair of ranks.
+SAME_GPU = "same-gpu"
+INTRA_NODE = "intra-node"
+INTER_NODE = "inter-node"
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One intra-node level of the physical hierarchy.
+
+    ``extent`` is the number of child groups inside each group of the level
+    above (the top level's parent is the node).  ``bandwidth`` is the
+    per-endpoint link bandwidth available to a single GPU when communicating
+    with a peer whose *lowest common group* is this level.
+    """
+
+    name: str
+    extent: int
+    bandwidth: float  # GB/s per GPU endpoint, per direction
+    latency: float = 2.0e-6  # seconds
+
+    def __post_init__(self) -> None:
+        if self.extent < 1:
+            raise HierarchyError(f"level {self.name!r}: extent must be >= 1")
+        if self.bandwidth <= 0:
+            raise HierarchyError(f"level {self.name!r}: bandwidth must be > 0")
+
+
+@dataclass(frozen=True)
+class PathInfo:
+    """Physical classification of a (src, dst) rank pair."""
+
+    kind: str  # SAME_GPU | INTRA_NODE | INTER_NODE
+    level_index: int | None  # index into MachineSpec.levels when intra-node
+    bandwidth: float  # GB/s available to this single transfer
+    latency: float  # base wire latency in seconds
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Physical description of a multi-node, multi-GPU, multi-NIC system."""
+
+    name: str
+    nodes: int
+    levels: tuple[LevelSpec, ...]  # intra-node levels, top -> leaf
+    nic_count: int
+    nic_bandwidth: float  # GB/s per NIC per direction
+    nic_latency: float = 5.0e-6
+    binding: Binding = Binding.AUTO
+    copy_bandwidth: float = 1000.0  # GB/s intra-GPU memcpy
+    copy_latency: float = 1.0e-6
+    reduce_bandwidth: float = 400.0  # GB/s elementwise reduction kernel
+    kernel_latency: float = 6.0e-6  # GPU kernel launch overhead
+    #: Network bandwidth a *single* GPU endpoint can inject/absorb (GB/s).
+    #: ``None`` means the NIC itself is the only limit.  On single-NIC nodes
+    #: (Delta) one process cannot quite saturate the NIC, which is why
+    #: striping still helps there (Section 6.3.3's 1.29x).
+    gpu_injection_bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise HierarchyError("machine must have at least one node")
+        if not self.levels:
+            raise HierarchyError("machine needs at least one intra-node level")
+        if self.nic_count < 1 or self.nic_bandwidth <= 0:
+            raise HierarchyError("machine needs at least one NIC with bandwidth > 0")
+
+    # ------------------------------------------------------------------ shape
+    @cached_property
+    def injection_bandwidth(self) -> float:
+        """Per-GPU network injection cap (defaults to one NIC's bandwidth)."""
+        if self.gpu_injection_bandwidth is not None:
+            return self.gpu_injection_bandwidth
+        return self.nic_bandwidth
+
+    @cached_property
+    def gpus_per_node(self) -> int:
+        """GPU endpoints per node (dual-die devices count as two GPUs)."""
+        return math.prod(level.extent for level in self.levels)
+
+    @cached_property
+    def world_size(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+    @cached_property
+    def node_bandwidth(self) -> float:
+        """Rated unidirectional injection bandwidth of one node (Table 4)."""
+        return self.nic_count * self.nic_bandwidth
+
+    def node_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.gpus_per_node
+
+    def local_index(self, rank: int) -> int:
+        """Index of the GPU within its node."""
+        self._check_rank(rank)
+        return rank % self.gpus_per_node
+
+    def nic_of(self, rank: int) -> int:
+        """NIC (within the node) that this GPU's inter-node traffic uses."""
+        return nic_of(self.local_index(rank), self.gpus_per_node, self.nic_count, self.binding)
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    # -------------------------------------------------------------- hierarchy
+    def physical_factors(self) -> list[int]:
+        """Factor vector matching the physical machine (nodes first).
+
+        For Frontier with 512 nodes this is ``[512, 4, 2]`` — the natural
+        input to HiCCL's hierarchy parameter when the virtual hierarchy should
+        mirror the hardware.
+        """
+        return [self.nodes, *(level.extent for level in self.levels)]
+
+    def intra_level_index(self, a: int, b: int) -> int:
+        """Index of the shallowest intra-node level separating ``a``/``b``.
+
+        Both ranks must live on the same node.  Level 0 is the coarsest
+        intra-node level (e.g. "device" on Frontier); higher indices are finer
+        (e.g. "die").  The returned level is the one whose link actually
+        carries the transfer.
+        """
+        if not self.same_node(a, b):
+            raise HierarchyError(f"ranks {a} and {b} are not on the same node")
+        if a == b:
+            raise HierarchyError("no intra-node level separates a rank from itself")
+        la, lb = self.local_index(a), self.local_index(b)
+        block = self.gpus_per_node
+        for idx, level in enumerate(self.levels):
+            block //= level.extent
+            if la // block != lb // block:
+                return idx
+        raise AssertionError("unreachable: distinct local indices must diverge")
+
+    def path(self, src: int, dst: int) -> PathInfo:
+        """Classify the physical path between two ranks."""
+        if src == dst:
+            return PathInfo(SAME_GPU, None, self.copy_bandwidth, self.copy_latency)
+        if self.same_node(src, dst):
+            idx = self.intra_level_index(src, dst)
+            level = self.levels[idx]
+            return PathInfo(INTRA_NODE, idx, level.bandwidth, level.latency)
+        return PathInfo(INTER_NODE, None, self.nic_bandwidth, self.nic_latency)
+
+    # ------------------------------------------------------------------ misc
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise HierarchyError(
+                f"rank {rank} out of range for {self.name} with {self.world_size} GPUs"
+            )
+
+    def with_nodes(self, nodes: int) -> "MachineSpec":
+        """Same node architecture scaled to a different node count."""
+        return MachineSpec(
+            name=self.name,
+            nodes=nodes,
+            levels=self.levels,
+            nic_count=self.nic_count,
+            nic_bandwidth=self.nic_bandwidth,
+            nic_latency=self.nic_latency,
+            binding=self.binding,
+            copy_bandwidth=self.copy_bandwidth,
+            copy_latency=self.copy_latency,
+            reduce_bandwidth=self.reduce_bandwidth,
+            kernel_latency=self.kernel_latency,
+            gpu_injection_bandwidth=self.gpu_injection_bandwidth,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (Table 4 row)."""
+        shape = "x".join(str(level.extent) for level in self.levels)
+        return (
+            f"{self.name}: {self.nodes} nodes x {self.gpus_per_node} GPUs ({shape}), "
+            f"{self.nic_count} NIC(s) @ {self.nic_bandwidth:g} GB/s "
+            f"({self.node_bandwidth:g} GB/s/node, binding={self.binding.value})"
+        )
+
+
+# Re-export for convenience.
+__all__ = [
+    "LevelSpec",
+    "MachineSpec",
+    "PathInfo",
+    "SAME_GPU",
+    "INTRA_NODE",
+    "INTER_NODE",
+    "field",
+]

@@ -1,0 +1,151 @@
+"""Virtual-hierarchy arithmetic (paper Figure 5, Section 4.2).
+
+HiCCL parameterizes the shape of the network with a vector of integer factors
+whose product equals the number of participating GPUs.  The vector is read
+top-down: ``{2, 6, 2}`` on 24 GPUs means two groups of twelve, each split into
+six groups of two, each split into two leaves.  "HiCCL assumes that the rank
+of each process/GPU is assigned in a way that reflects the network hierarchy"
+— i.e. groups are contiguous rank ranges, which is what makes the arithmetic
+below pure integer division.
+
+The :class:`TreeTopology` class answers the questions factorization needs:
+which block (group) does a rank belong to at a given depth, which ranks form
+that block, and how a sparse leaf set partitions across the blocks (tree
+pruning for custom collectives).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import HierarchyError
+
+
+def validate_hierarchy(factors: list[int], world_size: int) -> None:
+    """Check that ``factors`` is a valid factorization of ``world_size``."""
+    if not factors:
+        raise HierarchyError("hierarchy factor vector must be non-empty")
+    for f in factors:
+        if not isinstance(f, int) or f < 1:
+            raise HierarchyError(f"hierarchy factors must be positive integers, got {factors}")
+    prod = math.prod(factors)
+    if prod != world_size:
+        raise HierarchyError(
+            f"hierarchy {factors} describes {prod} endpoints, "
+            f"but {world_size} GPUs participate"
+        )
+
+
+@dataclass(frozen=True)
+class TreeTopology:
+    """Contiguous-block tree over ranks ``0..p-1`` described by a factor vector.
+
+    Depth 0 is the root block (all ranks); depth ``len(factors)`` is the leaf
+    level where every block is a single rank.  ``factors[d]`` is the number of
+    child blocks each depth-``d`` block splits into.
+    """
+
+    factors: tuple[int, ...]
+    world_size: int
+
+    def __init__(self, factors, world_size: int | None = None):
+        factors = tuple(int(f) for f in factors)
+        if world_size is None:
+            world_size = math.prod(factors)
+        validate_hierarchy(list(factors), world_size)
+        object.__setattr__(self, "factors", factors)
+        object.__setattr__(self, "world_size", world_size)
+        sizes = [world_size]
+        for f in factors:
+            sizes.append(sizes[-1] // f)
+        object.__setattr__(self, "_block_sizes", tuple(sizes))
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def depth(self) -> int:
+        """Number of levels below the root (== len(factors))."""
+        return len(self.factors)
+
+    def block_size(self, depth: int) -> int:
+        """Number of ranks in one block at ``depth`` (0 = root = all)."""
+        self._check_depth(depth)
+        return self._block_sizes[depth]
+
+    def num_blocks(self, depth: int) -> int:
+        self._check_depth(depth)
+        return math.prod(self.factors[:depth])
+
+    def block_of(self, rank: int, depth: int) -> int:
+        """Index of the block containing ``rank`` at ``depth``."""
+        self._check_rank(rank)
+        return rank // self.block_size(depth)
+
+    def block_ranks(self, block: int, depth: int) -> range:
+        """Ranks forming block ``block`` at ``depth`` (contiguous)."""
+        size = self.block_size(depth)
+        nblocks = self.num_blocks(depth)
+        if not 0 <= block < nblocks:
+            raise HierarchyError(f"block {block} out of range at depth {depth}")
+        return range(block * size, (block + 1) * size)
+
+    def children(self, block: int, depth: int) -> list[int]:
+        """Child block indices (at ``depth+1``) of a block at ``depth``."""
+        if depth >= self.depth:
+            raise HierarchyError("leaf blocks have no children")
+        arity = self.factors[depth]
+        return [block * arity + c for c in range(arity)]
+
+    def same_block(self, a: int, b: int, depth: int) -> bool:
+        return self.block_of(a, depth) == self.block_of(b, depth)
+
+    # --------------------------------------------------------------- pruning
+    def partition_leaves(self, leaves, depth: int) -> dict[int, list[int]]:
+        """Group a (possibly sparse) leaf set by block id at ``depth``.
+
+        This is the tree-pruning step of Section 4.2: blocks containing no
+        leaves simply do not appear in the result, so no communication is
+        emitted for them.
+        """
+        out: dict[int, list[int]] = {}
+        for rank in leaves:
+            out.setdefault(self.block_of(rank, depth), []).append(rank)
+        return out
+
+    def separating_depth(self, a: int, b: int) -> int:
+        """Shallowest depth at which ``a`` and ``b`` fall in different blocks.
+
+        Returns a depth in ``1..self.depth``; equal ranks raise.  The returned
+        depth identifies the hierarchy *level* whose links carry traffic
+        between the two ranks, and therefore which per-level library serves it
+        (Section 4.2, Figure 7's colored matrix blocks).
+        """
+        if a == b:
+            raise HierarchyError("ranks are identical; no level separates them")
+        self._check_rank(a)
+        self._check_rank(b)
+        for depth in range(1, self.depth + 1):
+            if not self.same_block(a, b, depth):
+                return depth
+        raise AssertionError("unreachable: distinct ranks must separate by leaf depth")
+
+    # --------------------------------------------------------------- drawing
+    def ascii_tree(self) -> str:
+        """Render the nested grouping (used to regenerate Figure 5 labels)."""
+        lines = [f"{{{', '.join(map(str, self.factors))}}} over {self.world_size} GPUs"]
+        for depth in range(1, self.depth + 1):
+            blocks = [
+                f"[{r.start}..{r.stop - 1}]"
+                for r in (self.block_ranks(b, depth) for b in range(self.num_blocks(depth)))
+            ]
+            lines.append(f"  level {depth}: " + " ".join(blocks))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ misc
+    def _check_depth(self, depth: int) -> None:
+        if not 0 <= depth <= self.depth:
+            raise HierarchyError(f"depth {depth} out of range 0..{self.depth}")
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise HierarchyError(f"rank {rank} out of range for p={self.world_size}")

@@ -1,0 +1,39 @@
+"""Analytic performance model and throughput bounds."""
+
+from .bounds import (
+    BOUND_KIND,
+    EmpiricalBounds,
+    achievable_bound,
+    binding_utilization,
+    empirical_bounds,
+    measure_bidirectional,
+    measure_intra_node,
+    measure_unidirectional,
+    theoretical_bound,
+)
+from .perf_model import (
+    ModelParams,
+    optimal_pipeline_depth,
+    ring_asymptote,
+    t_ring,
+    t_tree,
+    tree_asymptote,
+)
+
+__all__ = [
+    "BOUND_KIND",
+    "EmpiricalBounds",
+    "ModelParams",
+    "achievable_bound",
+    "binding_utilization",
+    "empirical_bounds",
+    "measure_bidirectional",
+    "measure_intra_node",
+    "measure_unidirectional",
+    "optimal_pipeline_depth",
+    "ring_asymptote",
+    "t_ring",
+    "t_tree",
+    "theoretical_bound",
+    "tree_asymptote",
+]

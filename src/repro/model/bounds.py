@@ -1,0 +1,154 @@
+"""Throughput upper bounds (Table 3) and empirical in-simulator bounds.
+
+**Theoretical bounds** (Table 3) depend only on the number of participating
+GPUs ``p``, GPUs per node ``g``, NICs per node ``k``, and rated NIC
+bandwidth ``f``:
+
+================================  =======================
+Collective                        Bound (GB/s)
+================================  =======================
+Broadcast / Reduce                ``k f``
+Gather / Scatter /                ``k f p / (p - g)``
+All-gather / Reduce-scatter
+All-reduce                        ``k f p / (2 (p - g))``
+All-to-all                        ``k f p / (g (p - g))``
+================================  =======================
+
+The *achievable* bound additionally multiplies in the NIC binding
+utilization (Section 6.3.5): Aurora's 12-on-8 round-robin caps it at 75%.
+
+**Empirical bounds** (the triangles of Figure 8) come from measuring the
+fabric in isolation rather than trusting the spec sheet.  Here "isolation
+measurement" means running minimal two-node uni/bidirectional exchange
+schedules and an intra-node distribution schedule through the same event
+engine the collectives use, so the bounds inherit the library envelopes and
+binding effects exactly as the paper's microbenchmarks inherit the real
+systems'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.schedule import ScheduleBuilder
+from ..machine.nic import utilization
+from ..machine.spec import MachineSpec
+from ..simulator.engine import simulate
+from ..transport.library import Library
+
+#: Payload (bytes) used for the empirical microbenchmarks.
+_PROBE_BYTES = 1 << 28
+
+
+def theoretical_bound(machine: MachineSpec, collective: str) -> float:
+    """Table 3 upper bound in GB/s for ``collective`` on ``machine``."""
+    p = machine.world_size
+    g = machine.gpus_per_node
+    kf = machine.nic_count * machine.nic_bandwidth
+    if machine.nodes < 2:
+        return float("inf")  # no network crossing; intra-node only
+    remote = p - g
+    table = {
+        "broadcast": kf,
+        "reduce": kf,
+        "gather": kf * p / remote,
+        "scatter": kf * p / remote,
+        "all_gather": kf * p / remote,
+        "reduce_scatter": kf * p / remote,
+        "all_reduce": kf * p / (2 * remote),
+        "all_to_all": kf * p / (g * remote),
+    }
+    return table[collective]
+
+
+def achievable_bound(machine: MachineSpec, collective: str) -> float:
+    """Theoretical bound scaled by the NIC-binding utilization ceiling."""
+    util = utilization(machine.gpus_per_node, machine.nic_count, machine.binding)
+    return theoretical_bound(machine, collective) * util
+
+
+def binding_utilization(machine: MachineSpec) -> float:
+    """Achievable fraction of aggregate NIC bandwidth under this binding."""
+    return utilization(machine.gpus_per_node, machine.nic_count, machine.binding)
+
+
+@dataclass(frozen=True)
+class EmpiricalBounds:
+    """In-simulator fabric microbenchmarks (Figure 8's triangle marks)."""
+
+    unidirectional: float  # GB/s, node A -> node B, all GPUs striped
+    bidirectional: float  # GB/s per direction during full exchange
+    intra_node: float  # GB/s one GPU's payload distributed within a node
+
+
+def _probe_elems(machine: MachineSpec, elem_bytes: int = 4) -> int:
+    return max(1, _PROBE_BYTES // elem_bytes // machine.gpus_per_node)
+
+
+def measure_unidirectional(machine: MachineSpec,
+                           library: Library = Library.MPI) -> float:
+    """All GPUs of node 0 send to their node-1 peers simultaneously."""
+    if machine.nodes < 2:
+        return float("inf")
+    g = machine.gpus_per_node
+    n = _probe_elems(machine)
+    b = ScheduleBuilder(machine.world_size)
+    for local in range(g):
+        b.send(local, g + local, ("buf", 0), ("buf", 0), n, level=0, tag="uni")
+    result = simulate(b.build(), machine, (library,), 4)
+    return (g * n * 4 / 1.0e9) / result.elapsed
+
+
+def measure_bidirectional(machine: MachineSpec,
+                          library: Library = Library.MPI) -> float:
+    """Nodes 0 and 1 exchange simultaneously; per-direction GB/s."""
+    if machine.nodes < 2:
+        return float("inf")
+    g = machine.gpus_per_node
+    n = _probe_elems(machine)
+    b = ScheduleBuilder(machine.world_size)
+    for local in range(g):
+        b.send(local, g + local, ("buf", 0), ("buf", 0), n, level=0, tag="fwd")
+        b.send(g + local, local, ("buf2", 0), ("buf2", 0), n, level=0, tag="rev")
+    result = simulate(b.build(), machine, (library,), 4)
+    return (g * n * 4 / 1.0e9) / result.elapsed
+
+
+def measure_intra_node(machine: MachineSpec,
+                       library: Library = Library.IPC) -> float:
+    """GPU 0 distributes distinct chunks to every node peer (worst leaf stage)."""
+    g = machine.gpus_per_node
+    if g < 2:
+        return float("inf")
+    n = _probe_elems(machine)
+    b = ScheduleBuilder(machine.world_size)
+    for local in range(1, g):
+        b.send(0, local, ("buf", 0), ("buf", 0), n, level=0, tag="intra")
+    result = simulate(b.build(), machine, (library,), 4)
+    return ((g - 1) * n * 4 / 1.0e9) / result.elapsed
+
+
+def empirical_bounds(machine: MachineSpec,
+                     inter_library: Library = Library.MPI,
+                     intra_library: Library = Library.IPC) -> EmpiricalBounds:
+    """Figure 8's triangles: isolated fabric measurements on this machine."""
+    return EmpiricalBounds(
+        unidirectional=measure_unidirectional(machine, inter_library),
+        bidirectional=measure_bidirectional(machine, inter_library),
+        intra_node=measure_intra_node(machine, intra_library),
+    )
+
+
+#: Which empirical bound gates each collective (Section 6.3.5): Gather and
+#: Scatter bottleneck on a root node moving data in one direction; the rest
+#: send and receive simultaneously.
+BOUND_KIND = {
+    "broadcast": "unidirectional",
+    "reduce": "unidirectional",
+    "gather": "unidirectional",
+    "scatter": "unidirectional",
+    "all_gather": "bidirectional",
+    "reduce_scatter": "bidirectional",
+    "all_reduce": "bidirectional",
+    "all_to_all": "bidirectional",
+}

@@ -1,0 +1,94 @@
+"""Analytic performance model (Section 4.6, Equations 1-2).
+
+For a Broadcast pipelined over ``m`` channels across ``n`` conceptual nodes
+with ``k`` NICs of ``f`` GB/s each and message length ``d`` bytes:
+
+.. math::
+
+    t_{ring} = (alpha + d / (k f m)) (n + m - 2) + O(d/m)
+
+    t_{tree} = (alpha m + d / (k f)) \\log_2 n + O(d/m)
+
+Asymptotically (``m -> inf``, ``alpha = 0``) the ring costs ``d/(kf)``
+independent of node count — O(1) — while the tree pays a ``log n`` factor,
+which is why the paper's ring Broadcast is ~2x faster on four nodes
+(Section 6.3.4) and why Figure 10's ring-pipelined All-reduce scales flat.
+
+The intra-node term is modeled as ``c_intra * d / m``: pipelining hides all
+but one channel's worth of intra-node traffic (Figure 7's red stages).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Inputs of Equations (1)-(2)."""
+
+    alpha: float  # per-message latency, seconds
+    nic_count: int  # k
+    nic_bandwidth: float  # f, GB/s
+    nodes: int  # n
+    pipeline: int  # m
+    intra_coefficient: float = 0.0  # c_intra: residual intra-node seconds/GB
+
+
+def t_ring(d_bytes: float, p: ModelParams) -> float:
+    """Equation (1): pipelined ring broadcast time in seconds."""
+    if p.pipeline < 1 or p.nodes < 1:
+        raise ValueError("pipeline depth and node count must be >= 1")
+    kf = p.nic_count * p.nic_bandwidth * 1.0e9  # bytes/s
+    per_channel = p.alpha + d_bytes / (kf * p.pipeline)
+    stages = p.nodes + p.pipeline - 2
+    intra = p.intra_coefficient * (d_bytes / 1.0e9) / p.pipeline
+    return per_channel * max(stages, 1) + intra
+
+
+def t_tree(d_bytes: float, p: ModelParams) -> float:
+    """Equation (2): pipelined tree broadcast time in seconds."""
+    if p.pipeline < 1 or p.nodes < 1:
+        raise ValueError("pipeline depth and node count must be >= 1")
+    kf = p.nic_count * p.nic_bandwidth * 1.0e9
+    depth = math.log2(p.nodes) if p.nodes > 1 else 0.0
+    intra = p.intra_coefficient * (d_bytes / 1.0e9) / p.pipeline
+    return (p.alpha * p.pipeline + d_bytes / kf) * max(depth, 0.0) + intra
+
+
+def ring_asymptote(p: ModelParams) -> float:
+    """GB/s of an infinitely deep, zero-latency ring: ``k f`` — O(1) in n."""
+    return p.nic_count * p.nic_bandwidth
+
+
+def tree_asymptote(p: ModelParams) -> float:
+    """GB/s of an ideal tree: ``k f / log2 n`` — O(log n) in n."""
+    depth = math.log2(p.nodes) if p.nodes > 1 else 1.0
+    return p.nic_count * p.nic_bandwidth / max(depth, 1.0)
+
+
+def optimal_pipeline_depth(d_bytes: float, p: ModelParams, topology: str = "ring",
+                           candidates=(1, 2, 4, 8, 16, 32, 64, 128)) -> int:
+    """Depth minimizing the model time — the paper's Section 6.4 trade-off.
+
+    Deep pipelines shrink the per-stage payload until the latency term
+    dominates (Figure 9's drooping small-message curves); shallow pipelines
+    leave warm-up/wind-down stages exposed.
+    """
+    cost = t_ring if topology == "ring" else t_tree
+    best = min(
+        candidates,
+        key=lambda m: cost(
+            d_bytes,
+            ModelParams(
+                alpha=p.alpha,
+                nic_count=p.nic_count,
+                nic_bandwidth=p.nic_bandwidth,
+                nodes=p.nodes,
+                pipeline=m,
+                intra_coefficient=p.intra_coefficient,
+            ),
+        ),
+    )
+    return best

@@ -1,0 +1,32 @@
+"""Discrete-event + functional simulation substrate."""
+
+from .engine import TimingResult, simulate
+from .executor import critical_path_length, execute, materialize_scratch, random_topological_order
+from .process import MemoryPool
+from .timing import PricedOp, price_op
+from .trace import (
+    TraceEvent,
+    ascii_gantt,
+    build_trace,
+    chrome_trace,
+    resource_timeline,
+    utilization_report,
+)
+
+__all__ = [
+    "MemoryPool",
+    "PricedOp",
+    "TimingResult",
+    "critical_path_length",
+    "execute",
+    "materialize_scratch",
+    "price_op",
+    "random_topological_order",
+    "simulate",
+    "TraceEvent",
+    "ascii_gantt",
+    "build_trace",
+    "chrome_trace",
+    "resource_timeline",
+    "utilization_report",
+]

@@ -1,0 +1,95 @@
+"""Functional interpreter for lowered schedules.
+
+Executes every :class:`~repro.core.schedule.P2POp` against real numpy buffers
+in a :class:`~repro.simulator.process.MemoryPool`, in an order consistent
+with the dependency graph.  This is the *correctness* half of the simulator:
+after execution, tests compare buffer contents against numpy references for
+each collective.
+
+Ops are stored in uid order, and the builder guarantees every dependency
+points backward, so uid order is one valid linearization.  For dependency-
+completeness testing the executor can also run any other topological order
+(``order=...``), which must produce identical results if and only if the
+schedule's dependencies capture every conflict — a property the test suite
+exercises with randomized linearizations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ops import accumulate
+from ..core.schedule import Schedule
+from ..errors import ExecutionError
+from .process import MemoryPool
+
+
+def materialize_scratch(schedule: Schedule, pool: MemoryPool) -> None:
+    """Allocate the schedule's scratch buffers in the pool."""
+    for name, per_rank in schedule.scratch.items():
+        for rank, count in per_rank.items():
+            pool.ensure_scratch(name, rank, count)
+
+
+def execute(schedule: Schedule, pool: MemoryPool, order=None) -> None:
+    """Run the schedule's data movement on the pool.
+
+    ``order`` optionally supplies an alternative linearization (sequence of
+    uids); it is validated to be topological before running.
+    """
+    materialize_scratch(schedule, pool)
+    ops = schedule.ops
+    if order is None:
+        sequence = ops
+    else:
+        order = list(order)
+        if sorted(order) != list(range(len(ops))):
+            raise ExecutionError("order must be a permutation of all op uids")
+        done: set[int] = set()
+        for uid in order:
+            if any(dep not in done for dep in ops[uid].deps):
+                raise ExecutionError(
+                    f"order is not topological: op {uid} runs before a dependency"
+                )
+            done.add(uid)
+        sequence = [ops[uid] for uid in order]
+
+    for op in sequence:
+        src = pool.slice(op.src, op.src_buf, op.src_off, op.count)
+        dst = pool.slice(op.dst, op.dst_buf, op.dst_off, op.count)
+        if op.reduce_op is None:
+            dst[...] = src
+        else:
+            accumulate(op.reduce_op, dst, src)
+
+
+def random_topological_order(schedule: Schedule, rng: np.random.Generator) -> list[int]:
+    """A uniformly-shuffled valid linearization (for dependency testing)."""
+    ops = schedule.ops
+    indegree = [len(op.deps) for op in ops]
+    dependents: list[list[int]] = [[] for _ in ops]
+    for op in ops:
+        for dep in op.deps:
+            dependents[dep].append(op.uid)
+    ready = [uid for uid, deg in enumerate(indegree) if deg == 0]
+    order: list[int] = []
+    while ready:
+        idx = int(rng.integers(len(ready)))
+        ready[idx], ready[-1] = ready[-1], ready[idx]
+        uid = ready.pop()
+        order.append(uid)
+        for nxt in dependents[uid]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != len(ops):
+        raise ExecutionError("schedule contains a dependency cycle")
+    return order
+
+
+def critical_path_length(schedule: Schedule) -> int:
+    """Longest dependency chain (op count) — a latency proxy used in tests."""
+    depth: dict[int, int] = {}
+    for op in schedule.ops:  # uid order: deps resolved before use
+        depth[op.uid] = 1 + max((depth[d] for d in op.deps), default=0)
+    return max(depth.values(), default=0)

@@ -1,0 +1,88 @@
+"""Simulated per-rank GPU memory.
+
+Each simulated GPU (one per rank) owns a set of named numpy buffers.  User
+buffers are symmetric — the same name and element count on every rank —
+while scratch buffers created during lowering exist only on the ranks that
+stage data.  The pool is what the functional executor reads and writes, and
+what tests inspect to compare against numpy references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+
+class MemoryPool:
+    """Named numpy buffers for every rank of a simulated machine."""
+
+    def __init__(self, world_size: int, dtype=np.float32) -> None:
+        if world_size < 1:
+            raise ExecutionError("world size must be at least 1")
+        self.world_size = world_size
+        self.dtype = np.dtype(dtype)
+        self._buffers: dict[tuple[int, str], np.ndarray] = {}
+        self._symmetric: dict[str, int] = {}
+
+    # ------------------------------------------------------------ allocation
+    def alloc_symmetric(self, name: str, count: int) -> None:
+        """Allocate ``count`` elements under ``name`` on every rank."""
+        if name in self._symmetric:
+            raise ExecutionError(f"buffer {name!r} already allocated")
+        self._symmetric[name] = count
+        for rank in range(self.world_size):
+            self._buffers[(rank, name)] = np.zeros(count, dtype=self.dtype)
+
+    def ensure_scratch(self, name: str, rank: int, count: int) -> None:
+        """Materialize a lowering scratch buffer on one rank (idempotent)."""
+        key = (rank, name)
+        existing = self._buffers.get(key)
+        if existing is None or existing.size < count:
+            self._buffers[key] = np.zeros(count, dtype=self.dtype)
+
+    def free_scratch(self) -> None:
+        """Drop all non-symmetric buffers (between schedule runs)."""
+        keep = {
+            key: arr for key, arr in self._buffers.items() if key[1] in self._symmetric
+        }
+        self._buffers = keep
+
+    # -------------------------------------------------------------- access
+    def array(self, rank: int, name: str) -> np.ndarray:
+        try:
+            return self._buffers[(rank, name)]
+        except KeyError:
+            raise ExecutionError(
+                f"buffer {name!r} does not exist on rank {rank}"
+            ) from None
+
+    def slice(self, rank: int, name: str, offset: int, count: int) -> np.ndarray:
+        arr = self.array(rank, name)
+        if offset < 0 or offset + count > arr.size:
+            raise ExecutionError(
+                f"access [{offset}:{offset + count}] out of bounds for buffer "
+                f"{name!r} ({arr.size} elements) on rank {rank}"
+            )
+        return arr[offset : offset + count]
+
+    def gather_all(self, name: str) -> np.ndarray:
+        """Stack one symmetric buffer across ranks -> (p, count) array."""
+        if name not in self._symmetric:
+            raise ExecutionError(f"{name!r} is not a symmetric buffer")
+        return np.stack([self.array(rank, name) for rank in range(self.world_size)])
+
+    def set_all(self, name: str, values: np.ndarray) -> None:
+        """Fill a symmetric buffer from a (p, count) array."""
+        values = np.asarray(values, dtype=self.dtype)
+        if values.shape != (self.world_size, self._symmetric.get(name, -1)):
+            raise ExecutionError(
+                f"shape {values.shape} does not match buffer {name!r} across "
+                f"{self.world_size} ranks"
+            )
+        for rank in range(self.world_size):
+            self.array(rank, name)[:] = values[rank]
+
+    @property
+    def symmetric_buffers(self) -> dict[str, int]:
+        return dict(self._symmetric)

@@ -1,0 +1,124 @@
+"""alpha-beta-gamma cost model for point-to-point operations.
+
+Every lowered op is priced against the *physical* machine (which links it
+really crosses, which NIC serves each endpoint) and the *virtual* plan (which
+library the crossed hierarchy level was assigned, per Listing 2 line 14):
+
+* **alpha** — wire latency of the physical path plus the library's
+  per-message software latency;
+* **beta** — serialization time on each shared resource the transfer
+  occupies: NIC tx/rx timelines for inter-node hops, per-GPU per-level link
+  timelines for intra-node hops, the copy engine for local moves.  NICs are
+  booked at wire rate while endpoints are booked at the (slower) single-flow
+  rate, so several flows from one node can keep a NIC busier than any single
+  GPU could — the effect multi-NIC striping exploits;
+* **gamma** — reduction-kernel time at the destination when the op combines
+  data, scaled by the library's kernel fusion quality (NCCL hides most of
+  this; Section 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.schedule import P2POp
+from ..machine.spec import INTER_NODE, MachineSpec
+from ..transport.library import Library
+from ..transport.profiles import profile
+
+#: Resource keys are hashable tuples; the first element names the kind.
+ResourceKey = tuple
+
+#: Fraction of a message's software latency that occupies the link/NIC
+#: resource itself (per-message processing).  The rest of alpha is
+#: pipelineable: it delays *this* message's completion but lets other
+#: messages use the wire meanwhile, as real NICs and GPU DMA engines do.
+RESOURCE_ALPHA_FRACTION = 0.2
+
+
+@dataclass(frozen=True)
+class PricedOp:
+    """Simulation costs of one op: per-resource occupancy + latency + kernel."""
+
+    resources: tuple[tuple[ResourceKey, float], ...]  # (key, seconds busy)
+    alpha: float  # seconds of latency before data lands
+    gamma: float  # seconds of reduction compute after the transfer
+
+    @property
+    def overhead(self) -> float:
+        """Per-message occupancy added to every resource this op touches."""
+        return self.alpha * RESOURCE_ALPHA_FRACTION
+
+    @property
+    def transfer_time(self) -> float:
+        return max((dur for _, dur in self.resources), default=0.0)
+
+    @property
+    def total_time(self) -> float:
+        return self.alpha + self.transfer_time + self.gamma
+
+
+def _gb(bytes_: float) -> float:
+    return bytes_ / 1.0e9
+
+
+def price_op(
+    op: P2POp,
+    machine: MachineSpec,
+    libraries: tuple[Library, ...],
+    elem_bytes: int,
+) -> PricedOp:
+    """Price one op for the event engine."""
+    nbytes = op.count * elem_bytes
+    path = machine.path(op.src, op.dst)
+
+    if op.is_local:
+        gamma = 0.0
+        if op.reduce_op is not None:
+            gamma = _gb(nbytes) / machine.reduce_bandwidth + machine.kernel_latency
+        duration = _gb(nbytes) / machine.copy_bandwidth
+        resources = ((("copy", op.src), duration),)
+        return PricedOp(resources, machine.copy_latency, gamma)
+
+    if op.level is None or not 0 <= op.level < len(libraries):
+        raise ValueError(f"op {op.uid} has no valid library level: {op.level}")
+    lib = libraries[op.level]
+    prof = profile(lib, machine.name)
+
+    gamma = 0.0
+    if op.reduce_op is not None:
+        gamma = (
+            _gb(nbytes) / machine.reduce_bandwidth
+            + machine.kernel_latency * prof.kernel_scale
+        )
+
+    if path.kind == INTER_NODE:
+        flow_bw = min(machine.nic_bandwidth, machine.injection_bandwidth) * prof.eff_inter
+        if flow_bw <= 0:
+            raise ValueError(
+                f"op {op.uid}: {lib.name} cannot carry inter-node traffic "
+                f"({op.src} -> {op.dst}); was a node-local library scheduled "
+                "across nodes (e.g. by a permuted placement)?"
+            )
+        wire = _gb(nbytes) / machine.nic_bandwidth
+        endpoint = _gb(nbytes) / flow_bw
+        src_node, dst_node = machine.node_of(op.src), machine.node_of(op.dst)
+        resources = (
+            (("nic_tx", src_node, machine.nic_of(op.src)), wire),
+            (("nic_rx", dst_node, machine.nic_of(op.dst)), wire),
+            (("inj_tx", op.src), endpoint),
+            (("inj_rx", op.dst), endpoint),
+        )
+        alpha = path.latency + prof.alpha_inter
+        return PricedOp(resources, alpha, gamma)
+
+    # Intra-node link at some physical level.
+    bw = path.bandwidth * prof.eff_intra
+    duration = _gb(nbytes) / bw
+    lvl = path.level_index
+    resources = (
+        (("link_tx", op.src, lvl), duration),
+        (("link_rx", op.dst, lvl), duration),
+    )
+    alpha = path.latency + prof.alpha_intra
+    return PricedOp(resources, alpha, gamma)

@@ -1,0 +1,14 @@
+"""Point-to-point transport backends and their performance envelopes."""
+
+from .library import DIRECT_LIBRARY, VENDOR_LIBRARY, Library
+from .profiles import PROFILES, LibraryProfile, profile, validate_level_libraries
+
+__all__ = [
+    "DIRECT_LIBRARY",
+    "Library",
+    "LibraryProfile",
+    "PROFILES",
+    "VENDOR_LIBRARY",
+    "profile",
+    "validate_level_libraries",
+]

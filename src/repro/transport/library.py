@@ -1,0 +1,67 @@
+"""Point-to-point communication libraries HiCCL can layer on (Section 5.1).
+
+HiCCL "does not provide its own point-to-point communication operations" —
+each level of the virtual hierarchy is served by the non-blocking p2p API of a
+chosen library: MPI, NCCL, RCCL, OneCCL, or vendor IPC put/get.  This module
+defines the enum used in the ``library`` vector of ``Communicator.init``
+(Listing 2, line 14) and the structural constraints each backend carries.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Library(enum.Enum):
+    """Communication backend assignable to a hierarchy level.
+
+    The ``*_COLL`` members are not selectable backends for HiCCL levels; they
+    model the *internal* data path of the baseline libraries' own collective
+    functions (e.g. GPU-aware MPI collectives staging through host memory),
+    which the paper measures as the light/dark blue baseline bars of Figure 8.
+    """
+
+    MPI = "mpi"
+    NCCL = "nccl"
+    RCCL = "rccl"
+    ONECCL = "oneccl"
+    IPC = "ipc"  # CUDA/HIP/Level-Zero put&get through shared memory
+    MPI_COLL = "mpi-collective"  # baseline-only: MPI collective internals
+    ONECCL_COLL = "oneccl-collective"  # baseline-only: OneCCL collective internals
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Library.{self.name}"
+
+    @property
+    def intra_node_only(self) -> bool:
+        """IPC works through mapped device memory and cannot cross nodes."""
+        return self is Library.IPC
+
+    @property
+    def vendor(self) -> str | None:
+        """GPU vendor whose systems ship this backend (None = portable)."""
+        return {
+            Library.NCCL: "nvidia",
+            Library.RCCL: "amd",
+            Library.ONECCL: "intel",
+        }.get(self)
+
+
+#: Vendor-provided collective library of each paper system, used for the
+#: dark-blue baseline bars in Figure 8.
+VENDOR_LIBRARY = {
+    "delta": Library.NCCL,
+    "perlmutter": Library.NCCL,
+    "frontier": Library.RCCL,
+    "aurora": Library.ONECCL,
+}
+
+#: Best available p2p backend for *flat* (direct) implementations per system
+#: (Section 6.3.2: "Direct implementations use NCCL on Delta and Perlmutter,
+#: and MPI on Frontier and Aurora").
+DIRECT_LIBRARY = {
+    "delta": Library.NCCL,
+    "perlmutter": Library.NCCL,
+    "frontier": Library.MPI,
+    "aurora": Library.MPI,
+}

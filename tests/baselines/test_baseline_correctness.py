@@ -1,0 +1,105 @@
+"""Functional correctness of every baseline implementation.
+
+Baselines are held to the same bar as HiCCL: their schedules execute on the
+functional simulator and must reproduce exact collective semantics.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import check_collective, make_input
+
+import repro
+from repro.baselines import (
+    CCL_OFFERED,
+    ONECCL_OFFERED,
+    ccl_collective,
+    direct_collective,
+    mpi_collective,
+    oneccl_collective,
+)
+from repro.baselines.ccl_like import ccl_gather, ccl_scatter
+from repro.errors import CompositionError
+from repro.machine.machines import frontier, generic, perlmutter
+
+COUNT = 32
+ALL = sorted(repro.COLLECTIVES)
+
+
+@pytest.fixture(params=["2x3", "perlmutter2", "frontier2"])
+def machine(request):
+    return {
+        "2x3": generic(2, 3, 1, name="b23"),
+        "perlmutter2": perlmutter(nodes=2),
+        "frontier2": frontier(nodes=2),
+    }[request.param]
+
+
+class TestMpiBaseline:
+    @pytest.mark.parametrize("name", ALL)
+    def test_correct(self, machine, name):
+        run = mpi_collective(machine, name, COUNT)
+        rng = np.random.default_rng(5)
+        data = make_input(name, machine.world_size, COUNT, rng)
+        check_collective(run, name, data, COUNT)
+
+    def test_unknown_collective(self, machine):
+        with pytest.raises(CompositionError):
+            mpi_collective(machine, "all_shuffle", COUNT)
+
+
+class TestCclBaseline:
+    @pytest.mark.parametrize("name", sorted(CCL_OFFERED))
+    def test_correct(self, machine, name):
+        run = ccl_collective(machine, name, COUNT)
+        rng = np.random.default_rng(6)
+        data = make_input(name, machine.world_size, COUNT, rng)
+        check_collective(run, name, data, COUNT)
+
+    def test_gather_scatter_not_offered(self, machine):
+        for name in ("gather", "scatter", "all_to_all"):
+            with pytest.raises(CompositionError):
+                ccl_collective(machine, name, COUNT)
+
+    def test_p2p_gather_scatter_reference(self, machine):
+        rng = np.random.default_rng(7)
+        run = ccl_gather(machine, COUNT)
+        data = make_input("gather", machine.world_size, COUNT, rng)
+        check_collective(run, "gather", data, COUNT)
+        run = ccl_scatter(machine, COUNT)
+        data = make_input("scatter", machine.world_size, COUNT, rng)
+        check_collective(run, "scatter", data, COUNT)
+
+
+class TestOneCclBaseline:
+    @pytest.mark.parametrize("name", sorted(ONECCL_OFFERED))
+    def test_correct(self, machine, name):
+        run = oneccl_collective(machine, name, COUNT)
+        rng = np.random.default_rng(8)
+        data = make_input(name, machine.world_size, COUNT, rng)
+        check_collective(run, name, data, COUNT)
+
+    def test_gather_not_offered(self, machine):
+        with pytest.raises(CompositionError):
+            oneccl_collective(machine, "gather", COUNT)
+
+
+class TestDirectBaseline:
+    @pytest.mark.parametrize("name", ALL)
+    def test_correct(self, machine, name):
+        run = direct_collective(machine, name, COUNT)
+        rng = np.random.default_rng(9)
+        data = make_input(name, machine.world_size, COUNT, rng)
+        check_collective(run, name, data, COUNT)
+
+    def test_flat_hierarchy(self, machine):
+        run = direct_collective(machine, "broadcast", COUNT)
+        assert list(run.plan.topology.factors) == [machine.world_size]
+        assert run.plan.stripe == 1
+        assert run.plan.pipeline == 1

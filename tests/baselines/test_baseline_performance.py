@@ -1,0 +1,87 @@
+"""Performance-relation sanity checks between baselines and HiCCL.
+
+These encode the qualitative ordering the paper's Figure 8 rests on, at a
+single payload, so regressions in profiles or algorithms surface quickly
+without running the full benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import machines
+from repro.bench.configs import best_config
+from repro.bench.runner import run_baseline, run_hiccl
+
+PAYLOAD = 1 << 25  # 32 MB: bandwidth-dominated but fast to lower
+
+
+@pytest.fixture(scope="module")
+def perlmutter():
+    return machines.perlmutter(nodes=4)
+
+
+def _thr(meas):
+    assert meas is not None
+    return meas.throughput
+
+
+class TestOrderings:
+    def test_hiccl_beats_mpi_everywhere(self, perlmutter):
+        for name in ("broadcast", "all_reduce", "gather"):
+            hic = run_hiccl(perlmutter, name, best_config(perlmutter, name),
+                            payload_bytes=PAYLOAD, warmup=0, rounds=1)
+            mpi = run_baseline(perlmutter, name, "mpi",
+                               payload_bytes=PAYLOAD, warmup=0, rounds=1)
+            assert _thr(hic) > 3 * _thr(mpi), name
+
+    def test_nccl_competitive_with_hiccl(self, perlmutter):
+        """Section 6.3.1: 1.05x on Perlmutter — same ballpark, not 10x."""
+        for name in ("broadcast", "all_reduce"):
+            hic = run_hiccl(perlmutter, name, best_config(perlmutter, name),
+                            payload_bytes=PAYLOAD, warmup=0, rounds=1)
+            ven = run_baseline(perlmutter, name, "vendor",
+                               payload_bytes=PAYLOAD, warmup=0, rounds=1)
+            ratio = _thr(hic) / _thr(ven)
+            assert 0.5 < ratio < 3.0, (name, ratio)
+
+    def test_vendor_beats_mpi(self, perlmutter):
+        for name in ("broadcast", "all_reduce"):
+            ven = run_baseline(perlmutter, name, "vendor",
+                               payload_bytes=PAYLOAD, warmup=0, rounds=1)
+            mpi = run_baseline(perlmutter, name, "mpi",
+                               payload_bytes=PAYLOAD, warmup=0, rounds=1)
+            assert _thr(ven) > _thr(mpi)
+
+    def test_hierarchy_beats_direct(self, perlmutter):
+        direct = run_baseline(perlmutter, "broadcast", "direct",
+                              payload_bytes=PAYLOAD, warmup=0, rounds=1)
+        hic = run_hiccl(perlmutter, "broadcast",
+                        best_config(perlmutter, "broadcast"),
+                        payload_bytes=PAYLOAD, warmup=0, rounds=1)
+        assert _thr(hic) > 5 * _thr(direct)
+
+    def test_oneccl_order_of_magnitude_behind_on_aurora(self):
+        from repro.bench.configs import ring_config
+
+        m = machines.aurora(nodes=2)
+        cfg = ring_config(m, pipeline=8)  # shallow enough for this payload
+        hic = run_hiccl(m, "all_reduce", cfg,
+                        payload_bytes=1 << 27, warmup=0, rounds=1)
+        ven = run_baseline(m, "all_reduce", "vendor",
+                           payload_bytes=1 << 27, warmup=0, rounds=1)
+        assert _thr(hic) > 4 * _thr(ven)
+
+    def test_frontier_intra_caps_broadcast(self):
+        """Frontier's broadcast lands near its intra-node empirical bound,
+        well below the NIC-aggregate frame (Section 6.3.5)."""
+        from repro.model.bounds import empirical_bounds, theoretical_bound
+        from repro.transport.library import Library
+
+        m = machines.frontier(nodes=4)
+        hic = run_hiccl(m, "broadcast", best_config(m, "broadcast"),
+                        payload_bytes=PAYLOAD, warmup=0, rounds=1)
+        emp = empirical_bounds(m, inter_library=Library.MPI)
+        theo = theoretical_bound(m, "broadcast")
+        assert _thr(hic) < 0.6 * theo
+        assert _thr(hic) > 0.5 * emp.intra_node

@@ -1,0 +1,100 @@
+"""Tests for the figure data generators (fast subset; full runs live in
+benchmarks/)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import machines
+from repro.bench.configs import ring_config, tree_config
+from repro.bench.figures import (
+    FIG5_FACTORIZATIONS,
+    fig1_broadcast_volume,
+    fig2_bindings,
+    fig5_trees,
+    fig6_stage_counts,
+    fig7_matrices,
+    fig9_curves,
+    render_fig1,
+    render_fig2,
+    render_fig5,
+    render_fig7,
+    render_fig9,
+)
+
+
+class TestFig1:
+    def test_volumes(self):
+        data = fig1_broadcast_volume(2, 3, 300)
+        assert data["direct"]["inter-node"] == 900
+        assert data["hierarchical"]["inter-node"] == 300
+
+    def test_render_mentions_both(self):
+        data = fig1_broadcast_volume(2, 3, 300)
+        text = render_fig1(data, 300)
+        assert "direct" in text and "hierarchical" in text
+
+
+class TestFig2:
+    def test_three_panels(self):
+        data = fig2_bindings()
+        assert [case["panel"] for case in data] == ["a", "b", "c"]
+
+    def test_render(self):
+        assert "75%" in render_fig2(fig2_bindings())
+
+
+class TestFig5:
+    def test_six_factorizations(self):
+        assert len(FIG5_FACTORIZATIONS) == 6
+        assert len(fig5_trees()) == 6
+
+    def test_render_contains_vectors(self):
+        text = render_fig5()
+        assert "{3, 2, 4}" in text and "{2, 2, 6}" in text
+
+
+class TestFig6:
+    def test_stage_counts(self):
+        counts = fig6_stage_counts(count=240)
+        assert counts["tree {2,2,3}"] == 4
+        assert counts["ring {4,3}"] == 5
+
+
+class TestFig7:
+    def test_matrices_shapes(self):
+        mats = fig7_matrices(count=240)
+        assert set(mats) == {"tree", "ring"}
+        for case in mats.values():
+            assert len(case["volume"]) == 12
+            assert len(case["library"]) == 12
+
+    def test_render(self):
+        text = render_fig7(fig7_matrices(count=240))
+        assert "tree" in text and "ring" in text
+
+
+class TestFig9Small:
+    def test_curves_structure(self):
+        m = machines.perlmutter(nodes=2)
+        curves = fig9_curves(m, "broadcast",
+                             payloads_bytes=[1 << 18, 1 << 22],
+                             depths=(1, 4))
+        assert set(curves) == {1, 4}
+        assert len(curves[1]) == 2
+        text = render_fig9("broadcast", curves)
+        assert "m=1" in text and "m=4" in text
+
+
+class TestConfigsUsedByFigures:
+    def test_ring_tree_configs_validate_on_all_systems(self):
+        for name in machines.PAPER_SYSTEMS:
+            m = machines.by_name(name, nodes=4)
+            tree_config(m)
+            ring_config(m)
+
+    @pytest.mark.parametrize("nodes", [2, 8])
+    def test_configs_scale_with_nodes(self, nodes):
+        m = machines.frontier(nodes)
+        assert tree_config(m).hierarchy[-2:] == (4, 2)
+        assert ring_config(m).hierarchy[0] == nodes

@@ -1,0 +1,94 @@
+"""Tests for the autotuner extension."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import Library, machines
+from repro.core.autotune import Candidate, TuneResult, hierarchy_candidates, tune
+from repro.machine.machines import generic
+
+PAYLOAD_COUNT = (1 << 24) // (16 * 4)  # 16 MB total on p=16
+
+
+def _bcast(count=PAYLOAD_COUNT):
+    def fn(comm):
+        repro.compose(comm, "broadcast", count)
+    return fn
+
+
+class TestHierarchyCandidates:
+    def test_includes_flat_and_physical(self):
+        m = machines.perlmutter(4)
+        cands = hierarchy_candidates(m)
+        assert [16] in cands
+        assert [4, 4] in cands
+        assert [2, 2, 4] in cands
+
+    def test_multi_level_nodes_get_merged_variant(self):
+        m = machines.frontier(4)
+        cands = hierarchy_candidates(m)
+        assert [4, 4, 2] in cands  # physical
+        assert [4, 8] in cands  # die level merged away
+
+    def test_single_node(self):
+        m = machines.frontier(1)
+        cands = hierarchy_candidates(m)
+        assert [8] in cands
+        assert [4, 2] in cands
+
+    def test_no_duplicates(self):
+        m = machines.perlmutter(2)
+        cands = [tuple(c) for c in hierarchy_candidates(m)]
+        assert len(cands) == len(set(cands))
+
+
+class TestTune:
+    def test_finds_ring_for_broadcast_on_perlmutter(self):
+        """The tuner rediscovers Table 5: ring {4,4}, stripe 4, deep pipeline."""
+        m = machines.perlmutter(4)
+        res = tune(_bcast(), m, pipelines=(1, 8, 32))
+        best = res.best
+        assert best.ring == 4
+        assert best.stripe == 4
+        assert best.pipeline >= 8
+        assert list(best.hierarchy) == [4, 4]
+
+    def test_flat_is_never_best_on_multinode(self):
+        m = machines.perlmutter(4)
+        res = tune(_bcast(), m, pipelines=(1, 8))
+        assert list(res.best.hierarchy) != [16]
+        flat = [c for c in res.candidates if list(c.hierarchy) == [16]]
+        assert flat and all(c.seconds > res.best.seconds for c in flat)
+
+    def test_candidates_sorted(self):
+        m = generic(2, 2, 1, name="tn")
+        res = tune(_bcast((1 << 20) // 16), m, pipelines=(1, 4))
+        times = [c.seconds for c in res.candidates]
+        assert times == sorted(times)
+
+    def test_ipc_only_within_nodes(self):
+        m = machines.perlmutter(4)
+        res = tune(_bcast(), m, pipelines=(1,))
+        for cand in res.candidates:
+            # Any IPC level must sit at an intra-node depth.
+            block = m.world_size
+            for factor, lib in zip(cand.hierarchy, cand.libraries):
+                if lib is Library.IPC:
+                    assert block <= m.gpus_per_node
+                block //= factor
+
+    def test_render_and_kwargs(self):
+        m = generic(2, 2, 1, name="tr")
+        res = tune(_bcast((1 << 20) // 16), m, pipelines=(1,))
+        text = res.render(2)
+        assert "configurations evaluated" in text
+        kwargs = res.best.init_kwargs()
+        assert set(kwargs) == {"hierarchy", "library", "stripe", "ring", "pipeline"}
+
+    def test_explicit_inter_library(self):
+        m = machines.frontier(2)
+        res = tune(_bcast((1 << 22) // 16), m, inter_library=Library.RCCL,
+                   pipelines=(1,))
+        assert any(Library.RCCL in c.libraries for c in res.candidates)

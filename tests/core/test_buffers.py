@@ -1,0 +1,86 @@
+"""Tests for symmetric buffer handles and views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffers import BufferHandle, BufferView, as_view
+from repro.errors import CompositionError
+
+
+class TestBufferHandle:
+    def test_slicing_mirrors_pointer_arithmetic(self):
+        buf = BufferHandle("send", 100)
+        view = buf[25:]
+        assert view.offset == 25
+        assert view.capacity == 75
+
+    def test_integer_index_is_offset(self):
+        buf = BufferHandle("send", 10)
+        assert buf[3].offset == 3
+
+    def test_full_view_default(self):
+        buf = BufferHandle("b", 8)
+        assert buf.view().offset == 0
+        assert buf.view().capacity == 8
+
+    def test_strided_slice_rejected(self):
+        buf = BufferHandle("b", 8)
+        with pytest.raises(CompositionError):
+            buf[0:8:2]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CompositionError):
+            BufferHandle("b", -1)
+
+    def test_backward_slice_rejected(self):
+        buf = BufferHandle("b", 8)
+        with pytest.raises(CompositionError):
+            buf[5:3]
+
+
+class TestBufferView:
+    def test_shifted_accumulates_offsets(self):
+        buf = BufferHandle("b", 100)
+        v = buf[10:].shifted(5)
+        assert v.offset == 15
+        assert v.name == "b"
+
+    def test_offset_beyond_capacity_rejected(self):
+        buf = BufferHandle("b", 10)
+        with pytest.raises(CompositionError):
+            buf[11:]
+
+    def test_offset_at_end_allowed_with_zero_capacity(self):
+        buf = BufferHandle("b", 10)
+        v = buf[10:]
+        assert v.capacity == 0
+
+    def test_check_capacity(self):
+        buf = BufferHandle("b", 10)
+        v = buf[4:]
+        v.check_capacity(6, "ok")
+        with pytest.raises(CompositionError):
+            v.check_capacity(7, "too much")
+        with pytest.raises(CompositionError):
+            v.check_capacity(-1, "negative")
+
+    def test_loc(self):
+        buf = BufferHandle("b", 10)
+        assert buf[3:].loc() == ("b", 3)
+
+
+class TestAsView:
+    def test_handle_coerced(self):
+        buf = BufferHandle("b", 4)
+        v = as_view(buf)
+        assert isinstance(v, BufferView)
+        assert v.offset == 0
+
+    def test_view_passthrough(self):
+        v = BufferHandle("b", 4)[1:]
+        assert as_view(v) is v
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CompositionError):
+            as_view("not a buffer")

@@ -1,0 +1,181 @@
+"""Tests for the Communicator lifecycle (Listing 2's API contract)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Communicator, Library
+from repro.core.composition import compose
+from repro.core.ops import ReduceOp
+from repro.errors import CompositionError, InitializationError
+from repro.machine.machines import generic
+
+
+@pytest.fixture
+def machine():
+    return generic(2, 2, 1, name="comm")
+
+
+class TestLifecycle:
+    def test_listing2_flow(self, machine):
+        """The exact flow of Listing 2: compose, init, start, wait."""
+        comm = Communicator(machine, dtype=np.float32)
+        p = machine.world_size
+        count = 16
+        send = comm.alloc(p * count)
+        recv = comm.alloc(p * count)
+        every = list(range(p))
+        for j in range(p):
+            comm.add_reduction(send[j * count:], recv[j * count:], count,
+                               every, j, ReduceOp.SUM)
+        comm.add_fence()
+        for i in range(p):
+            others = [r for r in every if r != i]
+            comm.add_multicast(recv[i * count:], recv[i * count:], count,
+                               i, others)
+        comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC],
+                  ring=1, stripe=2, pipeline=4)
+        comm.start()
+        elapsed = comm.wait()
+        assert elapsed > 0
+        assert comm.last_elapsed == elapsed
+
+    def test_init_requires_primitives(self, machine):
+        comm = Communicator(machine)
+        with pytest.raises(InitializationError):
+            comm.init(hierarchy=[4], library=[Library.MPI])
+
+    def test_start_requires_init(self, machine):
+        comm = Communicator(machine)
+        send = comm.alloc(4)
+        recv = comm.alloc(4)
+        comm.add_multicast(send, recv, 4, 0, [1])
+        with pytest.raises(InitializationError):
+            comm.start()
+
+    def test_wait_requires_start(self, machine):
+        comm = Communicator(machine)
+        send = comm.alloc(4)
+        recv = comm.alloc(4)
+        comm.add_multicast(send, recv, 4, 0, [1])
+        comm.init(hierarchy=[4], library=[Library.MPI])
+        with pytest.raises(InitializationError):
+            comm.wait()
+
+    def test_double_start_rejected(self, machine):
+        comm = Communicator(machine)
+        send = comm.alloc(4)
+        recv = comm.alloc(4)
+        comm.add_multicast(send, recv, 4, 0, [1])
+        comm.init(hierarchy=[4], library=[Library.MPI])
+        comm.start()
+        with pytest.raises(InitializationError):
+            comm.start()
+        comm.wait()
+
+    def test_double_init_rejected(self, machine):
+        comm = Communicator(machine)
+        send = comm.alloc(4)
+        recv = comm.alloc(4)
+        comm.add_multicast(send, recv, 4, 0, [1])
+        comm.init(hierarchy=[4], library=[Library.MPI])
+        with pytest.raises(InitializationError):
+            comm.init(hierarchy=[4], library=[Library.MPI])
+
+    def test_composition_frozen_after_init(self, machine):
+        comm = Communicator(machine)
+        send = comm.alloc(4)
+        recv = comm.alloc(4)
+        comm.add_multicast(send, recv, 4, 0, [1])
+        comm.init(hierarchy=[4], library=[Library.MPI])
+        with pytest.raises(CompositionError):
+            comm.add_fence()
+        with pytest.raises(CompositionError):
+            comm.add_multicast(send, recv, 4, 0, [1])
+        with pytest.raises(CompositionError):
+            comm.alloc(8)
+
+    def test_persistent_reuse_is_deterministic(self, machine):
+        """Section 5.2: repeated start/wait reuse the memoized schedule."""
+        comm = Communicator(machine)
+        compose(comm, "all_reduce", 8)
+        comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC])
+        times = {comm.run() for _ in range(5)}
+        assert len(times) == 1
+
+    def test_measure_protocol(self, machine):
+        comm = Communicator(machine)
+        compose(comm, "broadcast", 8)
+        comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC])
+        t = comm.measure(warmup=2, rounds=3)
+        assert t == comm.last_elapsed
+
+    def test_synthesis_time_recorded(self, machine):
+        comm = Communicator(machine)
+        compose(comm, "broadcast", 8)
+        comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC])
+        assert comm.synthesis_seconds is not None
+        assert comm.synthesis_seconds > 0
+
+    def test_describe(self, machine):
+        comm = Communicator(machine)
+        assert "uninitialized" in comm.describe()
+        compose(comm, "broadcast", 8)
+        comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC],
+                  stripe=2, pipeline=4)
+        text = comm.describe()
+        assert "stripe(2)" in text and "pipeline(4)" in text
+
+
+class TestBufferAccess:
+    def test_array_read_write(self, machine):
+        comm = Communicator(machine)
+        buf = comm.alloc(8)
+        comm.array(buf, 2)[:] = 5.0
+        assert comm.gather_all(buf)[2].tolist() == [5.0] * 8
+
+    def test_timing_only_mode_skips_memory(self, machine):
+        comm = Communicator(machine, materialize=False)
+        buf = comm.alloc(1 << 20)  # would be 4 MB x 4 ranks if materialized
+        recv = comm.alloc(1 << 20)
+        comm.add_multicast(buf, recv, 1 << 20, 0, [1, 2, 3])
+        comm.init(hierarchy=[4], library=[Library.MPI])
+        t = comm.run()
+        assert t > 0
+        with pytest.raises(Exception):
+            comm.gather_all(buf)
+
+    def test_dtype_respected(self, machine):
+        comm = Communicator(machine, dtype=np.float64)
+        buf = comm.alloc(4)
+        assert comm.array(buf, 0).dtype == np.float64
+
+
+class TestValidationAtInit:
+    def test_bad_hierarchy_product(self, machine):
+        comm = Communicator(machine)
+        compose(comm, "broadcast", 8)
+        with pytest.raises(Exception):
+            comm.init(hierarchy=[3], library=[Library.MPI])
+
+    def test_ring_must_match_top_factor(self, machine):
+        comm = Communicator(machine)
+        compose(comm, "broadcast", 8)
+        with pytest.raises(InitializationError):
+            comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC],
+                      ring=3)
+
+    def test_stripe_beyond_node_rejected(self, machine):
+        comm = Communicator(machine)
+        compose(comm, "broadcast", 8)
+        with pytest.raises(InitializationError):
+            comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC],
+                      stripe=3)
+
+    def test_zero_pipeline_rejected(self, machine):
+        comm = Communicator(machine)
+        compose(comm, "broadcast", 8)
+        with pytest.raises(InitializationError):
+            comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC],
+                      pipeline=0)

@@ -1,0 +1,249 @@
+"""End-to-end correctness: every collective x optimization configuration.
+
+This is the central integration suite: compose each Table 2 collective,
+lower it under a grid of optimization plans (tree depths, striping, ring,
+pipelining, mixed libraries), execute functionally, and compare against
+numpy reference semantics.  If factorization, striping, rings, pipelining,
+or the fence dependency analysis mis-handle any case, data lands in the
+wrong place and these tests fail.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import check_collective, make_input
+
+import repro
+from repro import Communicator, Library
+from repro.core.composition import COLLECTIVES, compose
+from repro.core.ops import ReduceOp
+from repro.machine.machines import frontier, generic, perlmutter
+
+COUNT = 24  # elements per chunk: small but not trivially aligned
+
+
+def _run_case(machine, name, hierarchy, libraries, *, ring=1, stripe=1,
+              pipeline=1, count=COUNT, seed=0, op=ReduceOp.SUM):
+    comm = Communicator(machine)
+    compose(comm, name, count) if name != "reduce_scatter" or op is ReduceOp.SUM \
+        else compose(comm, name, count, op=op)
+    comm.init(hierarchy=hierarchy, library=libraries, ring=ring,
+              stripe=stripe, pipeline=pipeline)
+    rng = np.random.default_rng(seed)
+    data = make_input(name, machine.world_size, count, rng)
+    check_collective(comm, name, data, count, op=op)
+    return comm
+
+
+ALL_NAMES = sorted(COLLECTIVES)
+
+
+class TestFlatLowering:
+    """hierarchy = {p}: the degenerate direct case must still be correct."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_flat(self, name):
+        machine = generic(2, 3, 1, name="flat")
+        _run_case(machine, name, [6], [Library.MPI])
+
+
+class TestTwoLevelTree:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_nodes_by_gpus(self, name):
+        machine = generic(2, 3, 1, name="t2")
+        _run_case(machine, name, [2, 3], [Library.MPI, Library.IPC])
+
+
+class TestDeepTree:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_binary_tree(self, name):
+        machine = generic(4, 4, 2, name="t4")
+        _run_case(machine, name, [2, 2, 4],
+                  [Library.NCCL, Library.NCCL, Library.IPC])
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_dual_die_machine(self, name):
+        machine = frontier(nodes=2)  # 16 GPUs, {2, 4, 2}
+        _run_case(machine, name, [2, 4, 2],
+                  [Library.MPI, Library.IPC, Library.IPC])
+
+
+class TestStriping:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_full_stripe(self, name):
+        machine = generic(2, 4, 4, name="s4")
+        _run_case(machine, name, [2, 4], [Library.NCCL, Library.IPC], stripe=4)
+
+    @pytest.mark.parametrize("name", ["broadcast", "reduce", "all_reduce"])
+    def test_partial_stripe(self, name):
+        machine = generic(2, 4, 2, name="s2")
+        _run_case(machine, name, [2, 4], [Library.NCCL, Library.IPC], stripe=2)
+
+    def test_stripe_wider_than_payload(self):
+        machine = generic(2, 4, 4, name="sw")
+        _run_case(machine, "broadcast", [2, 4], [Library.NCCL, Library.IPC],
+                  stripe=4, count=1)
+
+
+class TestRing:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_ring_over_nodes(self, name):
+        machine = generic(4, 3, 1, name="r4")
+        _run_case(machine, name, [4, 3], [Library.MPI, Library.IPC],
+                  ring=4, stripe=3)
+
+    @pytest.mark.parametrize("name", ["broadcast", "reduce", "all_reduce"])
+    def test_ring_on_dual_die(self, name):
+        machine = frontier(nodes=4)
+        _run_case(machine, name, [4, 4, 2],
+                  [Library.MPI, Library.IPC, Library.IPC],
+                  ring=4, stripe=8)
+
+
+class TestPipelining:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_pipelined_tree(self, name):
+        machine = generic(2, 3, 1, name="p")
+        _run_case(machine, name, [2, 3], [Library.MPI, Library.IPC],
+                  pipeline=4)
+
+    @pytest.mark.parametrize("name", ["broadcast", "all_reduce", "all_to_all"])
+    def test_pipelined_striped_ring(self, name):
+        machine = generic(4, 4, 4, name="psr")
+        _run_case(machine, name, [4, 4], [Library.NCCL, Library.IPC],
+                  ring=4, stripe=4, pipeline=8)
+
+    def test_pipeline_deeper_than_payload(self):
+        machine = generic(2, 2, 1, name="pd")
+        _run_case(machine, "all_reduce", [2, 2], [Library.MPI, Library.IPC],
+                  pipeline=64, count=3)
+
+
+class TestTable5Configurations:
+    """The exact per-system configurations used in Figure 8."""
+
+    def test_perlmutter_tree(self):
+        machine = perlmutter(nodes=4)
+        for name in ALL_NAMES:
+            _run_case(machine, name, [2, 2, 4],
+                      [Library.NCCL, Library.NCCL, Library.IPC],
+                      stripe=4, pipeline=2)
+
+    def test_perlmutter_ring(self):
+        machine = perlmutter(nodes=4)
+        for name in ("broadcast", "reduce"):
+            _run_case(machine, name, [4, 4], [Library.NCCL, Library.IPC],
+                      ring=4, stripe=4, pipeline=4)
+
+
+class TestReduceOps:
+    @pytest.mark.parametrize("op", [ReduceOp.SUM, ReduceOp.MAX, ReduceOp.MIN,
+                                    ReduceOp.PROD])
+    def test_all_reduce_ops(self, op):
+        machine = generic(2, 2, 1, name="ops")
+        comm = Communicator(machine)
+        compose(comm, "all_reduce", COUNT, op=op)
+        comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC],
+                  stripe=2, pipeline=2)
+        rng = np.random.default_rng(7)
+        data = make_input("all_reduce", 4, COUNT, rng)
+        if op is ReduceOp.PROD:
+            data = np.clip(np.abs(data), 1, 2)  # avoid overflow/zeros
+        check_collective(comm, "all_reduce", data, COUNT, op=op)
+
+    def test_integer_dtype(self):
+        machine = generic(2, 2, 1, name="int")
+        comm = Communicator(machine, dtype=np.int64)
+        compose(comm, "reduce", COUNT)
+        comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC])
+        rng = np.random.default_rng(3)
+        data = rng.integers(-100, 100, size=(4, 4 * COUNT)).astype(np.int64)
+        check_collective(comm, "reduce", data, COUNT)
+
+
+class TestNonUniformRoots:
+    @pytest.mark.parametrize("root", [0, 1, 5, 11])
+    def test_broadcast_roots(self, root):
+        machine = generic(4, 3, 1, name="roots")
+        comm = Communicator(machine)
+        compose(comm, "broadcast", COUNT, root=root)
+        comm.init(hierarchy=[4, 3], library=[Library.MPI, Library.IPC],
+                  ring=4, stripe=3, pipeline=2)
+        rng = np.random.default_rng(root)
+        data = make_input("broadcast", 12, COUNT, rng)
+        check_collective(comm, "broadcast", data, COUNT, root=root)
+
+    @pytest.mark.parametrize("root", [0, 4, 7])
+    def test_reduce_roots(self, root):
+        machine = generic(4, 2, 1, name="rroots")
+        comm = Communicator(machine)
+        compose(comm, "reduce", COUNT, root=root)
+        comm.init(hierarchy=[2, 2, 2],
+                  library=[Library.MPI, Library.MPI, Library.IPC], stripe=2)
+        rng = np.random.default_rng(root)
+        data = make_input("reduce", 8, COUNT, rng)
+        check_collective(comm, "reduce", data, COUNT, root=root)
+
+
+class TestMultiStepForms:
+    """Table 2 (Multiple): alternative multi-step compositions."""
+
+    def test_broadcast_as_allgather_scatter(self):
+        from repro.core.composition import compose_broadcast_multi_step
+
+        machine = generic(2, 3, 1, name="ms")
+        comm = Communicator(machine)
+        compose_broadcast_multi_step(comm, COUNT)
+        comm.init(hierarchy=[2, 3], library=[Library.MPI, Library.IPC],
+                  stripe=2, pipeline=2)
+        rng = np.random.default_rng(1)
+        data = make_input("broadcast", 6, COUNT, rng)
+        check_collective(comm, "broadcast", data, COUNT)
+
+    def test_reduce_as_gather_reduce_scatter(self):
+        from repro.core.composition import compose_reduce_multi_step
+
+        machine = generic(2, 3, 1, name="ms2")
+        comm = Communicator(machine)
+        compose_reduce_multi_step(comm, COUNT)
+        comm.init(hierarchy=[2, 3], library=[Library.MPI, Library.IPC])
+        rng = np.random.default_rng(2)
+        data = make_input("reduce", 6, COUNT, rng)
+        check_collective(comm, "reduce", data, COUNT)
+
+    def test_all_gather_as_broadcast_gather(self):
+        from repro.core.composition import compose_all_gather_multi_step
+
+        machine = generic(2, 3, 1, name="ms3")
+        comm = Communicator(machine)
+        compose_all_gather_multi_step(comm, COUNT)
+        comm.init(hierarchy=[2, 3], library=[Library.MPI, Library.IPC])
+        rng = np.random.default_rng(3)
+        data = make_input("all_gather", 6, COUNT, rng)
+        check_collective(comm, "all_gather", data, COUNT)
+
+    def test_reduce_scatter_as_scatter_reduce(self):
+        from repro.core.composition import compose_reduce_scatter_multi_step
+
+        machine = generic(2, 3, 1, name="ms4")
+        comm = Communicator(machine)
+        compose_reduce_scatter_multi_step(comm, COUNT)
+        comm.init(hierarchy=[2, 3], library=[Library.MPI, Library.IPC])
+        rng = np.random.default_rng(4)
+        data = make_input("reduce_scatter", 6, COUNT, rng)
+        check_collective(comm, "reduce_scatter", data, COUNT)
+
+    def test_single_step_all_reduce(self):
+        machine = generic(2, 3, 1, name="ss")
+        comm = Communicator(machine)
+        compose(comm, "all_reduce", COUNT, multi_step=False)
+        comm.init(hierarchy=[2, 3], library=[Library.MPI, Library.IPC])
+        rng = np.random.default_rng(5)
+        data = make_input("all_reduce", 6, COUNT, rng)
+        check_collective(comm, "all_reduce", data, COUNT)

@@ -1,0 +1,142 @@
+"""Edge cases across the stack: tiny payloads, degenerate machines, dtypes."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import check_collective, make_input
+
+import repro
+from repro import Communicator, Library
+from repro.core.ops import ReduceOp
+from repro.machine.machines import generic
+
+
+class TestSingleElementPayloads:
+    @pytest.mark.parametrize("name", sorted(repro.COLLECTIVES))
+    def test_count_one(self, name):
+        machine = generic(2, 2, 1, name="c1")
+        comm = Communicator(machine)
+        repro.compose(comm, name, 1)
+        comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC],
+                  stripe=2, pipeline=4)
+        rng = np.random.default_rng(0)
+        data = make_input(name, 4, 1, rng)
+        check_collective(comm, name, data, 1)
+
+
+class TestSingleNodeMachines:
+    """One node: everything is intra-node; no NIC ever used."""
+
+    @pytest.mark.parametrize("name", ["broadcast", "all_reduce", "all_to_all"])
+    def test_intra_only(self, name):
+        machine = generic(1, 4, 1, name="one-node")
+        comm = Communicator(machine)
+        repro.compose(comm, name, 8)
+        comm.init(hierarchy=[4], library=[Library.IPC], stripe=4)
+        rng = np.random.default_rng(1)
+        data = make_input(name, 4, 8, rng)
+        check_collective(comm, name, data, 8)
+        assert comm.schedule.volume_by_kind(machine)["inter-node"] == 0
+
+    def test_two_rank_world(self):
+        machine = generic(1, 2, 1, name="pair")
+        comm = Communicator(machine)
+        repro.compose(comm, "all_reduce", 4)
+        comm.init(hierarchy=[2], library=[Library.IPC])
+        rng = np.random.default_rng(2)
+        data = make_input("all_reduce", 2, 4, rng)
+        check_collective(comm, "all_reduce", data, 4)
+
+
+class TestWideFlatMachines:
+    def test_64_ranks_flat_broadcast(self):
+        machine = generic(16, 4, 1, name="wide")
+        comm = Communicator(machine)
+        repro.compose(comm, "broadcast", 4)
+        comm.init(hierarchy=[64], library=[Library.MPI])
+        rng = np.random.default_rng(3)
+        data = make_input("broadcast", 64, 4, rng)
+        check_collective(comm, "broadcast", data, 4)
+
+    def test_prime_factor_hierarchy(self):
+        machine = generic(3, 5, 1, name="prime")
+        comm = Communicator(machine)
+        repro.compose(comm, "all_reduce", 6)
+        comm.init(hierarchy=[3, 5], library=[Library.MPI, Library.IPC],
+                  stripe=5, pipeline=2)
+        rng = np.random.default_rng(4)
+        data = make_input("all_reduce", 15, 6, rng)
+        check_collective(comm, "all_reduce", data, 6)
+
+
+class TestDtypes:
+    @pytest.mark.parametrize("dtype", [np.float64, np.int32, np.int64, np.uint8])
+    def test_all_reduce_dtypes(self, dtype):
+        machine = generic(2, 2, 1, name="dt")
+        comm = Communicator(machine, dtype=dtype)
+        repro.compose(comm, "all_reduce", 8)
+        comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC])
+        rng = np.random.default_rng(5)
+        hi = 20 if np.dtype(dtype).kind == "u" else 9
+        lo = 0 if np.dtype(dtype).kind == "u" else -9
+        data = rng.integers(lo, hi, size=(4, 32)).astype(dtype)
+        comm.set_all("sendbuf", data)
+        comm.run()
+        np.testing.assert_array_equal(
+            comm.gather_all("recvbuf"),
+            np.tile(data.sum(axis=0).astype(dtype), (4, 1)),
+        )
+
+    def test_bitwise_ops_integer_buffers(self):
+        machine = generic(2, 2, 1, name="bw")
+        comm = Communicator(machine, dtype=np.int32)
+        send = comm.alloc(8)
+        recv = comm.alloc(8)
+        comm.add_reduction(send, recv, 8, [0, 1, 2, 3], 0, ReduceOp.BOR)
+        comm.init(hierarchy=[4], library=[Library.MPI])
+        data = np.array([[1, 2, 4, 8, 0, 0, 0, 1]] * 4, dtype=np.int32)
+        data[1] = [16, 0, 0, 0, 0, 0, 0, 2]
+        comm.set_all(send, data)
+        comm.run()
+        expected = np.bitwise_or.reduce(data, axis=0)
+        np.testing.assert_array_equal(comm.gather_all(recv)[0], expected)
+
+
+class TestOddShapes:
+    def test_payload_not_divisible_by_stripe_or_pipeline(self):
+        """count=17 with stripe 4 and pipeline 3: ragged chunks everywhere."""
+        machine = generic(2, 4, 2, name="rag")
+        comm = Communicator(machine)
+        repro.compose(comm, "broadcast", 17)
+        comm.init(hierarchy=[2, 4], library=[Library.MPI, Library.IPC],
+                  stripe=4, pipeline=3)
+        rng = np.random.default_rng(6)
+        data = make_input("broadcast", 8, 17, rng)
+        check_collective(comm, "broadcast", data, 17)
+
+    def test_dual_die_odd_counts(self):
+        machine = generic(2, 6, 2, name="odd6")
+        comm = Communicator(machine)
+        repro.compose(comm, "reduce_scatter", 7)
+        comm.init(hierarchy=[2, 3, 2],
+                  library=[Library.MPI, Library.IPC, Library.IPC],
+                  stripe=3, pipeline=2)
+        rng = np.random.default_rng(7)
+        data = make_input("reduce_scatter", 12, 7, rng)
+        check_collective(comm, "reduce_scatter", data, 7)
+
+    def test_root_in_last_node(self):
+        machine = generic(4, 3, 1, name="lastroot")
+        comm = Communicator(machine)
+        repro.compose(comm, "broadcast", 9, root=11)
+        comm.init(hierarchy=[4, 3], library=[Library.MPI, Library.IPC],
+                  ring=4, stripe=3)
+        rng = np.random.default_rng(8)
+        data = make_input("broadcast", 12, 9, rng)
+        check_collective(comm, "broadcast", data, 9, root=11)

@@ -1,0 +1,161 @@
+"""Tests for the latency-oriented compositions (Section 6.5 future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Communicator, Library, machines
+from repro.core.latency import (
+    adaptive_all_reduce,
+    compose_all_reduce_recursive_doubling,
+    compose_broadcast_binomial,
+    compose_reduce_binomial,
+    crossover_bytes,
+    latency_plan,
+)
+from repro.core.ops import ReduceOp
+from repro.errors import CompositionError
+from repro.machine.machines import generic
+
+COUNT = 64
+
+
+def _data(p, count, seed=0):
+    return np.random.default_rng(seed).integers(
+        -9, 10, size=(p, count)).astype(np.float32)
+
+
+class TestBinomialBroadcast:
+    @pytest.mark.parametrize("p_shape", [(2, 2), (2, 3), (4, 4), (3, 5)])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_correct_any_p(self, p_shape, root):
+        nodes, g = p_shape
+        machine = generic(nodes, g, 1, name="bb")
+        comm = Communicator(machine)
+        send, recv = compose_broadcast_binomial(comm, COUNT, root=root)
+        comm.init(**latency_plan(machine))
+        data = _data(machine.world_size, COUNT)
+        comm.set_all(send, data)
+        comm.run()
+        out = comm.gather_all(recv)
+        np.testing.assert_array_equal(out, np.tile(data[root],
+                                                   (machine.world_size, 1)))
+
+    def test_log_rounds(self):
+        machine = generic(4, 4, 1, name="bb2")
+        comm = Communicator(machine, materialize=False)
+        compose_broadcast_binomial(comm, COUNT)
+        comm.init(**latency_plan(machine))
+        # Placement + 4 doubling rounds for p=16.
+        assert comm.program.num_steps == 5
+
+    def test_faster_than_pipelined_tree_for_tiny_messages(self):
+        machine = machines.perlmutter(nodes=4)
+        tiny = 16  # 64 bytes/rank
+        lat = Communicator(machine, materialize=False)
+        compose_broadcast_binomial(lat, tiny)
+        lat.init(**latency_plan(machine))
+        t_lat = lat.run()
+
+        from repro.bench.configs import ring_config
+
+        thr = Communicator(machine, materialize=False)
+        send = thr.alloc(tiny, "s")
+        recv = thr.alloc(tiny, "r")
+        thr.add_multicast(send, recv, tiny, 0, list(range(16)))
+        thr.init(**ring_config(machine, pipeline=32).init_kwargs())
+        t_thr = thr.run()
+        assert t_lat < t_thr
+
+
+class TestBinomialReduce:
+    @pytest.mark.parametrize("root", [0, 3])
+    def test_correct(self, root):
+        machine = generic(2, 3, 1, name="br")
+        comm = Communicator(machine)
+        send, recv = compose_reduce_binomial(comm, COUNT, root=root)
+        comm.init(**latency_plan(machine))
+        data = _data(6, COUNT, seed=1)
+        comm.set_all(send, data)
+        comm.run()
+        np.testing.assert_array_equal(comm.gather_all(recv)[root],
+                                      data.sum(axis=0))
+
+    def test_max_op(self):
+        machine = generic(2, 2, 1, name="br2")
+        comm = Communicator(machine)
+        send, recv = compose_reduce_binomial(comm, COUNT, op=ReduceOp.MAX)
+        comm.init(**latency_plan(machine))
+        data = _data(4, COUNT, seed=2)
+        comm.set_all(send, data)
+        comm.run()
+        np.testing.assert_array_equal(comm.gather_all(recv)[0],
+                                      data.max(axis=0))
+
+
+class TestRecursiveDoubling:
+    @pytest.mark.parametrize("shape", [(2, 2), (4, 4), (2, 8)])
+    def test_correct_power_of_two(self, shape):
+        nodes, g = shape
+        machine = generic(nodes, g, 1, name="rd")
+        comm = Communicator(machine)
+        send, recv = compose_all_reduce_recursive_doubling(comm, COUNT)
+        comm.init(**latency_plan(machine))
+        data = _data(machine.world_size, COUNT, seed=3)
+        comm.set_all(send, data)
+        comm.run()
+        out = comm.gather_all(recv)
+        np.testing.assert_array_equal(
+            out, np.tile(data.sum(axis=0), (machine.world_size, 1))
+        )
+
+    def test_non_power_of_two_rejected(self):
+        machine = generic(2, 3, 1, name="rd2")
+        comm = Communicator(machine)
+        with pytest.raises(CompositionError):
+            compose_all_reduce_recursive_doubling(comm, COUNT)
+
+    def test_log_rounds(self):
+        machine = generic(4, 4, 1, name="rd3")
+        comm = Communicator(machine, materialize=False)
+        compose_all_reduce_recursive_doubling(comm, COUNT)
+        comm.init(**latency_plan(machine))
+        assert comm.program.num_steps == 5  # placement + log2(16)
+
+
+class TestAdaptiveDispatch:
+    def test_tiny_payload_takes_latency_path(self):
+        machine = machines.perlmutter(nodes=4)
+        comm, send, recv, kind = adaptive_all_reduce(machine, count=4)
+        assert kind == "latency"
+        data = _data(16, 16 * 4, seed=4)
+        comm.set_all(send, data)
+        comm.run()
+        np.testing.assert_array_equal(comm.gather_all(recv)[5],
+                                      data.sum(axis=0))
+
+    def test_large_payload_takes_throughput_path(self):
+        machine = machines.perlmutter(nodes=4)
+        # 64 MB payload: an order of magnitude past any sane crossover.
+        comm, send, recv, kind = adaptive_all_reduce(machine, count=1 << 20)
+        assert kind == "throughput"
+
+    def test_crossover_positive_for_multinode(self):
+        machine = machines.perlmutter(nodes=4)
+        assert crossover_bytes(machine) > 0
+
+    def test_crossover_zero_for_single_rank(self):
+        machine = generic(1, 1, 1, name="solo")
+        assert crossover_bytes(machine) == 0
+
+    def test_adaptive_latency_beats_throughput_at_small_size(self):
+        machine = machines.perlmutter(nodes=4)
+        lat_comm, *_ = adaptive_all_reduce(machine, count=4)
+        from repro.bench.configs import best_config
+        from repro.core.composition import compose_all_reduce
+
+        thr_comm = Communicator(machine, materialize=False)
+        compose_all_reduce(thr_comm, 4)
+        thr_comm.init(**best_config(machine, "all_reduce").init_kwargs())
+        assert lat_comm.run() < thr_comm.run()

@@ -1,0 +1,94 @@
+"""Tests for reduction operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ops import ReduceOp, accumulate, reference_reduce, supports_dtype
+
+
+class TestAccumulate:
+    def test_sum(self):
+        acc = np.array([1.0, 2.0], dtype=np.float32)
+        accumulate(ReduceOp.SUM, acc, np.array([10.0, 20.0], dtype=np.float32))
+        assert acc.tolist() == [11.0, 22.0]
+
+    def test_prod(self):
+        acc = np.array([2, 3], dtype=np.int64)
+        accumulate(ReduceOp.PROD, acc, np.array([4, 5], dtype=np.int64))
+        assert acc.tolist() == [8, 15]
+
+    def test_max_min(self):
+        acc = np.array([1.0, 9.0], dtype=np.float64)
+        accumulate(ReduceOp.MAX, acc, np.array([5.0, 2.0]))
+        assert acc.tolist() == [5.0, 9.0]
+        accumulate(ReduceOp.MIN, acc, np.array([3.0, 1.0]))
+        assert acc.tolist() == [3.0, 1.0]
+
+    def test_logical_ops_cast_back_to_dtype(self):
+        acc = np.array([0, 2, 0], dtype=np.int32)
+        accumulate(ReduceOp.LOR, acc, np.array([0, 0, 5], dtype=np.int32))
+        assert acc.tolist() == [0, 1, 1]
+        assert acc.dtype == np.int32
+
+    def test_land(self):
+        acc = np.array([1, 1, 0], dtype=np.int32)
+        accumulate(ReduceOp.LAND, acc, np.array([1, 0, 1], dtype=np.int32))
+        assert acc.tolist() == [1, 0, 0]
+
+    def test_bitwise(self):
+        acc = np.array([0b1100], dtype=np.int32)
+        accumulate(ReduceOp.BAND, acc, np.array([0b1010], dtype=np.int32))
+        assert acc.tolist() == [0b1000]
+        accumulate(ReduceOp.BOR, acc, np.array([0b0001], dtype=np.int32))
+        assert acc.tolist() == [0b1001]
+
+    def test_in_place_no_new_allocation(self):
+        acc = np.zeros(8, dtype=np.float32)
+        view = acc[:]
+        accumulate(ReduceOp.SUM, view, np.ones(8, dtype=np.float32))
+        assert acc.sum() == 8
+
+
+class TestSupportsDtype:
+    def test_bitwise_rejects_float(self):
+        assert not supports_dtype(ReduceOp.BAND, np.float32)
+        assert supports_dtype(ReduceOp.BAND, np.int32)
+
+    def test_sum_supports_float_and_int(self):
+        assert supports_dtype(ReduceOp.SUM, np.float64)
+        assert supports_dtype(ReduceOp.SUM, np.uint8)
+
+
+class TestReferenceReduce:
+    def test_matches_numpy_sum(self):
+        arrays = [np.arange(5, dtype=np.float64) * i for i in range(4)]
+        out = reference_reduce(ReduceOp.SUM, arrays)
+        np.testing.assert_allclose(out, np.sum(arrays, axis=0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            reference_reduce(ReduceOp.SUM, [])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        op=st.sampled_from([ReduceOp.SUM, ReduceOp.MAX, ReduceOp.MIN, ReduceOp.PROD]),
+        data=st.lists(
+            st.lists(st.integers(-5, 5), min_size=4, max_size=4),
+            min_size=1, max_size=6,
+        ),
+    )
+    def test_associativity_under_regrouping(self, op, data):
+        """Any left-fold grouping must match — HiCCL reassociates freely."""
+        arrays = [np.array(row, dtype=np.int64) for row in data]
+        expected = reference_reduce(op, arrays)
+        # Tree-ish regrouping: reduce halves then combine.
+        if len(arrays) > 1:
+            mid = len(arrays) // 2
+            left = reference_reduce(op, arrays[:mid]) if mid else arrays[0]
+            right = reference_reduce(op, arrays[mid:])
+            combined = reference_reduce(op, [left, right] if mid else [right])
+            np.testing.assert_array_equal(combined, expected)

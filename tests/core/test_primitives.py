@@ -1,0 +1,141 @@
+"""Tests for primitive registration and program structure (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffers import BufferHandle
+from repro.core.ops import ReduceOp
+from repro.core.primitives import Multicast, Program, Reduction
+from repro.errors import CompositionError
+
+
+@pytest.fixture
+def bufs():
+    return BufferHandle("send", 64), BufferHandle("recv", 64)
+
+
+class TestRegistration:
+    def test_multicast_registers(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        prim = prog.add_multicast(send, recv, 16, 0, [1, 2, 3])
+        assert isinstance(prim, Multicast)
+        assert prim.leaves == (1, 2, 3)
+        assert prog.num_steps == 1
+
+    def test_reduction_registers(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        prim = prog.add_reduction(send, recv, 16, [0, 1, 2, 3], 2, ReduceOp.MAX)
+        assert isinstance(prim, Reduction)
+        assert prim.op is ReduceOp.MAX
+        assert prim.root == 2
+
+    def test_root_out_of_range(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        with pytest.raises(CompositionError):
+            prog.add_multicast(send, recv, 8, 4, [0])
+
+    def test_leaf_out_of_range(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        with pytest.raises(CompositionError):
+            prog.add_multicast(send, recv, 8, 0, [5])
+
+    def test_duplicate_leaves_rejected(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        with pytest.raises(CompositionError):
+            prog.add_multicast(send, recv, 8, 0, [1, 1])
+
+    def test_empty_leaves_rejected(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        with pytest.raises(CompositionError):
+            prog.add_multicast(send, recv, 8, 0, [])
+
+    def test_count_exceeding_view_rejected(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        with pytest.raises(CompositionError):
+            prog.add_multicast(send[60:], recv, 8, 0, [1])
+
+    def test_bad_op_rejected(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        with pytest.raises(CompositionError):
+            prog.add_reduction(send, recv, 8, [0, 1], 0, "sum")
+
+
+class TestFences:
+    def test_fence_starts_new_step(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        prog.add_multicast(send, recv, 8, 0, [1])
+        prog.add_fence()
+        prog.add_multicast(recv, recv, 8, 1, [2])
+        assert prog.num_steps == 2
+        assert len(prog.steps[0]) == 1
+        assert len(prog.steps[1]) == 1
+
+    def test_leading_fence_is_noop(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        prog.add_fence()
+        prog.add_multicast(send, recv, 8, 0, [1])
+        assert prog.num_steps == 1
+
+    def test_double_fence_collapses(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        prog.add_multicast(send, recv, 8, 0, [1])
+        prog.add_fence()
+        prog.add_fence()
+        prog.add_multicast(send, recv, 8, 1, [2])
+        assert prog.num_steps == 2
+
+
+class TestSlicing:
+    def test_multicast_slice_shifts_views(self, bufs):
+        send, recv = bufs
+        mc = Multicast(send.view(), recv.view(), 32, 0, (1, 2))
+        sub = mc.sliced(8, 4)
+        assert sub.sendbuf.offset == 8
+        assert sub.recvbuf.offset == 8
+        assert sub.count == 4
+        assert sub.leaves == (1, 2)
+
+    def test_reduction_slice(self, bufs):
+        send, recv = bufs
+        rd = Reduction(send.view(), recv.view(), 32, (0, 1), 1, ReduceOp.SUM)
+        sub = rd.sliced(16, 16)
+        assert sub.sendbuf.offset == 16
+        assert sub.op is ReduceOp.SUM
+
+    def test_point_to_point_detection(self, bufs):
+        send, recv = bufs
+        assert Multicast(send.view(), recv.view(), 8, 0, (1,)).is_point_to_point
+        assert not Multicast(send.view(), recv.view(), 8, 0, (1, 2)).is_point_to_point
+
+
+class TestProgramQueries:
+    def test_participants(self, bufs):
+        send, recv = bufs
+        prog = Program(8)
+        prog.add_multicast(send, recv, 8, 0, [3, 5])
+        prog.add_reduction(send, recv, 8, [1, 2], 6, ReduceOp.SUM)
+        assert prog.participants() == {0, 1, 2, 3, 5, 6}
+
+    def test_max_count(self, bufs):
+        send, recv = bufs
+        prog = Program(4)
+        prog.add_multicast(send, recv, 8, 0, [1])
+        prog.add_multicast(send, recv, 32, 0, [1])
+        assert prog.max_count() == 32
+
+    def test_empty_program(self):
+        prog = Program(4)
+        assert prog.max_count() == 0
+        assert prog.participants() == set()

@@ -1,0 +1,196 @@
+"""Property-based tests: random machines, compositions, and plans.
+
+Hypothesis drives the full pipeline — random machine shapes, random
+optimization parameters, random primitives — and checks the invariants the
+paper's design rests on:
+
+* functional correctness of every lowered collective;
+* conservation of data (schedules never invent or lose elements);
+* dependency completeness (random linearizations agree);
+* hierarchical inter-node volume optimality for broadcast.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import check_collective, make_input
+
+import repro
+from repro import Communicator, Library
+from repro.core.ops import ReduceOp
+from repro.machine.machines import generic
+from repro.simulator.executor import execute, random_topological_order
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def machine_and_plan(draw):
+    """A random small machine plus a valid optimization plan for it."""
+    nodes = draw(st.sampled_from([1, 2, 3, 4]))
+    gpus = draw(st.sampled_from([1, 2, 3, 4]))
+    if nodes * gpus < 2:
+        gpus = 2
+    nics = draw(st.sampled_from([1, 2])) if gpus % 2 == 0 else 1
+    nics = min(nics, gpus)
+    machine = generic(nodes, gpus, nics, name=f"h{nodes}x{gpus}")
+    p = machine.world_size
+
+    # Hierarchy: either flat, physical, or a random factorization of p.
+    choice = draw(st.integers(0, 2))
+    if choice == 0:
+        hierarchy = [p]
+    elif choice == 1:
+        hierarchy = [nodes, gpus] if nodes > 1 else [gpus]
+    else:
+        hierarchy = []
+        rest = p
+        while rest > 1:
+            divisors = [d for d in range(2, rest + 1) if rest % d == 0]
+            f = draw(st.sampled_from(divisors))
+            hierarchy.append(f)
+            rest //= f
+        if not hierarchy:
+            hierarchy = [p]
+    libraries = [Library.MPI] * len(hierarchy)
+    stripe = draw(st.integers(1, gpus))
+    ring = draw(st.sampled_from([1, hierarchy[0]])) if len(hierarchy) > 1 else 1
+    pipeline = draw(st.sampled_from([1, 2, 3, 5]))
+    return machine, dict(hierarchy=hierarchy, library=libraries,
+                         stripe=stripe, ring=ring, pipeline=pipeline)
+
+
+class TestRandomPlansCorrect:
+    @settings(**SETTINGS)
+    @given(mp=machine_and_plan(), data=st.data())
+    def test_any_collective_any_plan(self, mp, data):
+        machine, plan = mp
+        name = data.draw(st.sampled_from(sorted(repro.COLLECTIVES)))
+        count = data.draw(st.sampled_from([1, 3, 8, 17]))
+        comm = Communicator(machine)
+        repro.compose(comm, name, count)
+        comm.init(**plan)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        payload = make_input(name, machine.world_size, count, rng)
+        check_collective(comm, name, payload, count)
+
+    @settings(**SETTINGS)
+    @given(mp=machine_and_plan(), data=st.data())
+    def test_random_multicast_subsets(self, mp, data):
+        """Sparse leaf sets with arbitrary roots stay correct (pruning)."""
+        machine, plan = mp
+        p = machine.world_size
+        count = 16
+        root = data.draw(st.integers(0, p - 1))
+        leaves = data.draw(
+            st.lists(st.integers(0, p - 1), min_size=1, max_size=p, unique=True)
+        )
+        comm = Communicator(machine)
+        send = comm.alloc(count, "sendbuf")
+        recv = comm.alloc(count, "recvbuf")
+        comm.add_multicast(send, recv, count, root, leaves)
+        comm.init(**plan)
+        rng = np.random.default_rng(0)
+        payload = rng.integers(-9, 9, size=(p, count)).astype(np.float32)
+        comm.set_all(send, payload)
+        comm.run()
+        got = comm.gather_all(recv)
+        for leaf in leaves:
+            np.testing.assert_array_equal(got[leaf], payload[root])
+
+    @settings(**SETTINGS)
+    @given(mp=machine_and_plan(), data=st.data())
+    def test_random_reduction_subsets(self, mp, data):
+        machine, plan = mp
+        p = machine.world_size
+        count = 16
+        root = data.draw(st.integers(0, p - 1))
+        leaves = data.draw(
+            st.lists(st.integers(0, p - 1), min_size=1, max_size=p, unique=True)
+        )
+        op = data.draw(st.sampled_from([ReduceOp.SUM, ReduceOp.MAX, ReduceOp.MIN]))
+        comm = Communicator(machine)
+        send = comm.alloc(count, "sendbuf")
+        recv = comm.alloc(count, "recvbuf")
+        comm.add_reduction(send, recv, count, leaves, root, op)
+        comm.init(**plan)
+        rng = np.random.default_rng(1)
+        payload = rng.integers(-9, 9, size=(p, count)).astype(np.float32)
+        comm.set_all(send, payload)
+        comm.run()
+        from repro.core.ops import reference_reduce
+
+        expected = reference_reduce(op, [payload[r] for r in leaves])
+        np.testing.assert_array_equal(comm.gather_all(recv)[root], expected)
+
+
+class TestStructuralInvariants:
+    @settings(**SETTINGS)
+    @given(mp=machine_and_plan())
+    def test_broadcast_inter_volume_optimal(self, mp):
+        """Hierarchical broadcast never moves more than (nodes-1) copies
+        across the network when the hierarchy respects node boundaries."""
+        machine, plan = mp
+        if machine.nodes < 2:
+            return
+        hierarchy = plan["hierarchy"]
+        # Only check when a hierarchy level aligns with physical nodes.
+        sizes = [machine.world_size]
+        for f in hierarchy:
+            sizes.append(sizes[-1] // f)
+        if machine.gpus_per_node not in sizes:
+            return
+        count = 60
+        comm = Communicator(machine, materialize=False)
+        send = comm.alloc(count, "sendbuf")
+        recv = comm.alloc(count, "recvbuf")
+        comm.add_multicast(send, recv, count, 0, list(range(machine.world_size)))
+        comm.init(**plan)
+        vols = comm.schedule.volume_by_kind(machine)
+        assert vols["inter-node"] <= (machine.nodes - 1) * count + machine.nodes
+
+    @settings(**SETTINGS)
+    @given(mp=machine_and_plan(), data=st.data())
+    def test_random_linearization_agrees(self, mp, data):
+        machine, plan = mp
+        name = data.draw(st.sampled_from(["broadcast", "all_reduce", "gather"]))
+        count = 12
+        comm = Communicator(machine)
+        repro.compose(comm, name, count)
+        comm.init(**plan)
+        rng = np.random.default_rng(5)
+        payload = make_input(name, machine.world_size, count, rng)
+        comm.set_all("sendbuf", payload)
+        execute(comm.schedule, comm.pool)
+        reference = comm.gather_all("recvbuf").copy()
+        comm.set_all("sendbuf", payload)
+        comm.set_all("recvbuf", np.zeros_like(reference))
+        order = random_topological_order(
+            comm.schedule, np.random.default_rng(data.draw(st.integers(0, 999)))
+        )
+        execute(comm.schedule, comm.pool, order=order)
+        np.testing.assert_array_equal(comm.gather_all("recvbuf"), reference)
+
+    @settings(**SETTINGS)
+    @given(mp=machine_and_plan())
+    def test_simulated_time_positive_and_finite(self, mp):
+        machine, plan = mp
+        comm = Communicator(machine, materialize=False)
+        repro.compose(comm, "all_reduce", 32)
+        comm.init(**plan)
+        t = comm.run()
+        assert 0 < t < 10.0
+        assert math.isfinite(t)

@@ -1,0 +1,85 @@
+"""Property tests for variable-count collectives under random raggedness."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Communicator, Library
+from repro.core.vcollectives import (
+    compose_all_gatherv,
+    compose_gatherv,
+    compose_scatterv,
+    offsets_of,
+)
+from repro.machine.machines import generic
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MACHINE = generic(2, 3, 1, name="vprop")
+P = MACHINE.world_size
+PLAN = dict(hierarchy=[2, 3], library=[Library.MPI, Library.IPC],
+            stripe=2, pipeline=2)
+
+counts_strategy = st.lists(
+    st.integers(0, 20), min_size=P, max_size=P
+).filter(lambda cs: sum(cs) > 0)
+
+
+@settings(**SETTINGS)
+@given(counts=counts_strategy, seed=st.integers(0, 999))
+def test_scatterv_gatherv_roundtrip(counts, seed):
+    """scatterv then gatherv (with the same counts) is the identity."""
+    rng = np.random.default_rng(seed)
+    total = sum(counts)
+    original = rng.integers(0, 99, size=total).astype(np.float32)
+
+    comm = Communicator(MACHINE)
+    send, recv = compose_scatterv(comm, counts)
+    comm.init(**PLAN)
+    data = np.zeros((P, total), dtype=np.float32)
+    data[0] = original
+    comm.set_all(send, data)
+    comm.run()
+    chunks = comm.gather_all(recv)
+
+    comm2 = Communicator(MACHINE)
+    send2, recv2 = compose_gatherv(comm2, counts)
+    comm2.init(**PLAN)
+    comm2.set_all(send2, chunks[:, : max(counts)])
+    comm2.run()
+    reassembled = comm2.gather_all(recv2)[0]
+    np.testing.assert_array_equal(reassembled, original)
+
+
+@settings(**SETTINGS)
+@given(counts=counts_strategy, seed=st.integers(0, 999))
+def test_all_gatherv_agrees_with_concat(counts, seed):
+    rng = np.random.default_rng(seed)
+    comm = Communicator(MACHINE)
+    send, recv = compose_all_gatherv(comm, counts)
+    comm.init(**PLAN)
+    data = rng.integers(0, 99, size=(P, max(counts))).astype(np.float32)
+    comm.set_all(send, data)
+    comm.run()
+    expected = np.concatenate(
+        [data[i][:c] for i, c in enumerate(counts)]
+    ) if sum(counts) else np.zeros(0, dtype=np.float32)
+    out = comm.gather_all(recv)
+    for rank in range(P):
+        np.testing.assert_array_equal(out[rank], expected)
+
+
+@settings(**SETTINGS)
+@given(counts=counts_strategy)
+def test_offsets_partition(counts):
+    offs = offsets_of(counts)
+    assert offs[0] == 0
+    for i in range(1, P):
+        assert offs[i] == offs[i - 1] + counts[i - 1]
+    assert offs[-1] + counts[-1] == sum(counts)

@@ -1,0 +1,113 @@
+"""User-facing validation: race detection and bad configurations.
+
+The paper: "If there are any race conditions between primitives the result
+is undefined" (Section 3.2).  This reproduction detects overlapping writes
+during synthesis and raises instead of silently producing garbage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Communicator, Library, ReduceOp
+from repro.errors import (
+    HierarchyError,
+    InitializationError,
+    LibraryAssignmentError,
+    RaceConditionError,
+)
+from repro.machine.machines import generic
+
+
+@pytest.fixture
+def machine():
+    return generic(2, 2, 1, name="races")
+
+
+class TestRaceDetection:
+    def test_two_multicasts_same_destination(self, machine):
+        """Two roots broadcasting into the same recv region: undefined."""
+        comm = Communicator(machine)
+        send = comm.alloc(16)
+        recv = comm.alloc(16)
+        comm.add_multicast(send, recv, 16, 0, [2, 3])
+        comm.add_multicast(send, recv, 16, 1, [2, 3])
+        with pytest.raises(RaceConditionError):
+            comm.init(hierarchy=[4], library=[Library.MPI])
+
+    def test_partially_overlapping_multicasts(self, machine):
+        comm = Communicator(machine)
+        send = comm.alloc(32)
+        recv = comm.alloc(32)
+        comm.add_multicast(send, recv, 20, 0, [2])
+        comm.add_multicast(send[16:], recv[16:], 16, 1, [2])
+        with pytest.raises(RaceConditionError):
+            comm.init(hierarchy=[4], library=[Library.MPI])
+
+    def test_disjoint_regions_no_race(self, machine):
+        comm = Communicator(machine)
+        send = comm.alloc(32)
+        recv = comm.alloc(32)
+        comm.add_multicast(send, recv, 16, 0, [2])
+        comm.add_multicast(send[16:], recv[16:], 16, 1, [2])
+        comm.init(hierarchy=[4], library=[Library.MPI])  # no raise
+
+    def test_same_region_different_ranks_no_race(self, machine):
+        comm = Communicator(machine)
+        send = comm.alloc(16)
+        recv = comm.alloc(16)
+        comm.add_multicast(send, recv, 16, 0, [2])
+        comm.add_multicast(send, recv, 16, 1, [3])
+        comm.init(hierarchy=[4], library=[Library.MPI])  # no raise
+
+    def test_fence_resolves_race(self, machine):
+        """The same conflicting pair is legal once ordered by a fence."""
+        comm = Communicator(machine)
+        send = comm.alloc(16)
+        recv = comm.alloc(16)
+        comm.add_multicast(send, recv, 16, 0, [2, 3])
+        comm.add_fence()
+        comm.add_multicast(send, recv, 16, 1, [2, 3])
+        comm.init(hierarchy=[4], library=[Library.MPI])  # no raise
+
+    def test_reduction_vs_multicast_conflict(self, machine):
+        comm = Communicator(machine)
+        send = comm.alloc(16)
+        recv = comm.alloc(16)
+        comm.add_reduction(send, recv, 16, [0, 1, 2, 3], 2, ReduceOp.SUM)
+        comm.add_multicast(send, recv, 16, 3, [2])
+        with pytest.raises(RaceConditionError):
+            comm.init(hierarchy=[2, 2], library=[Library.MPI, Library.IPC])
+
+
+class TestInitValidation:
+    def _comm(self, machine):
+        comm = Communicator(machine)
+        send = comm.alloc(16)
+        recv = comm.alloc(16)
+        comm.add_multicast(send, recv, 16, 0, [1, 2, 3])
+        return comm
+
+    def test_hierarchy_product_mismatch(self, machine):
+        with pytest.raises(HierarchyError):
+            self._comm(machine).init(hierarchy=[3], library=[Library.MPI])
+
+    def test_library_vector_length(self, machine):
+        with pytest.raises(LibraryAssignmentError):
+            self._comm(machine).init(hierarchy=[2, 2], library=[Library.MPI])
+
+    def test_ipc_cannot_cross_nodes(self, machine):
+        with pytest.raises(LibraryAssignmentError):
+            self._comm(machine).init(hierarchy=[2, 2],
+                                     library=[Library.IPC, Library.IPC])
+
+    def test_negative_stripe(self, machine):
+        with pytest.raises(InitializationError):
+            self._comm(machine).init(hierarchy=[4], library=[Library.MPI],
+                                     stripe=-1)
+
+    def test_ring_without_matching_factor(self, machine):
+        with pytest.raises(InitializationError):
+            self._comm(machine).init(hierarchy=[2, 2],
+                                     library=[Library.MPI, Library.IPC],
+                                     ring=4)

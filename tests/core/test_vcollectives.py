@@ -1,0 +1,131 @@
+"""Tests for variable-count (v-) collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Communicator, Library
+from repro.core.ops import ReduceOp
+from repro.core.vcollectives import (
+    compose_all_gatherv,
+    compose_gatherv,
+    compose_reduce_scatterv,
+    compose_scatterv,
+    offsets_of,
+)
+from repro.errors import CompositionError
+from repro.machine.machines import generic
+
+PLAN = dict(hierarchy=[2, 3], library=[Library.MPI, Library.IPC],
+            stripe=2, pipeline=2)
+
+
+@pytest.fixture
+def machine():
+    return generic(2, 3, 1, name="vc")
+
+
+COUNTS = [5, 0, 12, 3, 7, 1]  # deliberately ragged, one empty
+
+
+class TestOffsets:
+    def test_running_sums(self):
+        assert offsets_of([5, 0, 12, 3]) == [0, 5, 5, 17]
+
+    def test_single(self):
+        assert offsets_of([4]) == [0]
+
+
+class TestScatterv:
+    def test_ragged_chunks_delivered(self, machine):
+        comm = Communicator(machine)
+        send, recv = compose_scatterv(comm, COUNTS)
+        comm.init(**PLAN)
+        total = sum(COUNTS)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 99, size=(6, total)).astype(np.float32)
+        comm.set_all(send, data)
+        comm.run()
+        out = comm.gather_all(recv)
+        offs = offsets_of(COUNTS)
+        for j, (off, cnt) in enumerate(zip(offs, COUNTS)):
+            np.testing.assert_array_equal(out[j][:cnt], data[0][off:off + cnt])
+
+    def test_count_length_mismatch(self, machine):
+        comm = Communicator(machine)
+        with pytest.raises(CompositionError):
+            compose_scatterv(comm, [1, 2, 3])
+
+    def test_negative_count(self, machine):
+        comm = Communicator(machine)
+        with pytest.raises(CompositionError):
+            compose_scatterv(comm, [1, -1, 1, 1, 1, 1])
+
+    def test_all_zero_rejected(self, machine):
+        comm = Communicator(machine)
+        with pytest.raises(CompositionError):
+            compose_scatterv(comm, [0] * 6)
+
+
+class TestGatherv:
+    def test_ragged_gather(self, machine):
+        comm = Communicator(machine)
+        send, recv = compose_gatherv(comm, COUNTS)
+        comm.init(**PLAN)
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 99, size=(6, max(COUNTS))).astype(np.float32)
+        comm.set_all(send, data)
+        comm.run()
+        root_view = comm.gather_all(recv)[0]
+        offs = offsets_of(COUNTS)
+        for i, (off, cnt) in enumerate(zip(offs, COUNTS)):
+            np.testing.assert_array_equal(root_view[off:off + cnt], data[i][:cnt])
+
+
+class TestAllGatherv:
+    def test_everyone_gets_every_ragged_chunk(self, machine):
+        comm = Communicator(machine)
+        send, recv = compose_all_gatherv(comm, COUNTS)
+        comm.init(**PLAN)
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 99, size=(6, max(COUNTS))).astype(np.float32)
+        comm.set_all(send, data)
+        comm.run()
+        out = comm.gather_all(recv)
+        offs = offsets_of(COUNTS)
+        expected = np.concatenate([data[i][:c] for i, c in enumerate(COUNTS)])
+        for rank in range(6):
+            np.testing.assert_array_equal(out[rank], expected)
+        assert offs[-1] + COUNTS[-1] == expected.size
+
+
+class TestReduceScatterv:
+    def test_ragged_reduced_chunks(self, machine):
+        comm = Communicator(machine)
+        send, recv = compose_reduce_scatterv(comm, COUNTS, op=ReduceOp.SUM)
+        comm.init(**PLAN)
+        total = sum(COUNTS)
+        rng = np.random.default_rng(3)
+        data = rng.integers(-5, 6, size=(6, total)).astype(np.float32)
+        comm.set_all(send, data)
+        comm.run()
+        out = comm.gather_all(recv)
+        reduced = data.sum(axis=0)
+        offs = offsets_of(COUNTS)
+        for j, (off, cnt) in enumerate(zip(offs, COUNTS)):
+            np.testing.assert_array_equal(out[j][:cnt], reduced[off:off + cnt])
+
+    def test_max_op(self, machine):
+        counts = [4, 4, 4, 4, 4, 4]
+        comm = Communicator(machine)
+        send, recv = compose_reduce_scatterv(comm, counts, op=ReduceOp.MAX)
+        comm.init(**PLAN)
+        rng = np.random.default_rng(4)
+        data = rng.integers(-50, 50, size=(6, 24)).astype(np.float32)
+        comm.set_all(send, data)
+        comm.run()
+        out = comm.gather_all(recv)
+        reduced = data.max(axis=0)
+        for j in range(6):
+            np.testing.assert_array_equal(out[j][:4], reduced[4 * j:4 * j + 4])

@@ -1,0 +1,96 @@
+"""Shared test utilities: numpy reference semantics for every collective."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ops import ReduceOp, reference_reduce
+
+#: send-buffer element count per rank, in units of the chunk size ``count``.
+SEND_UNITS = {
+    "broadcast": lambda p: p,
+    "reduce": lambda p: p,
+    "scatter": lambda p: p,
+    "gather": lambda p: 1,
+    "all_gather": lambda p: 1,
+    "reduce_scatter": lambda p: p,
+    "all_reduce": lambda p: p,
+    "all_to_all": lambda p: p,
+}
+
+RECV_UNITS = {
+    "broadcast": lambda p: p,
+    "reduce": lambda p: p,
+    "scatter": lambda p: 1,
+    "gather": lambda p: p,
+    "all_gather": lambda p: p,
+    "reduce_scatter": lambda p: 1,
+    "all_reduce": lambda p: p,
+    "all_to_all": lambda p: p,
+}
+
+#: Ranks whose recv buffer is defined by the collective's semantics.
+#: ``None`` means every rank.
+DEFINED_RANKS = {
+    "broadcast": None,
+    "reduce": (0,),
+    "scatter": None,
+    "gather": (0,),
+    "all_gather": None,
+    "reduce_scatter": None,
+    "all_reduce": None,
+    "all_to_all": None,
+}
+
+
+def send_shape(name: str, p: int, count: int) -> tuple[int, int]:
+    return (p, SEND_UNITS[name](p) * count)
+
+
+def make_input(name: str, p: int, count: int, rng, dtype=np.float32) -> np.ndarray:
+    """Deterministic integer-valued input (exact float arithmetic)."""
+    shape = send_shape(name, p, count)
+    return rng.integers(-8, 9, size=shape).astype(dtype)
+
+
+def expected_output(name: str, data: np.ndarray, count: int,
+                    op: ReduceOp = ReduceOp.SUM, root: int = 0) -> np.ndarray:
+    """Reference recv contents per rank for ``name`` with input ``data``."""
+    p = data.shape[0]
+    if name == "broadcast":
+        return np.tile(data[root], (p, 1))
+    if name == "reduce":
+        out = np.zeros_like(data)
+        out[root] = reference_reduce(op, list(data))
+        return out
+    if name == "scatter":
+        return data[root].reshape(p, count)
+    if name == "gather":
+        out = np.zeros((p, p * count), dtype=data.dtype)
+        out[root] = data.reshape(-1)
+        return out
+    if name == "all_gather":
+        return np.tile(data.reshape(-1), (p, 1))
+    if name == "reduce_scatter":
+        return reference_reduce(op, list(data)).reshape(p, count)
+    if name == "all_reduce":
+        return np.tile(reference_reduce(op, list(data)), (p, 1))
+    if name == "all_to_all":
+        return data.reshape(p, p, count).transpose(1, 0, 2).reshape(p, p * count)
+    raise KeyError(name)
+
+
+def check_collective(run, name: str, data: np.ndarray, count: int,
+                     op: ReduceOp = ReduceOp.SUM, root: int = 0) -> None:
+    """Execute ``run`` (Communicator or RawCollective) and verify outputs."""
+    run.set_all("sendbuf", data)
+    run.run()
+    got = run.gather_all("recvbuf")
+    expected = expected_output(name, data, count, op=op, root=root)
+    defined = DEFINED_RANKS[name]
+    if defined is None:
+        np.testing.assert_allclose(got, expected, rtol=1e-5, atol=1e-5)
+    else:
+        for rank in defined:
+            np.testing.assert_allclose(got[rank], expected[rank],
+                                       rtol=1e-5, atol=1e-5)

@@ -1,0 +1,105 @@
+"""Tests for GPU-to-NIC bindings (paper Figure 2, Section 6.3.5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HierarchyError
+from repro.machine.nic import (
+    Binding,
+    binding_table,
+    nic_loads,
+    nic_of,
+    resolve,
+    utilization,
+)
+
+
+class TestResolve:
+    def test_auto_bijective_when_equal(self):
+        assert resolve(Binding.AUTO, 4, 4) is Binding.BIJECTIVE
+
+    def test_auto_packed_when_divisible(self):
+        assert resolve(Binding.AUTO, 8, 4) is Binding.PACKED
+
+    def test_auto_round_robin_otherwise(self):
+        assert resolve(Binding.AUTO, 12, 8) is Binding.ROUND_ROBIN
+
+    def test_bijective_requires_equal(self):
+        with pytest.raises(HierarchyError):
+            resolve(Binding.BIJECTIVE, 8, 4)
+
+    def test_more_nics_than_gpus_rejected(self):
+        with pytest.raises(HierarchyError):
+            resolve(Binding.PACKED, 2, 4)
+
+
+class TestFigure2Bindings:
+    def test_packed_fig2a(self):
+        """Figure 2(a): 3 GPUs, 1 NIC -> all packed onto NIC 0."""
+        assert [nic_of(i, 3, 1, Binding.PACKED) for i in range(3)] == [0, 0, 0]
+
+    def test_packed_blocks(self):
+        assert [nic_of(i, 8, 4, Binding.PACKED) for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_round_robin_fig2b(self):
+        """Figure 2(b): 3 GPUs, 2 NICs round-robin."""
+        assert [nic_of(i, 3, 2, Binding.ROUND_ROBIN) for i in range(3)] == [0, 1, 0]
+
+    def test_bijective_fig2c(self):
+        assert [nic_of(i, 3, 3, Binding.BIJECTIVE) for i in range(3)] == [0, 1, 2]
+
+    def test_out_of_range_gpu(self):
+        with pytest.raises(HierarchyError):
+            nic_of(5, 4, 2)
+
+
+class TestLoadsAndUtilization:
+    def test_packed_loads_balanced(self):
+        assert nic_loads(8, 4, Binding.PACKED) == [2, 2, 2, 2]
+
+    def test_aurora_round_robin_loads(self):
+        """Aurora: 12 GPUs on 8 NICs -> first four NICs carry two GPUs."""
+        assert nic_loads(12, 8, Binding.ROUND_ROBIN) == [2, 2, 2, 2, 1, 1, 1, 1]
+
+    def test_aurora_75_percent(self):
+        """Section 6.3.5: round-robin 12/8 caps utilization at 75%."""
+        assert utilization(12, 8, Binding.ROUND_ROBIN) == pytest.approx(0.75)
+
+    def test_balanced_bindings_reach_full_utilization(self):
+        assert utilization(8, 4, Binding.PACKED) == pytest.approx(1.0)
+        assert utilization(4, 4, Binding.BIJECTIVE) == pytest.approx(1.0)
+        assert utilization(4, 1, Binding.PACKED) == pytest.approx(1.0)
+
+    def test_fig2b_75_percent(self):
+        """Figure 2(b): 3 GPUs / 2 NICs round-robin -> 75% utilization."""
+        assert utilization(3, 2, Binding.ROUND_ROBIN) == pytest.approx(0.75)
+
+    def test_binding_table_shape(self):
+        table = binding_table(4, 2, Binding.PACKED)
+        assert table == [(0, 0), (1, 0), (2, 1), (3, 1)]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        g=st.integers(1, 64),
+        k=st.integers(1, 64),
+        policy=st.sampled_from([Binding.PACKED, Binding.ROUND_ROBIN, Binding.AUTO]),
+    )
+    def test_every_gpu_bound_to_valid_nic(self, g, k, policy):
+        if k > g:
+            return
+        loads = nic_loads(g, k, policy)
+        assert sum(loads) == g
+        assert all(load >= 0 for load in loads)
+        assert 0.0 < utilization(g, k, policy) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(g=st.integers(1, 48), k=st.integers(1, 48))
+    def test_packed_is_contiguous(self, g, k):
+        if k > g or g % k:
+            return
+        nics = [nic_of(i, g, k, Binding.PACKED) for i in range(g)]
+        assert nics == sorted(nics)
+        assert nic_loads(g, k, Binding.PACKED) == [g // k] * k

@@ -1,0 +1,156 @@
+"""Tests for machine specs and the Table 4 system models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.machine.machines import aurora, by_name, delta, frontier, generic, perlmutter
+from repro.machine.nic import Binding
+from repro.machine.spec import INTER_NODE, INTRA_NODE, SAME_GPU, LevelSpec, MachineSpec
+
+
+class TestTable4Systems:
+    """Node architectures match Table 4."""
+
+    def test_delta(self):
+        m = delta(4)
+        assert m.gpus_per_node == 4
+        assert m.nic_count == 1
+        assert m.node_bandwidth == 25.0
+        assert m.world_size == 16
+
+    def test_perlmutter(self):
+        m = perlmutter(4)
+        assert m.gpus_per_node == 4
+        assert m.nic_count == 4
+        assert m.node_bandwidth == 100.0
+
+    def test_frontier(self):
+        m = frontier(4)
+        assert m.gpus_per_node == 8  # 4 MI250x x 2 dies
+        assert m.nic_count == 4
+        assert m.node_bandwidth == 100.0
+        assert [lvl.extent for lvl in m.levels] == [4, 2]
+
+    def test_aurora(self):
+        m = aurora(4)
+        assert m.gpus_per_node == 12  # 6 PVC x 2 tiles
+        assert m.nic_count == 8
+        assert m.node_bandwidth == 200.0
+        assert m.binding is Binding.ROUND_ROBIN
+
+    def test_by_name(self):
+        assert by_name("Frontier", nodes=2).world_size == 16
+        with pytest.raises(KeyError):
+            by_name("summit")
+
+    def test_physical_factors(self):
+        assert frontier(8).physical_factors() == [8, 4, 2]
+        assert aurora(4).physical_factors() == [4, 6, 2]
+        assert perlmutter(2).physical_factors() == [2, 4]
+
+
+class TestRankGeometry:
+    def test_node_of_and_local_index(self):
+        m = frontier(2)
+        assert m.node_of(0) == 0
+        assert m.node_of(8) == 1
+        assert m.local_index(11) == 3
+
+    def test_rank_out_of_range(self):
+        m = delta(2)
+        with pytest.raises(HierarchyError):
+            m.node_of(8)
+
+    def test_nic_of_binding(self):
+        m = aurora(1)
+        # Round-robin: GPU i -> NIC i % 8.
+        assert [m.nic_of(i) for i in range(12)] == [i % 8 for i in range(12)]
+
+    def test_frontier_packed_binding(self):
+        m = frontier(1)
+        assert [m.nic_of(i) for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+class TestPaths:
+    def test_same_gpu(self):
+        m = perlmutter(2)
+        p = m.path(3, 3)
+        assert p.kind == SAME_GPU
+
+    def test_intra_node(self):
+        m = perlmutter(2)
+        p = m.path(0, 3)
+        assert p.kind == INTRA_NODE
+        assert p.level_index == 0
+
+    def test_inter_node(self):
+        m = perlmutter(2)
+        p = m.path(0, 4)
+        assert p.kind == INTER_NODE
+        assert p.bandwidth == m.nic_bandwidth
+
+    def test_frontier_die_vs_device_paths(self):
+        m = frontier(1)
+        # GPUs 0,1 share an MI250x (die link); 0,2 cross devices.
+        die = m.path(0, 1)
+        device = m.path(0, 2)
+        assert die.level_index == 1
+        assert device.level_index == 0
+        assert die.bandwidth > device.bandwidth
+
+    def test_frontier_intra_slower_than_nic_aggregate(self):
+        """Section 6.3.5: intra-node is Frontier's bottleneck."""
+        m = frontier(1)
+        device_bw = m.path(0, 2).bandwidth
+        assert device_bw < m.node_bandwidth
+
+    def test_intra_level_requires_same_node(self):
+        m = perlmutter(2)
+        with pytest.raises(HierarchyError):
+            m.intra_level_index(0, 4)
+
+
+class TestSpecValidation:
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(HierarchyError):
+            MachineSpec("bad", 0, (LevelSpec("g", 2, 10.0),), 1, 25.0)
+
+    def test_no_levels_rejected(self):
+        with pytest.raises(HierarchyError):
+            MachineSpec("bad", 2, (), 1, 25.0)
+
+    def test_bad_level_extent(self):
+        with pytest.raises(HierarchyError):
+            LevelSpec("g", 0, 10.0)
+
+    def test_bad_level_bandwidth(self):
+        with pytest.raises(HierarchyError):
+            LevelSpec("g", 2, 0.0)
+
+    def test_with_nodes_preserves_architecture(self):
+        m = frontier(4)
+        big = m.with_nodes(64)
+        assert big.nodes == 64
+        assert big.gpus_per_node == m.gpus_per_node
+        assert big.nic_count == m.nic_count
+        assert big.binding == m.binding
+
+    def test_injection_defaults_to_nic(self):
+        m = perlmutter(2)
+        assert m.injection_bandwidth == m.nic_bandwidth
+
+    def test_delta_injection_capped(self):
+        """Delta: one GPU cannot saturate the shared NIC (striping's 1.29x)."""
+        m = delta(2)
+        assert m.injection_bandwidth < m.nic_bandwidth
+
+    def test_describe_mentions_shape(self):
+        text = aurora(4).describe()
+        assert "12 GPUs" in text and "8 NIC" in text
+
+    def test_generic_builder(self):
+        m = generic(3, 5, 1, name="custom")
+        assert m.world_size == 15
+        assert m.name == "custom"

@@ -1,0 +1,173 @@
+"""Tests for virtual-hierarchy arithmetic (paper Figure 5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HierarchyError
+from repro.machine.topology import TreeTopology, validate_hierarchy
+
+
+class TestValidation:
+    def test_product_must_match(self):
+        with pytest.raises(HierarchyError):
+            validate_hierarchy([2, 3], 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(HierarchyError):
+            validate_hierarchy([], 1)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(HierarchyError):
+            validate_hierarchy([2, 0, 4], 0)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(HierarchyError):
+            validate_hierarchy([2, 2.5], 5)
+
+    def test_valid_passes(self):
+        validate_hierarchy([2, 6, 2], 24)
+
+
+class TestFigure5Trees:
+    """The six factorizations of 24 GPUs shown in Figure 5."""
+
+    @pytest.mark.parametrize(
+        "factors",
+        [[3, 8], [4, 6], [3, 2, 4], [2, 2, 6], [3, 2, 2, 2], [2, 2, 2, 3]],
+    )
+    def test_all_figure5_shapes_valid(self, factors):
+        topo = TreeTopology(factors, 24)
+        assert topo.world_size == 24
+        assert topo.num_blocks(topo.depth) == 24
+        assert topo.block_size(topo.depth) == 1
+
+    def test_c_324_node_grouping(self):
+        """{3, 2, 4}: every aligned run of four ranks is one leaf-level group."""
+        topo = TreeTopology([3, 2, 4])
+        # Depth 2 blocks have 4 ranks each (the "node" of Figure 5c).
+        assert topo.block_size(2) == 4
+        assert list(topo.block_ranks(0, 2)) == [0, 1, 2, 3]
+        assert list(topo.block_ranks(5, 2)) == [20, 21, 22, 23]
+        assert topo.block_of(7, 2) == 1
+
+    def test_e_3222(self):
+        topo = TreeTopology([3, 2, 2, 2])
+        assert topo.depth == 4
+        assert topo.block_size(1) == 8
+        assert topo.block_size(2) == 4
+        assert topo.block_size(3) == 2
+        assert topo.children(0, 0) == [0, 1, 2]
+        assert topo.children(1, 1) == [2, 3]
+
+
+class TestBlocks:
+    def test_block_of_at_root(self):
+        topo = TreeTopology([2, 3], 6)
+        assert all(topo.block_of(r, 0) == 0 for r in range(6))
+
+    def test_block_of_leaf_depth_is_rank(self):
+        topo = TreeTopology([2, 3], 6)
+        assert [topo.block_of(r, 2) for r in range(6)] == list(range(6))
+
+    def test_block_ranks_out_of_range(self):
+        topo = TreeTopology([2, 3], 6)
+        with pytest.raises(HierarchyError):
+            topo.block_ranks(2, 1)
+
+    def test_children_of_leaf_raises(self):
+        topo = TreeTopology([2, 3], 6)
+        with pytest.raises(HierarchyError):
+            topo.children(0, 2)
+
+    def test_same_block(self):
+        topo = TreeTopology([2, 3], 6)
+        assert topo.same_block(0, 2, 1)
+        assert not topo.same_block(2, 3, 1)
+
+
+class TestSeparatingDepth:
+    def test_adjacent_ranks_separate_deep(self):
+        topo = TreeTopology([2, 6, 2], 24)
+        assert topo.separating_depth(0, 1) == 3
+        assert topo.separating_depth(0, 2) == 2
+        assert topo.separating_depth(0, 12) == 1
+
+    def test_identical_ranks_raise(self):
+        topo = TreeTopology([2, 3], 6)
+        with pytest.raises(HierarchyError):
+            topo.separating_depth(3, 3)
+
+    def test_out_of_range_rank(self):
+        topo = TreeTopology([2, 3], 6)
+        with pytest.raises(HierarchyError):
+            topo.separating_depth(0, 6)
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_separating_depth_consistent_with_blocks(self, data):
+        factors = data.draw(
+            st.lists(st.integers(1, 4), min_size=1, max_size=4).filter(
+                lambda f: 2 <= math.prod(f) <= 64
+            )
+        )
+        topo = TreeTopology(factors)
+        p = topo.world_size
+        a = data.draw(st.integers(0, p - 1))
+        b = data.draw(st.integers(0, p - 1).filter(lambda x: x != a))
+        d = topo.separating_depth(a, b)
+        assert topo.same_block(a, b, d - 1)
+        assert not topo.same_block(a, b, d)
+
+
+class TestPartitionLeaves:
+    def test_partition_full_set(self):
+        topo = TreeTopology([2, 3], 6)
+        groups = topo.partition_leaves(range(6), 1)
+        assert groups == {0: [0, 1, 2], 1: [3, 4, 5]}
+
+    def test_partition_sparse_prunes_empty_blocks(self):
+        """Tree pruning for custom collectives (Section 4.2)."""
+        topo = TreeTopology([4, 2], 8)
+        groups = topo.partition_leaves([0, 1, 6], 1)
+        assert set(groups) == {0, 3}
+        assert groups[0] == [0, 1]
+        assert groups[3] == [6]
+
+    def test_partition_preserves_leaf_order(self):
+        topo = TreeTopology([2, 4], 8)
+        groups = topo.partition_leaves([3, 1, 2], 1)
+        assert groups[0] == [3, 1, 2]
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_partition_is_a_partition(self, data):
+        factors = data.draw(
+            st.lists(st.integers(1, 4), min_size=1, max_size=3).filter(
+                lambda f: 2 <= math.prod(f) <= 48
+            )
+        )
+        topo = TreeTopology(factors)
+        p = topo.world_size
+        leaves = data.draw(
+            st.lists(st.integers(0, p - 1), min_size=1, max_size=p, unique=True)
+        )
+        depth = data.draw(st.integers(0, topo.depth))
+        groups = topo.partition_leaves(leaves, depth)
+        flattened = [r for blk in groups.values() for r in blk]
+        assert sorted(flattened) == sorted(leaves)
+        for blk, members in groups.items():
+            for r in members:
+                assert topo.block_of(r, depth) == blk
+
+
+class TestAsciiTree:
+    def test_mentions_all_levels(self):
+        topo = TreeTopology([2, 2], 4)
+        art = topo.ascii_tree()
+        assert "level 1" in art and "level 2" in art
+        assert "{2, 2}" in art

@@ -1,0 +1,147 @@
+"""Tests for the analytic model (Equations 1-2) and Table 3 bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import machines
+from repro.machine.machines import generic
+from repro.model.bounds import (
+    BOUND_KIND,
+    achievable_bound,
+    empirical_bounds,
+    theoretical_bound,
+)
+from repro.model.perf_model import (
+    ModelParams,
+    optimal_pipeline_depth,
+    ring_asymptote,
+    t_ring,
+    t_tree,
+    tree_asymptote,
+)
+
+GB = 1e9
+
+
+def params(nodes=4, m=1, alpha=10e-6, k=4, f=25.0, intra=0.0):
+    return ModelParams(alpha=alpha, nic_count=k, nic_bandwidth=f,
+                       nodes=nodes, pipeline=m, intra_coefficient=intra)
+
+
+class TestEquations:
+    def test_ring_deep_pipeline_approaches_kf(self):
+        """Equation 1: m -> inf gives t ~ d / (k f), O(1) in node count."""
+        d = 8 * GB
+        deep = t_ring(d, params(nodes=4, m=512, alpha=0.0))
+        assert deep == pytest.approx(d / (100 * GB) * (4 + 512 - 2) / 512, rel=1e-6)
+        # Node count barely matters at depth.
+        t4 = t_ring(d, params(nodes=4, m=512, alpha=0.0))
+        t64 = t_ring(d, params(nodes=64, m=512, alpha=0.0))
+        assert t64 / t4 < 1.15
+
+    def test_tree_pays_log_n(self):
+        """Equation 2: t_tree ~ d log2(n) / (k f)."""
+        d = 8 * GB
+        t4 = t_tree(d, params(nodes=4, alpha=0.0))
+        t16 = t_tree(d, params(nodes=16, alpha=0.0))
+        assert t16 / t4 == pytest.approx(math.log2(16) / math.log2(4), rel=1e-6)
+
+    def test_ring_twice_as_fast_as_tree_on_four_nodes(self):
+        """Section 4.6: 'On four nodes ring is theoretically two times
+        faster than tree.'"""
+        d = 8 * GB
+        ring = t_ring(d, params(nodes=4, m=1024, alpha=0.0))
+        tree = t_tree(d, params(nodes=4, m=1, alpha=0.0))
+        assert tree / ring == pytest.approx(2.0, rel=0.05)
+
+    def test_latency_penalizes_deep_pipelines(self):
+        """Small message + deep pipeline -> latency-dominated (Figure 9)."""
+        d = 64 * 1024  # 64 KB
+        shallow = t_ring(d, params(m=1, alpha=20e-6))
+        deep = t_ring(d, params(m=128, alpha=20e-6))
+        assert deep > shallow
+
+    def test_tree_latency_scales_with_depth(self):
+        d = 1024.0
+        t1 = t_tree(d, params(m=1, alpha=20e-6))
+        t32 = t_tree(d, params(m=32, alpha=20e-6))
+        assert t32 > t1
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            t_ring(1.0, params(m=0))
+        with pytest.raises(ValueError):
+            t_tree(1.0, params(nodes=0))
+
+    def test_asymptotes(self):
+        p = params(nodes=16)
+        assert ring_asymptote(p) == 100.0
+        assert tree_asymptote(p) == pytest.approx(100.0 / 4)
+
+    def test_optimal_depth_grows_with_message_size(self):
+        small = optimal_pipeline_depth(32 * 1024, params(), "ring")
+        large = optimal_pipeline_depth(8 * GB, params(), "ring")
+        assert large >= small
+        assert large >= 32
+
+
+class TestTable3Bounds:
+    def test_perlmutter_values(self):
+        """Explicit Table 3 arithmetic for p=16, g=4, k=4, f=25."""
+        m = machines.perlmutter(nodes=4)
+        assert theoretical_bound(m, "broadcast") == 100.0
+        assert theoretical_bound(m, "gather") == pytest.approx(100 * 16 / 12)
+        assert theoretical_bound(m, "all_reduce") == pytest.approx(100 * 16 / 24)
+        assert theoretical_bound(m, "all_to_all") == pytest.approx(100 * 16 / (4 * 12))
+
+    def test_single_node_unbounded(self):
+        m = machines.perlmutter(nodes=1)
+        assert theoretical_bound(m, "broadcast") == float("inf")
+
+    def test_achievable_scales_by_binding(self):
+        m = machines.aurora(nodes=4)
+        assert achievable_bound(m, "broadcast") == pytest.approx(
+            theoretical_bound(m, "broadcast") * 0.75
+        )
+        m2 = machines.perlmutter(nodes=4)
+        assert achievable_bound(m2, "broadcast") == theoretical_bound(m2, "broadcast")
+
+    def test_bound_kind_covers_all_collectives(self):
+        import repro
+
+        assert set(BOUND_KIND) == set(repro.COLLECTIVES)
+
+
+class TestEmpiricalBounds:
+    def test_below_theoretical(self):
+        """Measured fabric ceilings sit below spec-sheet numbers (6.3.5)."""
+        m = machines.perlmutter(nodes=2)
+        emp = empirical_bounds(m)
+        assert emp.unidirectional < m.node_bandwidth
+        assert emp.bidirectional <= emp.unidirectional * 1.01
+
+    def test_unidirectional_scales_with_nics(self):
+        one = generic(2, 4, 1, name="n1")
+        four = generic(2, 4, 4, name="n4")
+        assert (empirical_bounds(four).unidirectional
+                > 2.5 * empirical_bounds(one).unidirectional)
+
+    def test_frontier_intra_is_the_bottleneck(self):
+        """Section 6.3.5's surprise: intra-node below inter-node on Frontier."""
+        m = machines.frontier(nodes=2)
+        emp = empirical_bounds(m)
+        assert emp.intra_node < emp.unidirectional
+
+    def test_perlmutter_intra_comfortably_above(self):
+        m = machines.perlmutter(nodes=2)
+        emp = empirical_bounds(m)
+        assert emp.intra_node > emp.unidirectional
+
+    def test_aurora_capped_by_binding(self):
+        m = machines.aurora(nodes=2)
+        emp = empirical_bounds(m)
+        # Round-robin ceiling: no more than ~75% of the rated 200 GB/s.
+        assert emp.unidirectional <= 0.78 * m.node_bandwidth

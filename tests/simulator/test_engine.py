@@ -1,0 +1,183 @@
+"""Tests for the discrete-event engine: determinism, contention, shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ops import ReduceOp
+from repro.core.schedule import ScheduleBuilder
+from repro.machine.machines import generic, perlmutter
+from repro.simulator.engine import simulate
+from repro.simulator.timing import price_op
+from repro.transport.library import Library
+from repro.transport.profiles import profile
+
+MB = 1 << 20
+LIBS = (Library.MPI,)
+
+
+def _one_send(machine, src, dst, count):
+    b = ScheduleBuilder(machine.world_size)
+    b.send(src, dst, ("a", 0), ("b", 0), count, level=0)
+    return b.build()
+
+
+class TestSingleTransfer:
+    def test_inter_node_time_matches_flow_bandwidth(self):
+        machine = generic(2, 2, 1, name="e1")
+        count = 64 * MB  # elements; 4 bytes each
+        sched = _one_send(machine, 0, 2, count)
+        res = simulate(sched, machine, LIBS, 4)
+        prof = profile(Library.MPI)
+        flow = min(machine.nic_bandwidth, machine.injection_bandwidth) * prof.eff_inter
+        expected = count * 4 / 1e9 / flow
+        assert res.elapsed == pytest.approx(expected, rel=0.05)
+
+    def test_intra_node_faster_than_inter(self):
+        machine = generic(2, 2, 1, name="e2")
+        count = 16 * MB
+        t_intra = simulate(_one_send(machine, 0, 1, count), machine, LIBS, 4).elapsed
+        t_inter = simulate(_one_send(machine, 0, 2, count), machine, LIBS, 4).elapsed
+        assert t_intra < t_inter
+
+    def test_local_copy_cheapest(self):
+        machine = generic(2, 2, 1, name="e3")
+        b = ScheduleBuilder(4)
+        b.copy(0, ("a", 0), ("b", 0), 16 * MB)
+        t_copy = simulate(b.build(), machine, LIBS, 4).elapsed
+        t_intra = simulate(_one_send(machine, 0, 1, 16 * MB), machine, LIBS, 4).elapsed
+        assert t_copy < t_intra
+
+    def test_latency_dominates_small_messages(self):
+        machine = generic(2, 2, 1, name="e4")
+        t_small = simulate(_one_send(machine, 0, 2, 1), machine, LIBS, 4).elapsed
+        prof = profile(Library.MPI)
+        assert t_small >= machine.nic_latency + prof.alpha_inter
+
+    def test_empty_schedule(self):
+        machine = generic(2, 2, 1, name="e5")
+        b = ScheduleBuilder(4)
+        res = simulate(b.build(), machine, LIBS, 4)
+        assert res.elapsed == 0.0
+
+
+class TestContention:
+    def test_shared_nic_serializes(self):
+        """Two flows through one NIC take ~2x one flow (wire-limited)."""
+        machine = generic(2, 2, 1, name="c1")
+        count = 64 * MB
+        t_one = simulate(_one_send(machine, 0, 2, count), machine, LIBS, 4).elapsed
+        b = ScheduleBuilder(4)
+        b.send(0, 2, ("a", 0), ("b", 0), count, level=0)
+        b.send(1, 3, ("a", 0), ("b", 0), count, level=0)
+        t_two = simulate(b.build(), machine, LIBS, 4).elapsed
+        assert t_two > 1.5 * t_one
+
+    def test_separate_nics_parallel(self):
+        """Bijective binding: two same-node flows ride different NICs."""
+        machine = generic(2, 2, 2, name="c2")
+        count = 64 * MB
+        t_one = simulate(_one_send(machine, 0, 2, count), machine, LIBS, 4).elapsed
+        b = ScheduleBuilder(4)
+        b.send(0, 2, ("a", 0), ("b", 0), count, level=0)
+        b.send(1, 3, ("a", 0), ("b", 0), count, level=0)
+        t_two = simulate(b.build(), machine, LIBS, 4).elapsed
+        assert t_two == pytest.approx(t_one, rel=0.1)
+
+    def test_round_robin_imbalance(self):
+        """3 GPUs on 2 NICs: equal flows finish at the doubled-up NIC's pace."""
+        machine = generic(2, 3, 2, name="c3")
+        count = 32 * MB
+        b = ScheduleBuilder(6)
+        for local in range(3):
+            b.send(local, 3 + local, ("a", 0), ("b", 0), count, level=0)
+        res = simulate(b.build(), machine, LIBS, 4)
+        t_one = simulate(_one_send(machine, 0, 3, count), machine, LIBS, 4).elapsed
+        # NIC 0 carries GPUs 0 and 2 -> ~2x a single flow, not ~1x.
+        assert res.elapsed > 1.5 * t_one
+
+    def test_dependencies_serialize(self):
+        machine = generic(2, 2, 1, name="c4")
+        count = 16 * MB
+        b = ScheduleBuilder(4)
+        u = b.send(0, 2, ("a", 0), ("b", 0), count, level=0)
+        b.send(2, 1, ("b", 0), ("c", 0), count, level=0, deps=(u,))
+        t_chain = simulate(b.build(), machine, LIBS, 4).elapsed
+        t_one = simulate(_one_send(machine, 0, 2, count), machine, LIBS, 4).elapsed
+        assert t_chain > 1.5 * t_one
+
+
+class TestDeterminism:
+    def test_repeated_simulation_identical(self):
+        machine = perlmutter(nodes=2)
+        b = ScheduleBuilder(machine.world_size)
+        prev = ()
+        for i in range(20):
+            u = b.send(i % 4, 4 + (i % 4), ("a", i * 10 * MB),
+                       ("b", i * 10 * MB), 10 * MB, level=0, deps=prev)
+            prev = (u,)
+        sched = b.build()
+        times = [simulate(sched, machine, (Library.NCCL,), 4).elapsed
+                 for _ in range(3)]
+        assert times[0] == times[1] == times[2]
+
+
+class TestReductionCosts:
+    def test_reduce_op_adds_kernel_time(self):
+        machine = generic(2, 2, 1, name="k")
+        count = 64 * MB
+        b = ScheduleBuilder(4)
+        b.send(0, 2, ("a", 0), ("b", 0), count, level=0)
+        t_plain = simulate(b.build(), machine, LIBS, 4).elapsed
+        b2 = ScheduleBuilder(4)
+        b2.send(0, 2, ("a", 0), ("b", 0), count, level=0, reduce_op=ReduceOp.SUM)
+        t_red = simulate(b2.build(), machine, LIBS, 4).elapsed
+        assert t_red > t_plain
+
+    def test_nccl_kernel_cheaper_than_mpi(self):
+        machine = generic(2, 2, 1, name="k2")
+        b = ScheduleBuilder(4)
+        b.send(0, 2, ("a", 0), ("b", 0), 1024, level=0, reduce_op=ReduceOp.SUM)
+        sched = b.build()
+        t_mpi = simulate(sched, machine, (Library.MPI,), 4).elapsed
+        t_nccl = simulate(sched, machine, (Library.NCCL,), 4).elapsed
+        assert t_nccl < t_mpi
+
+
+class TestPricing:
+    def test_priced_resources_inter(self):
+        machine = perlmutter(nodes=2)
+        b = ScheduleBuilder(8)
+        b.send(1, 5, ("a", 0), ("b", 0), MB, level=0)
+        op = b.build().ops[0]
+        priced = price_op(op, machine, (Library.NCCL,), 4)
+        kinds = {key[0] for key, _ in priced.resources}
+        assert kinds == {"nic_tx", "nic_rx", "inj_tx", "inj_rx"}
+        # Bijective binding: GPU 1 uses NIC 1 on node 0, GPU 5 NIC 1 on node 1.
+        keys = dict(priced.resources)
+        assert ("nic_tx", 0, 1) in keys
+        assert ("nic_rx", 1, 1) in keys
+
+    def test_priced_resources_intra(self):
+        machine = perlmutter(nodes=2)
+        b = ScheduleBuilder(8)
+        b.send(1, 2, ("a", 0), ("b", 0), MB, level=0)
+        op = b.build().ops[0]
+        priced = price_op(op, machine, (Library.IPC,), 4)
+        kinds = {key[0] for key, _ in priced.resources}
+        assert kinds == {"link_tx", "link_rx"}
+
+    def test_bad_level_rejected(self):
+        machine = perlmutter(nodes=2)
+        b = ScheduleBuilder(8)
+        b.send(1, 2, ("a", 0), ("b", 0), MB, level=0)
+        op = b.build().ops[0]
+        with pytest.raises(ValueError):
+            price_op(op, machine, (), 4)
+
+    def test_throughput_helper(self):
+        machine = generic(2, 2, 1, name="th")
+        res = simulate(_one_send(machine, 0, 2, MB), machine, LIBS, 4)
+        assert res.throughput(MB * 4) == pytest.approx(
+            MB * 4 / 1e9 / res.elapsed
+        )

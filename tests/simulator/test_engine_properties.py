@@ -1,0 +1,115 @@
+"""Property-based tests for the discrete-event engine on random DAGs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import ScheduleBuilder
+from repro.machine.machines import generic
+from repro.simulator.engine import simulate
+from repro.simulator.timing import price_op
+from repro.transport.library import Library
+
+SETTINGS = dict(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MACHINE = generic(2, 4, 2, name="prop")
+LIBS = (Library.MPI,)
+
+
+@st.composite
+def random_dag_schedule(draw):
+    """A random valid schedule: ops with random endpoints and backward deps.
+
+    Writes land in disjoint per-op regions of a shared buffer so the builder's
+    race detection never fires; dependencies are drawn from earlier uids.
+    """
+    n_ops = draw(st.integers(1, 30))
+    b = ScheduleBuilder(MACHINE.world_size)
+    uids: list[int] = []
+    for i in range(n_ops):
+        src = draw(st.integers(0, MACHINE.world_size - 1))
+        dst = draw(st.integers(0, MACHINE.world_size - 1))
+        count = draw(st.sampled_from([1, 1024, 1 << 16]))
+        n_deps = draw(st.integers(0, min(3, len(uids))))
+        deps = tuple(sorted(set(
+            draw(st.sampled_from(uids)) for _ in range(n_deps)
+        ))) if uids else ()
+        region = i * (1 << 16)
+        if src == dst:
+            uid = b.copy(src, ("src", region), ("dst", region), count,
+                         deps=deps)
+        else:
+            uid = b.send(src, dst, ("src", region), ("dst", region), count,
+                         level=0, deps=deps)
+        uids.append(uid)
+    return b.build()
+
+
+class TestEngineInvariants:
+    @settings(**SETTINGS)
+    @given(sched=random_dag_schedule())
+    def test_makespan_at_least_critical_path(self, sched):
+        """The makespan can never beat the dependency-chain lower bound."""
+        result = simulate(sched, MACHINE, LIBS, 4)
+        priced = [price_op(op, MACHINE, LIBS, 4) for op in sched.ops]
+        best_finish = {}
+        for op in sched.ops:
+            ready = max((best_finish[d] for d in op.deps), default=0.0)
+            best_finish[op.uid] = ready + priced[op.uid].total_time
+        assert result.elapsed >= max(best_finish.values()) - 1e-12
+
+    @settings(**SETTINGS)
+    @given(sched=random_dag_schedule())
+    def test_deps_respected_in_time(self, sched):
+        result = simulate(sched, MACHINE, LIBS, 4)
+        for op in sched.ops:
+            for dep in op.deps:
+                assert (result.start_times[op.uid]
+                        >= result.completion_times[dep] - 1e-12)
+
+    @settings(**SETTINGS)
+    @given(sched=random_dag_schedule())
+    def test_resource_exclusivity(self, sched):
+        """No two ops occupy the same serial resource at the same time."""
+        result = simulate(sched, MACHINE, LIBS, 4)
+        windows: dict[tuple, list[tuple[float, float]]] = {}
+        for op in sched.ops:
+            priced = price_op(op, MACHINE, LIBS, 4)
+            start = result.start_times[op.uid]
+            for key, dur in priced.resources:
+                windows.setdefault(key, []).append(
+                    (start, start + priced.overhead + dur)
+                )
+        for key, spans in windows.items():
+            spans.sort()
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-12, f"overlap on {key}"
+
+    @settings(**SETTINGS)
+    @given(sched=random_dag_schedule())
+    def test_busy_never_exceeds_makespan(self, sched):
+        result = simulate(sched, MACHINE, LIBS, 4)
+        for key, busy in result.resource_busy.items():
+            assert busy <= result.elapsed + 1e-9
+
+    @settings(**SETTINGS)
+    @given(sched=random_dag_schedule())
+    def test_determinism(self, sched):
+        r1 = simulate(sched, MACHINE, LIBS, 4)
+        r2 = simulate(sched, MACHINE, LIBS, 4)
+        assert r1.elapsed == r2.elapsed
+        assert r1.start_times == r2.start_times
+
+    @settings(**SETTINGS)
+    @given(sched=random_dag_schedule(), scale=st.sampled_from([2, 4, 8]))
+    def test_throughput_monotone_in_element_size(self, sched, scale):
+        """Bigger elements (same op graph) can only take longer."""
+        small = simulate(sched, MACHINE, LIBS, 4).elapsed
+        large = simulate(sched, MACHINE, LIBS, 4 * scale).elapsed
+        assert large >= small - 1e-12

@@ -1,0 +1,115 @@
+"""Exact arithmetic checks of the alpha-beta-gamma pricing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ops import ReduceOp
+from repro.core.schedule import ScheduleBuilder
+from repro.machine.machines import generic, perlmutter
+from repro.simulator.timing import RESOURCE_ALPHA_FRACTION, price_op
+from repro.transport.library import Library
+from repro.transport.profiles import profile
+
+MB = 1 << 20
+
+
+def _op(machine, src, dst, count, reduce_op=None):
+    b = ScheduleBuilder(machine.world_size)
+    if src == dst:
+        b.copy(src, ("a", 0), ("b", 0), count, reduce_op=reduce_op)
+    else:
+        b.send(src, dst, ("a", 0), ("b", 0), count, reduce_op=reduce_op, level=0)
+    return b.build().ops[0]
+
+
+class TestInterNodePricing:
+    def test_wire_vs_endpoint_durations(self):
+        machine = perlmutter(nodes=2)
+        priced = price_op(_op(machine, 0, 4, 25 * MB), machine,
+                          (Library.NCCL,), 4)
+        nbytes = 25 * MB * 4
+        keys = dict(priced.resources)
+        wire = nbytes / 1e9 / machine.nic_bandwidth
+        prof = profile(Library.NCCL)
+        flow = nbytes / 1e9 / (machine.nic_bandwidth * prof.eff_inter)
+        assert keys[("nic_tx", 0, 0)] == pytest.approx(wire)
+        assert keys[("nic_rx", 1, 0)] == pytest.approx(wire)
+        assert keys[("inj_tx", 0)] == pytest.approx(flow)
+        assert keys[("inj_rx", 4)] == pytest.approx(flow)
+        # Endpoints are slower than the wire: striping's opportunity.
+        assert flow > wire
+
+    def test_alpha_is_path_plus_library(self):
+        machine = perlmutter(nodes=2)
+        priced = price_op(_op(machine, 0, 4, MB), machine, (Library.MPI,), 4)
+        prof = profile(Library.MPI)
+        assert priced.alpha == pytest.approx(machine.nic_latency + prof.alpha_inter)
+
+    def test_overhead_fraction(self):
+        machine = perlmutter(nodes=2)
+        priced = price_op(_op(machine, 0, 4, MB), machine, (Library.MPI,), 4)
+        assert priced.overhead == pytest.approx(
+            priced.alpha * RESOURCE_ALPHA_FRACTION
+        )
+
+
+class TestIntraNodePricing:
+    def test_level_bandwidth_and_efficiency(self):
+        machine = perlmutter(nodes=2)
+        priced = price_op(_op(machine, 0, 1, 25 * MB), machine,
+                          (Library.IPC,), 4)
+        nbytes = 25 * MB * 4
+        level_bw = machine.levels[0].bandwidth  # IPC eff_intra = 1.0
+        expected = nbytes / 1e9 / level_bw
+        for _key, dur in priced.resources:
+            assert dur == pytest.approx(expected)
+
+    def test_die_level_faster_than_device_level(self):
+        from repro.machine.machines import frontier
+
+        machine = frontier(nodes=1)
+        die = price_op(_op(machine, 0, 1, MB), machine, (Library.IPC,), 4)
+        dev = price_op(_op(machine, 0, 2, MB), machine, (Library.IPC,), 4)
+        assert die.transfer_time < dev.transfer_time
+
+
+class TestLocalAndGamma:
+    def test_local_copy_uses_copy_engine(self):
+        machine = generic(1, 2, 1, name="lc")
+        priced = price_op(_op(machine, 0, 0, MB), machine, (Library.MPI,), 4)
+        assert priced.resources[0][0] == ("copy", 0)
+        assert priced.gamma == 0.0
+
+    def test_gamma_scales_with_bytes_and_kernel(self):
+        machine = perlmutter(nodes=2)
+        small = price_op(_op(machine, 0, 4, MB, ReduceOp.SUM), machine,
+                         (Library.NCCL,), 4)
+        large = price_op(_op(machine, 0, 4, 16 * MB, ReduceOp.SUM), machine,
+                         (Library.NCCL,), 4)
+        assert large.gamma > small.gamma
+        mpi = price_op(_op(machine, 0, 4, MB, ReduceOp.SUM), machine,
+                       (Library.MPI,), 4)
+        assert mpi.gamma > small.gamma  # kernel_scale 2.5 vs 0.35
+
+    def test_elem_bytes_scales_linearly(self):
+        machine = perlmutter(nodes=2)
+        f32 = price_op(_op(machine, 0, 4, MB), machine, (Library.NCCL,), 4)
+        f64 = price_op(_op(machine, 0, 4, MB), machine, (Library.NCCL,), 8)
+        assert f64.transfer_time == pytest.approx(2 * f32.transfer_time)
+
+
+class TestInjectionCap:
+    def test_delta_flow_capped_by_injection(self):
+        from repro.machine.machines import delta
+
+        machine = delta(nodes=2)
+        priced = price_op(_op(machine, 0, 4, 25 * MB), machine,
+                          (Library.NCCL,), 4)
+        keys = dict(priced.resources)
+        nbytes = 25 * MB * 4
+        prof = profile(Library.NCCL)
+        flow = nbytes / 1e9 / (machine.injection_bandwidth * prof.eff_inter)
+        assert keys[("inj_tx", 0)] == pytest.approx(flow)
+        # Injection cap (20 GB/s) binds before the NIC (25 GB/s).
+        assert keys[("inj_tx", 0)] > keys[("nic_tx", 0, 0)]

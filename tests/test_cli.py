@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _parse_size, build_parser, main
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert _parse_size("4096") == 4096
+
+    def test_suffixes(self):
+        assert _parse_size("1K") == 1024
+        assert _parse_size("64M") == 64 << 20
+        assert _parse_size("2G") == 2 << 30
+
+    def test_fractional(self):
+        assert _parse_size("0.5G") == 1 << 29
+
+    def test_lowercase(self):
+        assert _parse_size("16m") == 16 << 20
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "broadcast"])
+        assert args.system == "perlmutter"
+        assert args.nodes == 4
+        assert args.topology == "auto"
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("delta", "perlmutter", "frontier", "aurora"):
+            assert name in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "broadcast", "--system", "perlmutter",
+                   "--payload", "16M", "--topology", "tree", "--pipeline", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GB/s" in out and "pipeline(4)" in out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "broadcast", "--system", "delta",
+                   "--payload", "16M"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mpi" in out and "hiccl" in out and "bounds:" in out
+
+    def test_tune(self, capsys):
+        rc = main(["tune", "broadcast", "--system", "perlmutter",
+                   "--nodes", "2", "--payload", "8M", "--top", "3"])
+        assert rc == 0
+        assert "configurations evaluated" in capsys.readouterr().out
+
+    def test_bounds(self, capsys):
+        rc = main(["bounds", "--system", "aurora"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "broadcast" in out and "achievable" in out
+
+    def test_gantt(self, capsys):
+        rc = main(["gantt", "broadcast", "--system", "perlmutter",
+                   "--payload", "4M", "--pipeline", "4", "--width", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "digits = stage" in out and "makespan" in out
+
+    def test_unknown_system_errors(self):
+        with pytest.raises(KeyError):
+            main(["bounds", "--system", "summit"])

@@ -1,0 +1,108 @@
+"""Tests for the one-call convenience API (repro.collectives)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.collectives as coll
+from repro import machines
+from repro.bench.configs import tree_config
+from repro.core.ops import ReduceOp
+from repro.errors import CompositionError
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return machines.perlmutter(nodes=2)
+
+
+@pytest.fixture(scope="module")
+def cfg(machine):
+    return tree_config(machine, pipeline=2)
+
+
+def _data(machine, cols, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-9, 10, size=(machine.world_size, cols)).astype(np.float32)
+
+
+class TestOneCallCollectives:
+    def test_broadcast(self, machine, cfg):
+        data = _data(machine, machine.world_size * 8)
+        out = coll.broadcast(machine, data, root=3, config=cfg)
+        np.testing.assert_array_equal(out, np.tile(data[3], (machine.world_size, 1)))
+
+    def test_all_reduce(self, machine, cfg):
+        data = _data(machine, machine.world_size * 8, seed=1)
+        out = coll.all_reduce(machine, data, config=cfg)
+        np.testing.assert_array_equal(out, np.tile(data.sum(axis=0),
+                                                   (machine.world_size, 1)))
+
+    def test_all_reduce_max(self, machine, cfg):
+        data = _data(machine, machine.world_size * 8, seed=2)
+        out = coll.all_reduce(machine, data, op=ReduceOp.MAX, config=cfg)
+        np.testing.assert_array_equal(out[0], data.max(axis=0))
+
+    def test_reduce_only_root_defined(self, machine, cfg):
+        data = _data(machine, machine.world_size * 4, seed=3)
+        out = coll.reduce(machine, data, root=0, config=cfg)
+        np.testing.assert_array_equal(out[0], data.sum(axis=0))
+
+    def test_scatter_gather_roundtrip(self, machine, cfg):
+        p = machine.world_size
+        data = _data(machine, p * 4, seed=4)
+        chunks = coll.scatter(machine, data, config=cfg)
+        np.testing.assert_array_equal(chunks.reshape(-1), data[0])
+        back = coll.gather(machine, chunks, config=cfg)
+        np.testing.assert_array_equal(back[0], data[0])
+
+    def test_all_gather(self, machine, cfg):
+        p = machine.world_size
+        rows = _data(machine, 6, seed=5)
+        out = coll.all_gather(machine, rows, config=cfg)
+        expected = rows.reshape(-1)
+        for rank in range(p):
+            np.testing.assert_array_equal(out[rank], expected)
+
+    def test_reduce_scatter(self, machine, cfg):
+        p = machine.world_size
+        data = _data(machine, p * 4, seed=6)
+        out = coll.reduce_scatter(machine, data, config=cfg)
+        reduced = data.sum(axis=0).reshape(p, 4)
+        np.testing.assert_array_equal(out, reduced)
+
+    def test_all_to_all_is_transpose(self, machine, cfg):
+        p = machine.world_size
+        data = _data(machine, p * 4, seed=7)
+        out = coll.all_to_all(machine, data, config=cfg)
+        expected = data.reshape(p, p, 4).transpose(1, 0, 2).reshape(p, p * 4)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_return_time(self, machine, cfg):
+        data = _data(machine, machine.world_size * 4, seed=8)
+        out, elapsed = coll.broadcast(machine, data, config=cfg,
+                                      return_time=True)
+        assert elapsed > 0
+        assert out.shape == data.shape
+
+    def test_default_config_used(self, machine):
+        data = _data(machine, machine.world_size * 4, seed=9)
+        out = coll.broadcast(machine, data)  # best_config picked internally
+        np.testing.assert_array_equal(out[1], data[0])
+
+
+class TestInputValidation:
+    def test_wrong_row_count(self, machine, cfg):
+        with pytest.raises(CompositionError):
+            coll.broadcast(machine, np.zeros((3, 8), dtype=np.float32), config=cfg)
+
+    def test_not_divisible(self, machine, cfg):
+        with pytest.raises(CompositionError):
+            coll.all_reduce(machine,
+                            np.zeros((machine.world_size, 7), dtype=np.float32),
+                            config=cfg)
+
+    def test_one_dimensional_rejected(self, machine, cfg):
+        with pytest.raises(CompositionError):
+            coll.gather(machine, np.zeros(8, dtype=np.float32), config=cfg)

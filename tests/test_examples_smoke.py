@@ -1,0 +1,55 @@
+"""Smoke tests: the fast examples run end-to-end as subprocesses.
+
+The heavyweight examples (Listing 2 on Aurora, the portability sweep) are
+exercised by the benchmark harness's equivalent paths; here we keep the
+quick ones green so `python examples/<x>.py` never rots.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", "verified against numpy"),
+    ("custom_sparse_collective.py", "verified"),
+    ("trace_visualization.py", "digits = stage"),
+    ("training_step.py", "replicas identical"),
+]
+
+
+@pytest.mark.parametrize("script,marker", FAST_EXAMPLES)
+def test_example_runs(script, marker):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py",
+        "listing2_allreduce.py",
+        "portability_sweep.py",
+        "custom_sparse_collective.py",
+        "pipeline_tuning.py",
+        "training_step.py",
+        "trace_visualization.py",
+        "latency_vs_throughput.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES.glob("*.py")}
+
+
+def test_examples_have_docstrings():
+    for path in EXAMPLES.glob("*.py"):
+        head = path.read_text().split('"""')
+        assert len(head) >= 2 and len(head[1].strip()) > 40, path.name

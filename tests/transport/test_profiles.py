@@ -1,0 +1,116 @@
+"""Tests for library profiles and per-level assignment validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import LibraryAssignmentError
+from repro.machine.machines import aurora, frontier, generic, perlmutter
+from repro.machine.topology import TreeTopology
+from repro.transport.library import DIRECT_LIBRARY, VENDOR_LIBRARY, Library
+from repro.transport.profiles import (
+    PROFILE_OVERRIDES,
+    PROFILES,
+    profile,
+    validate_level_libraries,
+)
+
+
+class TestLibraryEnum:
+    def test_ipc_is_intra_node_only(self):
+        assert Library.IPC.intra_node_only
+        assert not Library.MPI.intra_node_only
+        assert not Library.NCCL.intra_node_only
+
+    def test_vendor_attribution(self):
+        assert Library.NCCL.vendor == "nvidia"
+        assert Library.RCCL.vendor == "amd"
+        assert Library.ONECCL.vendor == "intel"
+        assert Library.MPI.vendor is None
+
+    def test_vendor_library_per_system(self):
+        assert VENDOR_LIBRARY["perlmutter"] is Library.NCCL
+        assert VENDOR_LIBRARY["frontier"] is Library.RCCL
+        assert VENDOR_LIBRARY["aurora"] is Library.ONECCL
+
+    def test_direct_library_per_system(self):
+        """Section 6.3.2: NCCL on Nvidia systems, MPI on Frontier/Aurora."""
+        assert DIRECT_LIBRARY["delta"] is Library.NCCL
+        assert DIRECT_LIBRARY["frontier"] is Library.MPI
+
+
+class TestProfiles:
+    def test_every_library_has_profile(self):
+        for lib in Library:
+            assert lib in PROFILES
+
+    def test_nccl_beats_mpi_latency_and_bandwidth(self):
+        nccl, mpi = profile(Library.NCCL), profile(Library.MPI)
+        assert nccl.alpha_inter < mpi.alpha_inter
+        assert nccl.eff_inter > mpi.eff_inter
+        assert nccl.kernel_scale < mpi.kernel_scale
+
+    def test_collective_envelopes_worse_than_p2p(self):
+        """The paper's premise: MPI p2p is fine, MPI collectives are not."""
+        assert profile(Library.MPI_COLL).eff_inter < profile(Library.MPI).eff_inter
+
+    def test_machine_overrides_apply(self):
+        base = profile(Library.MPI_COLL)
+        delta_prof = profile(Library.MPI_COLL, "delta")
+        aurora_prof = profile(Library.MPI_COLL, "aurora")
+        assert ("delta", Library.MPI_COLL) in PROFILE_OVERRIDES
+        assert delta_prof.eff_inter != base.eff_inter
+        # Aurora's MPI is the worst of the four (48x gap, Section 6.3.1).
+        assert aurora_prof.eff_inter <= delta_prof.eff_inter
+
+    def test_override_miss_falls_back(self):
+        assert profile(Library.NCCL, "no-such-machine") is PROFILES[Library.NCCL]
+
+
+class TestLevelValidation:
+    def test_length_mismatch(self):
+        m = perlmutter(2)
+        topo = TreeTopology([2, 4], 8)
+        with pytest.raises(LibraryAssignmentError):
+            validate_level_libraries(m, topo, [Library.NCCL])
+
+    def test_non_library_rejected(self):
+        m = perlmutter(2)
+        topo = TreeTopology([2, 4], 8)
+        with pytest.raises(LibraryAssignmentError):
+            validate_level_libraries(m, topo, ["nccl", Library.IPC])
+
+    def test_ipc_across_nodes_rejected(self):
+        m = perlmutter(2)
+        topo = TreeTopology([2, 4], 8)
+        with pytest.raises(LibraryAssignmentError):
+            validate_level_libraries(m, topo, [Library.IPC, Library.IPC])
+
+    def test_ipc_within_node_allowed(self):
+        m = perlmutter(2)
+        topo = TreeTopology([2, 4], 8)
+        validate_level_libraries(m, topo, [Library.NCCL, Library.IPC])
+
+    def test_table5_vectors_validate(self):
+        cases = [
+            (perlmutter(4), [2, 2, 4], [Library.NCCL, Library.NCCL, Library.IPC]),
+            (perlmutter(4), [4, 4], [Library.NCCL, Library.IPC]),
+            (frontier(4), [2, 2, 4, 2],
+             [Library.MPI, Library.MPI, Library.IPC, Library.IPC]),
+            (frontier(4), [4, 4, 2], [Library.MPI, Library.IPC, Library.IPC]),
+            (aurora(4), [2, 2, 6, 2],
+             [Library.MPI, Library.MPI, Library.IPC, Library.IPC]),
+            (aurora(4), [4, 6, 2], [Library.MPI, Library.IPC, Library.IPC]),
+        ]
+        for machine, hierarchy, libs in cases:
+            topo = TreeTopology(hierarchy, machine.world_size)
+            validate_level_libraries(machine, topo, libs)
+
+    def test_ipc_on_misaligned_block_rejected(self):
+        """Blocks of 3 over 2-GPU nodes straddle node boundaries."""
+        m = generic(3, 2, 1, name="mis")
+        topo = TreeTopology([2, 3], 6)
+        with pytest.raises(LibraryAssignmentError):
+            validate_level_libraries(m, topo, [Library.MPI, Library.IPC])

@@ -16,6 +16,19 @@ import pytest
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``slow``.
+
+    The figure sweeps are minutes-long synthesis grids; the smoke job
+    (``pytest -x -q -m "not slow"``, see tools/smoke.sh) skips them while the
+    full tier-1 run still executes everything.
+    """
+    bench_root = Path(__file__).parent.resolve()
+    for item in items:
+        if bench_root in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def output_dir() -> Path:
     OUTPUT_DIR.mkdir(exist_ok=True)

@@ -14,8 +14,8 @@ Public API tour::
     comm.start()
     elapsed = comm.wait()          # simulated seconds on the modeled machine
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See DESIGN.md#1-layer-tour for the system inventory and
+EXPERIMENTS.md#paper-vs-measured for the record of every table and figure.
 """
 
 from . import collectives, machine as machines

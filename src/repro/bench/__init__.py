@@ -10,6 +10,7 @@ from .configs import (
     striped_config,
     tree_config,
 )
+from .parallel import SweepPoint, hiccl_grid, run_sweep
 from .report import SpeedupReport, geomean, render_throughput_table, speedups
 from .runner import (
     DEFAULT_PAYLOAD_BYTES,
@@ -26,9 +27,11 @@ __all__ = [
     "HicclConfig",
     "Measurement",
     "SpeedupReport",
+    "SweepPoint",
     "best_config",
     "direct_config",
     "geomean",
+    "hiccl_grid",
     "hierarchical_config",
     "payload_count",
     "peak_throughput",
@@ -37,6 +40,7 @@ __all__ = [
     "ring_config",
     "run_baseline",
     "run_hiccl",
+    "run_sweep",
     "speedups",
     "striped_config",
     "tree_config",

@@ -210,27 +210,43 @@ def render_fig7(matrices: dict[str, dict]) -> str:
 FIG8_VARIANTS = ("mpi", "vendor", "direct", "hierarchical", "striped", "pipelined")
 
 
-def fig8_system(machine: MachineSpec, payload_bytes: int = 1 << 29,
-                collectives=FIGURE8_ORDER) -> list[Measurement]:
-    """One panel of Figure 8: every collective x every implementation."""
-    rows: list[Measurement] = []
+def fig8_points(machine: MachineSpec, payload_bytes: int = 1 << 29,
+                collectives=FIGURE8_ORDER) -> list:
+    """The Figure 8 measurement grid as sweep points, in bar order."""
+    from .parallel import SweepPoint
+
+    points = []
     for name in collectives:
         for family in ("mpi", "vendor"):
-            m = run_baseline(machine, name, family, payload_bytes=payload_bytes,
-                             warmup=0, rounds=1)
-            if m is not None:
-                rows.append(m)
+            points.append(SweepPoint(machine, name, family=family,
+                                     payload_bytes=payload_bytes))
         for cfg_fn in (direct_config, hierarchical_config, striped_config):
-            cfg = cfg_fn(machine)
-            rows.append(run_hiccl(machine, name, cfg, payload_bytes=payload_bytes,
-                                  warmup=0, rounds=1))
-        rows.append(run_hiccl(machine, name, best_config(machine, name),
-                              payload_bytes=payload_bytes, warmup=0, rounds=1))
+            points.append(SweepPoint(machine, name, config=cfg_fn(machine),
+                                     payload_bytes=payload_bytes))
+        points.append(SweepPoint(machine, name, config=best_config(machine, name),
+                                 payload_bytes=payload_bytes))
         # Broadcast/Reduce additionally show the tree-topology bar.
         if name in ("broadcast", "reduce"):
-            rows.append(run_hiccl(machine, name, pipelined_config(machine, "tree"),
-                                  payload_bytes=payload_bytes, warmup=0, rounds=1))
-    return rows
+            points.append(SweepPoint(machine, name,
+                                     config=pipelined_config(machine, "tree"),
+                                     payload_bytes=payload_bytes))
+    return points
+
+
+def fig8_system(machine: MachineSpec, payload_bytes: int = 1 << 29,
+                collectives=FIGURE8_ORDER, jobs: int = 1,
+                cache_dir=None) -> list[Measurement]:
+    """One panel of Figure 8: every collective x every implementation.
+
+    ``jobs > 1`` fans the grid out to worker processes through
+    :func:`repro.bench.parallel.run_sweep`; the row order is identical to the
+    serial run (baselines a library does not offer are dropped either way).
+    """
+    from .parallel import run_sweep
+
+    points = fig8_points(machine, payload_bytes, collectives)
+    results = run_sweep(points, jobs=jobs, cache_dir=cache_dir)
+    return [m for m in results if m is not None]
 
 
 def fig8_bounds(machine: MachineSpec) -> dict[str, dict[str, float]]:

@@ -8,6 +8,8 @@ Entry point: ``python -m repro <command>``::
     python -m repro compare broadcast --system frontier --payload 1G
     python -m repro tune broadcast --system perlmutter --payload 256M
     python -m repro bounds --system aurora
+    python -m repro bench --system perlmutter --jobs 4  # parallel Fig 8 grid
+    python -m repro cache                           # plan-cache statistics
 
 Outputs are plain text; the heavy lifting lives in the library so every
 command is also reachable programmatically.
@@ -138,6 +140,62 @@ def cmd_bounds(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the Figure 8 measurement grid, optionally across worker processes."""
+    import time
+
+    from .bench.figures import fig8_bounds, fig8_points, render_fig8
+    from .bench.parallel import default_jobs, run_sweep
+    from .core.composition import FIGURE8_ORDER
+    from .core.plancache import get_cache
+
+    machine = _machine(args)
+    collectives = (args.collectives.split(",") if args.collectives
+                   else list(FIGURE8_ORDER))
+    points = fig8_points(machine, _parse_size(args.payload), collectives)
+    jobs = args.jobs if args.jobs != 0 else default_jobs()
+    t0 = time.perf_counter()
+    results = run_sweep(points, jobs=jobs, cache_dir=args.cache_dir)
+    elapsed = time.perf_counter() - t0
+    rows = [m for m in results if m is not None]
+    print(render_fig8(machine, rows, fig8_bounds(machine)))
+    print()
+    print(f"{len(rows)} points in {elapsed:.2f}s with jobs={jobs}")
+    if jobs <= 1:
+        print(f"plan cache: {get_cache().stats.render()}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Show (or clear) the plan cache: in-process stats + persisted plans."""
+    from .core.plancache import (
+        SCHEMA_VERSION,
+        PlanCache,
+        default_disk_dir,
+        get_cache,
+    )
+
+    cache = get_cache()
+    print(f"plan cache (schema v{SCHEMA_VERSION})")
+    print(f"  in-process: {len(cache)} plan(s), capacity {cache.capacity}, "
+          f"{cache.total_ops()} lowered op(s) held "
+          f"(budget {cache.max_total_ops})")
+    print(f"  stats: {cache.stats.render()}")
+    # Inspect the persistent layer even when this process has it disabled.
+    state = "active" if cache.disk_dir is not None else "inactive; set REPRO_PLAN_CACHE=disk"
+    disk = cache if cache.disk_dir is not None else PlanCache(
+        disk_dir=default_disk_dir())
+    entries = sorted(disk.disk_dir.glob("v*-*.pkl")) if disk.disk_dir.exists() else []
+    total = sum(p.stat().st_size for p in entries)
+    print(f"  disk layer ({state}): {disk.disk_dir}")
+    print(f"    {len(entries)} persisted plan(s), {total / 1e6:.2f} MB")
+    if args.clear:
+        removed = disk.clear_disk()
+        cache.clear()
+        print(f"  cleared: {removed} persisted file(s) removed")
+    return 0
+
+
 def cmd_gantt(args) -> int:
     """Render the pipeline timeline as an ASCII Gantt chart."""
     from .bench.configs import best_config
@@ -202,6 +260,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bounds", help="Table 3 + empirical bounds for a system")
     common(p, collective=False)
     p.set_defaults(fn=cmd_bounds)
+
+    p = sub.add_parser("bench",
+                       help="run the Figure 8 grid (parallel with --jobs)")
+    common(p, collective=False)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = all cores, 1 = in-process)")
+    p.add_argument("--collectives", default="",
+                   help="comma-separated subset, e.g. broadcast,all_reduce")
+    p.add_argument("--cache-dir", default=None,
+                   help="shared on-disk plan cache for the workers")
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("cache", help="plan-cache statistics and maintenance")
+    p.add_argument("--clear", action="store_true",
+                   help="also delete the persisted plans on disk")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("gantt", help="ASCII pipeline timeline (Figure 7)")
     common(p)

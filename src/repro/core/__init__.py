@@ -7,6 +7,7 @@ from .composition import COLLECTIVES, FIGURE8_ORDER, compose
 from .factorize import Lowering, lower_program, split_even
 from .ops import ReduceOp, accumulate, reference_reduce
 from .plan import OptimizationPlan
+from .plancache import CachedPlan, CacheStats, PlanCache, PlanKey, plan_key
 from .primitives import Fence, Multicast, Program, Reduction
 from .schedule import P2POp, Schedule, ScheduleBuilder
 from .vcollectives import (
@@ -30,6 +31,11 @@ __all__ = [
     "tune",
     "BufferView",
     "COLLECTIVES",
+    "CachedPlan",
+    "CacheStats",
+    "PlanCache",
+    "PlanKey",
+    "plan_key",
     "Communicator",
     "FIGURE8_ORDER",
     "Fence",

@@ -27,6 +27,12 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
+import numpy as np
+
+#: Maps smaller than this answer queries faster through plain bisect; the
+#: numpy fast path only pays off once the array views amortize its setup.
+NUMPY_MIN_ENTRIES = 32
+
 
 @dataclass(frozen=True)
 class Interval:
@@ -41,13 +47,43 @@ class Interval:
 
 
 class IntervalMap:
-    """Most-recent-writer map over half-open integer intervals."""
+    """Most-recent-writer map over half-open integer intervals.
 
-    __slots__ = ("_starts", "_entries")
+    Mutation stays bisect-based (writes splice small windows), but bulk
+    conflict *queries* — the hot loop of the schedule builder, which asks
+    "who wrote any byte of this range?" for every read and write of every
+    emitted op — take a vectorized numpy path over lazily rebuilt column
+    arrays.  The builder's access pattern (a burst of writes at each fence
+    commit, then thousands of queries while lowering the next step) means the
+    arrays are rebuilt once per step, not once per write.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_starts", "_entries", "_np_starts", "_np_stops", "_np_tags",
+                 "_np_dirty", "_vectorized")
+
+    def __init__(self, vectorized: bool = True) -> None:
+        # ``vectorized=False`` keeps the pure-bisect query path: right for
+        # maps whose writes and queries interleave per operation (the
+        # builder's intra-step maps), where a per-query column rebuild would
+        # cost more than it saves.
         self._starts: list[int] = []
         self._entries: list[Interval] = []
+        self._np_starts: np.ndarray | None = None
+        self._np_stops: np.ndarray | None = None
+        self._np_tags: np.ndarray | None = None
+        self._np_dirty = True
+        self._vectorized = vectorized
+
+    def _refresh_columns(self) -> None:
+        if self._np_dirty:
+            n = len(self._entries)
+            self._np_starts = np.fromiter(
+                (e.start for e in self._entries), np.int64, n)
+            self._np_stops = np.fromiter(
+                (e.stop for e in self._entries), np.int64, n)
+            self._np_tags = np.fromiter(
+                (e.tag for e in self._entries), np.int64, n)
+            self._np_dirty = False
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -74,7 +110,25 @@ class IntervalMap:
         return [e for e in self._entries[lo:hi] if e.overlaps(start, stop)]
 
     def tags_overlapping(self, start: int, stop: int) -> list[int]:
-        """Distinct op ids writing any element of ``[start, stop)``."""
+        """Distinct op ids writing any element of ``[start, stop)``.
+
+        Tags come back in entry-position order, deduplicated by first
+        occurrence (the order the bisect path has always produced).
+        """
+        n = len(self._entries)
+        if start >= stop or not n:
+            return []
+        if self._vectorized and n >= NUMPY_MIN_ENTRIES:
+            self._refresh_columns()
+            lo = int(np.searchsorted(self._np_starts, start, side="left"))
+            if lo > 0 and self._np_stops[lo - 1] > start:
+                lo -= 1
+            hi = int(np.searchsorted(self._np_starts, stop, side="left"))
+            if lo >= hi:
+                return []
+            window = self._np_stops[lo:hi] > start  # starts < stop by choice of hi
+            tags = self._np_tags[lo:hi][window].tolist()
+            return list(dict.fromkeys(tags))
         seen: dict[int, None] = {}
         for entry in self.overlapping(start, stop):
             seen.setdefault(entry.tag)
@@ -88,6 +142,7 @@ class IntervalMap:
         """
         if start >= stop:
             return
+        self._np_dirty = True
         if not self._entries:
             self._entries.append(Interval(start, stop, tag))
             self._starts.append(start)
@@ -123,14 +178,30 @@ class IntervalMap:
 
 
 class IntervalSet:
-    """Readers-per-element map: disjoint sorted ranges carrying tag sets."""
+    """Readers-per-element map: disjoint sorted ranges carrying tag sets.
 
-    __slots__ = ("_starts", "_stops", "_tags")
+    Like :class:`IntervalMap`, queries over large maps locate the overlapping
+    window with vectorized searchsorted/compare over lazily rebuilt numpy
+    columns; only the union of the few surviving tag sets stays in Python.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_starts", "_stops", "_tags", "_np_starts", "_np_stops",
+                 "_np_dirty", "_vectorized")
+
+    def __init__(self, vectorized: bool = True) -> None:
         self._starts: list[int] = []
         self._stops: list[int] = []
         self._tags: list[frozenset[int]] = []
+        self._np_starts: np.ndarray | None = None
+        self._np_stops: np.ndarray | None = None
+        self._np_dirty = True
+        self._vectorized = vectorized
+
+    def _refresh_columns(self) -> None:
+        if self._np_dirty:
+            self._np_starts = np.array(self._starts, dtype=np.int64)
+            self._np_stops = np.array(self._stops, dtype=np.int64)
+            self._np_dirty = False
 
     def __len__(self) -> int:
         return len(self._starts)
@@ -155,6 +226,7 @@ class IntervalSet:
         """Record that op ``tag`` read ``[start, stop)``."""
         if start >= stop:
             return
+        self._np_dirty = True
         lo, hi = self._locate(start, stop)
         new_starts: list[int] = []
         new_stops: list[int] = []
@@ -196,10 +268,25 @@ class IntervalSet:
         self._tags[lo:hi] = new_tags
 
     def tags_overlapping(self, start: int, stop: int) -> list[int]:
-        if start >= stop or not self._starts:
+        n = len(self._starts)
+        if start >= stop or not n:
             return []
+        if self._vectorized and n >= NUMPY_MIN_ENTRIES:
+            self._refresh_columns()
+            lo = int(np.searchsorted(self._np_starts, start, side="left"))
+            if lo > 0 and self._np_stops[lo - 1] > start:
+                lo -= 1
+            hi = int(np.searchsorted(self._np_starts, stop, side="left"))
+            if lo >= hi:
+                return []
+            seen: dict[int, None] = {}
+            hits = np.nonzero(self._np_stops[lo:hi] > start)[0]
+            for i in hits.tolist():
+                for tag in self._tags[lo + i]:
+                    seen.setdefault(tag)
+            return list(seen)
         lo, hi = self._locate(start, stop)
-        seen: dict[int, None] = {}
+        seen = {}
         for i in range(lo, hi):
             if self._starts[i] < stop and start < self._stops[i]:
                 for tag in self._tags[i]:
@@ -215,6 +302,7 @@ class IntervalSet:
         """
         if start >= stop or not self._starts:
             return
+        self._np_dirty = True
         lo, hi = self._locate(start, stop)
         new_starts: list[int] = []
         new_stops: list[int] = []
@@ -242,3 +330,4 @@ class IntervalSet:
         self._starts.clear()
         self._stops.clear()
         self._tags.clear()
+        self._np_dirty = True

@@ -1,0 +1,431 @@
+"""Cross-communicator plan cache (the persistence layer of Section 5.2).
+
+``Communicator.init()`` is expensive: lowering a pipelined program emits tens
+of thousands of point-to-point ops and the event engine prices every one of
+them.  The schedule and its timing are pure functions of
+
+    (program, machine, hierarchy, libraries, stripe, ring, pipeline, dtype)
+
+so identical configurations — common inside figure sweeps, autotuning grids,
+and repeated test fixtures — can share one synthesis.  This module provides a
+content-addressed cache over exactly that tuple:
+
+``plan_key``
+    Builds a :class:`PlanKey` from the registered program, the machine
+    fingerprint, and the optimization parameters.  The key embeds
+    :data:`SCHEMA_VERSION`, so any change to the lowered IR or the pricing
+    model invalidates all previously persisted plans at once.
+
+``PlanCache``
+    A two-layer cache: an in-process LRU (always on) and an optional on-disk
+    layer of versioned pickles under ``~/.cache/repro/plans/`` (or
+    ``$REPRO_PLAN_CACHE_DIR``).  Hit/miss statistics are kept per layer and
+    surfaced by ``repro cache`` in the CLI.
+
+Cached :class:`~repro.core.schedule.Schedule` objects are shared between
+communicators; both interpreters (functional executor, event engine) treat
+schedules as immutable, so sharing is safe.
+
+The process-wide default cache is memory-only.  Set ``REPRO_PLAN_CACHE=disk``
+(or call :func:`configure` with a directory) to enable persistence across
+processes — the parallel sweep workers in :mod:`repro.bench.parallel` do this
+so a warm sweep prices each distinct configuration exactly once per machine,
+not once per process.
+
+**Trust model**: the disk layer stores pickles, and loading a pickle executes
+code embedded in it.  Only point the cache at directories you control
+(private, not group/world-writable); never at a directory other users can
+write to.  The schema/digest checks guard against *stale* plans, not against
+*malicious* ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from ..machine.spec import MachineSpec
+from ..transport.profiles import profile
+from .schedule import Schedule
+
+#: Bump whenever the lowered IR, the pricing model, or the key layout
+#: changes; persisted plans with a different schema are ignored (and swept by
+#: :meth:`PlanCache.clear_disk`).
+SCHEMA_VERSION = 1
+
+#: Environment knobs for the process-wide default cache.
+ENV_CACHE_MODE = "REPRO_PLAN_CACHE"  # "disk" enables the on-disk layer
+ENV_CACHE_DIR = "REPRO_PLAN_CACHE_DIR"  # overrides the default directory
+
+#: Default in-process LRU capacity (plans, not bytes).
+DEFAULT_CAPACITY = 256
+
+#: Memory budget of the in-process layer, expressed as total lowered ops
+#: across all cached plans (op count is the dominant size driver: a P2POp
+#: plus its per-op timing rows).  Large sweeps over six-figure-op schedules
+#: evict early instead of pinning gigabytes the pre-cache code released with
+#: each Communicator.
+DEFAULT_MAX_TOTAL_OPS = 2_000_000
+
+
+def default_disk_dir() -> Path:
+    """Directory of the persistent layer (honors ``REPRO_PLAN_CACHE_DIR``)."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "plans"
+
+
+# ------------------------------------------------------------------- keying
+def machine_fingerprint(machine: MachineSpec) -> tuple:
+    """Stable value tuple of every field that affects lowering or pricing."""
+    parts = []
+    for f in fields(machine):
+        value = getattr(machine, f.name)
+        if f.name == "binding":
+            value = value.value
+        elif f.name == "levels":
+            value = tuple(
+                (lv.name, lv.extent, lv.bandwidth, lv.latency) for lv in value
+            )
+        parts.append((f.name, value))
+    return tuple(parts)
+
+
+def program_fingerprint(program) -> tuple:
+    """Stable value tuple of the registered primitives, step by step."""
+    from .primitives import Multicast
+
+    steps = []
+    for step in program.steps:
+        if not step:
+            continue
+        prims = []
+        for prim in step:
+            if isinstance(prim, Multicast):
+                prims.append((
+                    "M", prim.sendbuf.name, prim.sendbuf.offset,
+                    prim.recvbuf.name, prim.recvbuf.offset,
+                    prim.count, prim.root, prim.leaves,
+                ))
+            else:
+                prims.append((
+                    "R", prim.sendbuf.name, prim.sendbuf.offset,
+                    prim.recvbuf.name, prim.recvbuf.offset,
+                    prim.count, prim.root, prim.leaves, prim.op.name,
+                ))
+        steps.append(tuple(prims))
+    return (program.world_size, tuple(steps))
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Content address of one synthesized plan.
+
+    ``parts`` is the full (hashable) identity tuple; ``digest`` is its SHA-256
+    hex digest, used as the LRU key and the on-disk file name.
+    """
+
+    digest: str
+    parts: tuple
+
+    def filename(self) -> str:
+        return f"v{SCHEMA_VERSION}-{self.digest}.pkl"
+
+
+def plan_key(
+    program,
+    machine: MachineSpec,
+    hierarchy,
+    libraries,
+    *,
+    stripe: int,
+    ring: int,
+    pipeline: int,
+    elem_bytes: int,
+    dtype_name: str,
+) -> PlanKey:
+    """Content-address one ``Communicator.init`` configuration."""
+    parts = (
+        ("schema", SCHEMA_VERSION),
+        ("program", program_fingerprint(program)),
+        ("machine", machine_fingerprint(machine)),
+        ("hierarchy", tuple(int(f) for f in hierarchy)),
+        ("libraries", tuple(lib.value for lib in libraries)),
+        # Pricing depends on the calibrated per-library envelopes too, so an
+        # edit to transport/profiles.py invalidates persisted plans without
+        # anyone having to remember to bump SCHEMA_VERSION.
+        ("profiles", tuple(
+            (lib.value,) + tuple(
+                getattr(profile(lib, machine.name), f.name)
+                for f in fields(profile(lib, machine.name))
+            )
+            for lib in libraries
+        )),
+        ("stripe", int(stripe)),
+        ("ring", int(ring)),
+        ("pipeline", int(pipeline)),
+        ("elem_bytes", int(elem_bytes)),
+        ("dtype", dtype_name),
+    )
+    digest = hashlib.sha256(repr(parts).encode()).hexdigest()
+    return PlanKey(digest, parts)
+
+
+# -------------------------------------------------------------------- value
+@dataclass(frozen=True)
+class CachedPlan:
+    """One memoized synthesis: the lowered schedule and its priced timing.
+
+    ``synthesis_seconds`` records the cold synthesis cost, so cache
+    statistics can report how much wall-clock time hits have saved.
+    """
+
+    schedule: Schedule
+    timing: object  # TimingResult; untyped to avoid a core -> simulator import
+    synthesis_seconds: float
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting across both layers."""
+
+    lookups: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_errors: int = 0
+    seconds_saved: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def render(self) -> str:
+        return (
+            f"lookups={self.lookups} hits={self.hits} "
+            f"(memory {self.memory_hits}, disk {self.disk_hits}) "
+            f"misses={self.misses} stores={self.stores} "
+            f"evictions={self.evictions} hit-rate={self.hit_rate:.0%} "
+            f"~{self.seconds_saved:.2f}s synthesis saved"
+        )
+
+
+class PlanCache:
+    """Two-layer (LRU memory + optional disk) cache of synthesized plans."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        disk_dir: Path | str | None = None,
+        max_total_ops: int = DEFAULT_MAX_TOTAL_OPS,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.max_total_ops = max_total_ops
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+        self._lru: OrderedDict[str, CachedPlan] = OrderedDict()
+        self._total_ops = 0
+        self._lock = threading.Lock()
+
+    # ----------------------------------------------------------------- layers
+    def _disk_path(self, key: PlanKey) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / key.filename()
+
+    def _disk_load(self, key: PlanKey) -> CachedPlan | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except Exception:
+            self.stats.disk_errors += 1
+            return None
+        # Versioned payload: a schema or key mismatch (hash collision, stale
+        # writer) is treated as a miss, never an error.
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != SCHEMA_VERSION
+            or payload.get("parts") != key.parts
+        ):
+            return None
+        plan = payload.get("plan")
+        return plan if isinstance(plan, CachedPlan) else None
+
+    def _disk_store(self, key: PlanKey, plan: CachedPlan) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {"schema": SCHEMA_VERSION, "parts": key.parts, "plan": plan}
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            with tmp.open("wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)  # atomic on POSIX: concurrent readers never
+            # observe a partial pickle
+        except Exception:
+            self.stats.disk_errors += 1
+
+    # ------------------------------------------------------------------- api
+    def get(self, key: PlanKey) -> CachedPlan | None:
+        """Look up a plan; promotes disk hits into the memory layer."""
+        with self._lock:
+            self.stats.lookups += 1
+            plan = self._lru.get(key.digest)
+            if plan is not None:
+                self._lru.move_to_end(key.digest)
+                self.stats.memory_hits += 1
+                self.stats.seconds_saved += plan.synthesis_seconds
+                # Write-back: a plan warmed before the disk layer was
+                # (re)pointed here still belongs in the shared directory.
+                path = self._disk_path(key)
+                if path is not None and not path.exists():
+                    self._disk_store(key, plan)
+                return plan
+            plan = self._disk_load(key)
+            if plan is not None:
+                self.stats.disk_hits += 1
+                self.stats.seconds_saved += plan.synthesis_seconds
+                self._insert(key, plan)
+                return plan
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: PlanKey, plan: CachedPlan) -> None:
+        """Store a freshly synthesized plan in both layers."""
+        with self._lock:
+            self.stats.stores += 1
+            self._insert(key, plan)
+            self._disk_store(key, plan)
+
+    @staticmethod
+    def _plan_ops(plan: CachedPlan) -> int:
+        schedule = plan.schedule
+        return len(schedule.ops) if schedule is not None else 0
+
+    def _insert(self, key: PlanKey, plan: CachedPlan) -> None:
+        old = self._lru.get(key.digest)
+        if old is not None:
+            self._total_ops -= self._plan_ops(old)
+        self._lru[key.digest] = plan
+        self._lru.move_to_end(key.digest)
+        self._total_ops += self._plan_ops(plan)
+        # Evict oldest-first past either budget, but always keep the entry
+        # just inserted (a single over-budget plan is still worth caching).
+        while len(self._lru) > 1 and (
+            len(self._lru) > self.capacity
+            or self._total_ops > self.max_total_ops
+        ):
+            _, evicted = self._lru.popitem(last=False)
+            self._total_ops -= self._plan_ops(evicted)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def total_ops(self) -> int:
+        """Lowered ops held by the in-process layer (its memory proxy)."""
+        return self._total_ops
+
+    def set_disk_dir(self, disk_dir: Path | str | None) -> None:
+        """(Re)point the persistent layer without touching the warm LRU.
+
+        Used by the sweep engine so an already-warmed process-wide cache can
+        start sharing plans through a given directory instead of being
+        replaced (which would discard its plans and statistics).
+        """
+        with self._lock:
+            self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+
+    def clear(self) -> None:
+        """Drop the in-process layer (disk entries are kept)."""
+        with self._lock:
+            self._lru.clear()
+            self._total_ops = 0
+
+    def clear_disk(self) -> int:
+        """Delete persisted plans of *any* schema version; returns the count.
+
+        Also sweeps ``*.tmp<pid>`` leftovers from interrupted stores.
+        """
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return 0
+        removed = 0
+        for pattern in ("v*-*.pkl", "v*-*.tmp*"):
+            for path in self.disk_dir.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    self.stats.disk_errors += 1
+        return removed
+
+    def disk_entries(self) -> list[Path]:
+        """Persisted plan files of the *current* schema version."""
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return []
+        return sorted(self.disk_dir.glob(f"v{SCHEMA_VERSION}-*.pkl"))
+
+
+# --------------------------------------------------------- process-wide cache
+_default_cache: PlanCache | None = None
+_default_lock = threading.Lock()
+
+#: Sentinel for "caller did not say": configure() then honors the env vars.
+_UNSET = object()
+
+
+def _env_disk_dir() -> Path | None:
+    mode = os.environ.get(ENV_CACHE_MODE, "").strip().lower()
+    return default_disk_dir() if mode in ("disk", "1", "on") else None
+
+
+def get_cache() -> PlanCache:
+    """The process-wide cache ``Communicator.init`` consults by default."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = PlanCache(disk_dir=_env_disk_dir())
+        return _default_cache
+
+
+def configure(
+    capacity: int = DEFAULT_CAPACITY,
+    disk_dir: Path | str | None | object = _UNSET,
+) -> PlanCache:
+    """Replace the process-wide cache (e.g. to enable the disk layer).
+
+    When ``disk_dir`` is not given, the ``REPRO_PLAN_CACHE`` environment
+    configuration still applies — raising the capacity does not silently
+    turn off a persistence layer the user enabled.  Pass ``disk_dir=None``
+    explicitly to force a memory-only cache.
+    """
+    global _default_cache
+    with _default_lock:
+        resolved = _env_disk_dir() if disk_dir is _UNSET else disk_dir
+        _default_cache = PlanCache(capacity=capacity, disk_dir=resolved)
+        return _default_cache
+
+
+def reset() -> None:
+    """Forget the process-wide cache (next access rebuilds from the env)."""
+    global _default_cache
+    with _default_lock:
+        _default_cache = None

@@ -284,14 +284,21 @@ class ScheduleBuilder:
                         f"#{tag_uid} reads it concurrently in the same step"
                     )
 
-        # Record current-step footprint.
+        # Record current-step footprint.  Step maps interleave a write and a
+        # query per emitted op, so they stay on the bisect path (vectorized
+        # columns would be rebuilt on every query); the committed maps above
+        # are query-only between fences and do use the numpy path.
         for rank, buf, off, cnt in writes:
-            self._step_writers.setdefault((rank, buf), IntervalMap()).write(off, off + cnt, uid)
+            self._step_writers.setdefault(
+                (rank, buf), IntervalMap(vectorized=False)
+            ).write(off, off + cnt, uid)
             step_readers = self._step_readers.get((rank, buf))
             if step_readers is not None:
                 step_readers.remove_range(off, off + cnt)
         for rank, buf, off, cnt in reads:
-            self._step_readers.setdefault((rank, buf), IntervalSet()).add(off, off + cnt, uid)
+            self._step_readers.setdefault(
+                (rank, buf), IntervalSet(vectorized=False)
+            ).add(off, off + cnt, uid)
 
         op = P2POp(
             uid=uid, src=src, dst=dst,

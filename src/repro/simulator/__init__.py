@@ -3,7 +3,7 @@
 from .engine import TimingResult, simulate
 from .executor import critical_path_length, execute, materialize_scratch, random_topological_order
 from .process import MemoryPool
-from .timing import PricedOp, price_op
+from .timing import PricedOp, price_op, price_ops
 from .trace import (
     TraceEvent,
     ascii_gantt,
@@ -21,6 +21,7 @@ __all__ = [
     "execute",
     "materialize_scratch",
     "price_op",
+    "price_ops",
     "random_topological_order",
     "simulate",
     "TraceEvent",

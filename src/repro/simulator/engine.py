@@ -31,7 +31,7 @@ from ..core.schedule import Schedule
 from ..errors import ExecutionError
 from ..machine.spec import MachineSpec
 from ..transport.library import Library
-from .timing import PricedOp, price_op
+from .timing import PricedOp, price_ops
 
 #: Event kinds, ordered so resource-free events at time T are handled before
 #: op-ready events at the same T (freshly freed links are offered to parked
@@ -79,7 +79,7 @@ def simulate(
     if not ops:
         return TimingResult(0.0, [], [], {})
 
-    priced: list[PricedOp] = [price_op(op, machine, libraries, elem_bytes) for op in ops]
+    priced: list[PricedOp] = price_ops(ops, machine, libraries, elem_bytes)
 
     indegree = [len(op.deps) for op in ops]
     dependents: list[list[int]] = [[] for _ in ops]

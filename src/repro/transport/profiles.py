@@ -11,8 +11,8 @@ is why NCCL's Reduce beats a deep HiCCL pipeline).
 These constants are the calibration inputs of the reproduction: they are not
 measured on the real systems (we have none), but chosen so the *relative*
 behaviour the paper reports emerges from the simulator.  All calibration
-lives here and in ``repro.baselines.calibration`` so EXPERIMENTS.md can trace
-every reproduced number to explicit inputs.
+lives here and in ``repro.machine.machines`` so EXPERIMENTS.md#calibration
+can trace every reproduced number to explicit inputs.
 """
 
 from __future__ import annotations

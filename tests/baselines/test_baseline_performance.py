@@ -15,6 +15,9 @@ from repro.bench.runner import run_baseline, run_hiccl
 
 PAYLOAD = 1 << 25  # 32 MB: bandwidth-dominated but fast to lower
 
+# Each check synthesizes several full plans; keep them out of the smoke job.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def perlmutter():

@@ -1,0 +1,283 @@
+"""Plan cache: hit/miss accounting, disk round-trip, schema invalidation."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import plancache
+from repro.core.communicator import Communicator
+from repro.core.composition import compose
+from repro.core.plancache import (
+    SCHEMA_VERSION,
+    CachedPlan,
+    PlanCache,
+    machine_fingerprint,
+    plan_key,
+    program_fingerprint,
+)
+from repro.machine.machines import generic
+from repro.transport.library import Library
+
+MACHINE = generic(2, 4, 2, name="cachetest")
+COUNT = 1 << 10
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Isolate every test behind its own memory-only process-wide cache."""
+    cache = plancache.configure(disk_dir=None)
+    yield cache
+    plancache.reset()
+
+
+def _communicator(count=COUNT, collective="all_reduce", materialize=False):
+    comm = Communicator(MACHINE, materialize=materialize)
+    compose(comm, collective, count)
+    return comm
+
+
+def _init(comm, pipeline=2, **kwargs):
+    comm.init(hierarchy=[2, 4], library=[Library.MPI, Library.IPC],
+              pipeline=pipeline, **kwargs)
+    return comm
+
+
+class TestKeying:
+    def test_identical_configs_same_key(self):
+        k1 = plan_key(_communicator().program, MACHINE, (2, 4),
+                      (Library.MPI, Library.IPC), stripe=1, ring=1,
+                      pipeline=2, elem_bytes=4, dtype_name="float32")
+        k2 = plan_key(_communicator().program, MACHINE, (2, 4),
+                      (Library.MPI, Library.IPC), stripe=1, ring=1,
+                      pipeline=2, elem_bytes=4, dtype_name="float32")
+        assert k1 == k2 and k1.digest == k2.digest
+
+    def test_any_parameter_changes_the_key(self):
+        program = _communicator().program
+        base = dict(stripe=1, ring=1, pipeline=2, elem_bytes=4,
+                    dtype_name="float32")
+        k0 = plan_key(program, MACHINE, (2, 4), (Library.MPI, Library.IPC), **base)
+        variants = [
+            plan_key(program, MACHINE, (4, 2), (Library.MPI, Library.IPC), **base),
+            plan_key(program, MACHINE, (2, 4), (Library.NCCL, Library.IPC), **base),
+            plan_key(program, MACHINE, (2, 4), (Library.MPI, Library.IPC),
+                     **{**base, "stripe": 2}),
+            plan_key(program, MACHINE, (2, 4), (Library.MPI, Library.IPC),
+                     **{**base, "pipeline": 4}),
+            plan_key(program, MACHINE, (2, 4), (Library.MPI, Library.IPC),
+                     **{**base, "elem_bytes": 8, "dtype_name": "float64"}),
+            plan_key(_communicator(count=COUNT * 2).program, MACHINE, (2, 4),
+                     (Library.MPI, Library.IPC), **base),
+            plan_key(program, generic(2, 4, 1, name="othermachine"), (2, 4),
+                     (Library.MPI, Library.IPC), **base),
+        ]
+        digests = {k0.digest} | {k.digest for k in variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_profile_calibration_changes_the_key(self, monkeypatch):
+        """Editing transport/profiles.py must invalidate persisted plans."""
+        import dataclasses
+
+        from repro.transport import profiles as prof_mod
+
+        program = _communicator().program
+        base = dict(stripe=1, ring=1, pipeline=2, elem_bytes=4,
+                    dtype_name="float32")
+        k0 = plan_key(program, MACHINE, (2, 4), (Library.MPI, Library.IPC),
+                      **base)
+        old = prof_mod.PROFILES[Library.MPI]
+        monkeypatch.setitem(prof_mod.PROFILES, Library.MPI,
+                            dataclasses.replace(old, eff_inter=old.eff_inter / 2))
+        k1 = plan_key(program, MACHINE, (2, 4), (Library.MPI, Library.IPC),
+                      **base)
+        assert k0.digest != k1.digest
+
+    def test_fingerprints_are_hashable_and_stable(self):
+        comm = _communicator()
+        assert hash(program_fingerprint(comm.program)) == hash(
+            program_fingerprint(comm.program))
+        assert hash(machine_fingerprint(MACHINE)) == hash(
+            machine_fingerprint(MACHINE))
+
+
+class TestHitMissAccounting:
+    def test_second_init_is_a_hit(self, fresh_cache):
+        _init(_communicator())
+        assert fresh_cache.stats.misses == 1
+        assert fresh_cache.stats.stores == 1
+        c2 = _init(_communicator())
+        assert c2.cache_hit
+        assert fresh_cache.stats.memory_hits == 1
+        assert fresh_cache.stats.lookups == 2
+        assert fresh_cache.stats.hit_rate == 0.5
+
+    def test_second_init_does_zero_factorization_work(self, monkeypatch,
+                                                      fresh_cache):
+        """The acceptance check: a warm init never lowers or prices."""
+        import repro.core.communicator as comm_mod
+
+        calls = {"lower": 0, "simulate": 0}
+        real_lower = comm_mod.lower_program
+        real_simulate = comm_mod.simulate
+
+        def spy_lower(*a, **kw):
+            calls["lower"] += 1
+            return real_lower(*a, **kw)
+
+        def spy_simulate(*a, **kw):
+            calls["simulate"] += 1
+            return real_simulate(*a, **kw)
+
+        monkeypatch.setattr(comm_mod, "lower_program", spy_lower)
+        monkeypatch.setattr(comm_mod, "simulate", spy_simulate)
+
+        c1 = _init(_communicator())
+        assert calls == {"lower": 1, "simulate": 1}
+        c2 = _init(_communicator())
+        assert calls == {"lower": 1, "simulate": 1}  # untouched: pure cache hit
+        assert c2.cache_hit and not c1.cache_hit
+        assert fresh_cache.stats.hits == 1
+
+    def test_different_config_is_a_miss(self, fresh_cache):
+        _init(_communicator(), pipeline=2)
+        c2 = _init(_communicator(), pipeline=4)
+        assert not c2.cache_hit
+        assert fresh_cache.stats.misses == 2
+
+    def test_use_cache_false_bypasses_the_cache(self, fresh_cache):
+        _init(_communicator())
+        c2 = _init(_communicator(), use_cache=False)
+        assert not c2.cache_hit
+        assert fresh_cache.stats.lookups == 1  # only the first init looked
+
+    def test_ops_budget_evicts_before_capacity(self):
+        cache = PlanCache(capacity=100, max_total_ops=1)
+        c1 = _communicator()
+        _init(c1, use_cache=False)
+
+        def key(pipeline):
+            return plan_key(c1.program, MACHINE, (2, 4),
+                            (Library.MPI, Library.IPC), stripe=1, ring=1,
+                            pipeline=pipeline, elem_bytes=4,
+                            dtype_name="float32")
+
+        plan = CachedPlan(c1.schedule, c1._timing, 0.0)
+        cache.put(key(1), plan)
+        assert len(cache) == 1  # one over-budget plan is still kept
+        cache.put(key(2), plan)
+        assert len(cache) == 1  # ...but a second one evicts the first
+        assert cache.stats.evictions == 1
+        assert cache.total_ops() == len(c1.schedule.ops)
+
+    def test_lru_eviction_accounted(self):
+        cache = PlanCache(capacity=1)
+        k1 = plan_key(_communicator().program, MACHINE, (8,), (Library.MPI,),
+                      stripe=1, ring=1, pipeline=1, elem_bytes=4,
+                      dtype_name="float32")
+        k2 = plan_key(_communicator().program, MACHINE, (8,), (Library.MPI,),
+                      stripe=1, ring=1, pipeline=2, elem_bytes=4,
+                      dtype_name="float32")
+        plan = CachedPlan(None, None, 0.0)
+        cache.put(k1, plan)
+        cache.put(k2, plan)
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+        assert cache.get(k1) is None  # evicted
+        assert cache.get(k2) is plan
+
+
+class TestCachedEqualsFresh:
+    def test_cached_plan_prices_identically(self, fresh_cache):
+        c1 = _init(_communicator())
+        c2 = _init(_communicator())
+        assert c2.cache_hit
+        assert c2.schedule is c1.schedule  # shared, not re-lowered
+        assert c2.timing.elapsed == c1.timing.elapsed
+        fresh = _init(_communicator(), use_cache=False)
+        assert fresh.timing.elapsed == c1.timing.elapsed
+        assert [op for op in fresh.schedule.ops] == [op for op in c1.schedule.ops]
+
+    def test_cached_plan_executes_identically(self, fresh_cache):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal((MACHINE.world_size, COUNT * MACHINE.world_size))
+
+        def run():
+            comm = _communicator(materialize=True)
+            _init(comm)
+            comm.set_all("sendbuf", values.astype(np.float32))
+            comm.run()
+            return comm, comm.gather_all("recvbuf")
+
+        c1, out1 = run()
+        c2, out2 = run()
+        assert c2.cache_hit
+        np.testing.assert_array_equal(out1, out2)
+
+
+class TestDiskLayer:
+    def test_round_trip_across_cache_instances(self, tmp_path):
+        disk = tmp_path / "plans"
+        plancache.configure(disk_dir=disk)
+        c1 = _init(_communicator())
+        assert not c1.cache_hit
+        assert len(list(disk.glob(f"v{SCHEMA_VERSION}-*.pkl"))) == 1
+
+        # A brand-new process-wide cache (same disk dir) hits via disk.
+        cache2 = plancache.configure(disk_dir=disk)
+        c2 = _init(_communicator())
+        assert c2.cache_hit
+        assert cache2.stats.disk_hits == 1
+        assert cache2.stats.memory_hits == 0
+        assert c2.timing.elapsed == c1.timing.elapsed
+        # ...and the disk hit was promoted into memory for the next lookup.
+        c3 = _init(_communicator())
+        assert c3.cache_hit
+        assert cache2.stats.memory_hits == 1
+
+    def test_schema_version_invalidates(self, tmp_path, monkeypatch):
+        disk = tmp_path / "plans"
+        cache = plancache.configure(disk_dir=disk)
+        _init(_communicator())
+        path = cache.disk_entries()[0]
+
+        # Simulate a plan persisted by an older schema: the payload says v0.
+        payload = pickle.loads(path.read_bytes())
+        payload["schema"] = SCHEMA_VERSION - 1
+        path.write_bytes(pickle.dumps(payload))
+
+        cache2 = plancache.configure(disk_dir=disk)
+        c = _init(_communicator())
+        assert not c.cache_hit  # stale schema ignored, fresh synthesis
+        assert cache2.stats.misses == 1
+
+    def test_corrupt_pickle_is_a_miss_not_an_error(self, tmp_path):
+        disk = tmp_path / "plans"
+        cache = plancache.configure(disk_dir=disk)
+        _init(_communicator())
+        cache.disk_entries()[0].write_bytes(b"not a pickle")
+        cache2 = plancache.configure(disk_dir=disk)
+        c = _init(_communicator())
+        assert not c.cache_hit
+        assert cache2.stats.disk_errors == 1
+
+    def test_clear_disk_removes_all_versions_and_tmp_orphans(self, tmp_path):
+        disk = tmp_path / "plans"
+        cache = plancache.configure(disk_dir=disk)
+        _init(_communicator())
+        (disk / "v0-deadbeef.pkl").write_bytes(b"stale")
+        (disk / "v1-cafe.tmp12345").write_bytes(b"interrupted store")
+        assert cache.clear_disk() == 3
+        assert cache.disk_entries() == []
+        assert list(disk.iterdir()) == []
+
+    def test_set_disk_dir_keeps_warm_plans_and_stats(self, tmp_path):
+        cache = plancache.configure()
+        c1 = _init(_communicator())
+        assert not c1.cache_hit and len(cache) == 1
+        cache.set_disk_dir(tmp_path)
+        c2 = _init(_communicator())
+        assert c2.cache_hit  # warm memory layer survived the repointing
+        assert cache.stats.memory_hits == 1

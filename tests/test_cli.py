@@ -75,6 +75,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "digits = stage" in out and "makespan" in out
 
+    def test_bench_serial(self, capsys):
+        rc = main(["bench", "--system", "perlmutter", "--nodes", "2",
+                   "--payload", "4M", "--collectives", "broadcast",
+                   "--jobs", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "hiccl-striped" in out
+        assert "plan cache:" in out
+
+    def test_bench_parallel_workers(self, capsys):
+        rc = main(["bench", "--system", "perlmutter", "--nodes", "2",
+                   "--payload", "4M", "--collectives", "broadcast",
+                   "--jobs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "jobs=2" in out
+
+    def test_cache_stats(self, capsys):
+        rc = main(["cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plan cache" in out and "disk layer" in out
+
     def test_unknown_system_errors(self):
         with pytest.raises(KeyError):
             main(["bounds", "--system", "summit"])

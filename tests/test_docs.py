@@ -1,0 +1,45 @@
+"""Documentation integrity: broken .md cross-references fail the build."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+CHECKER = Path(__file__).resolve().parent.parent / "tools" / "check_doc_links.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_doc_links", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_promised_documents_exist():
+    root = CHECKER.parent.parent
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"):
+        assert (root / name).exists(), f"{name} is missing"
+
+
+def test_no_broken_cross_references():
+    checker = _load_checker()
+    errors: list[str] = []
+    checker.check_markdown_links(errors)
+    checker.check_source_mentions(errors)
+    assert not errors, "broken documentation references:\n" + "\n".join(errors)
+
+
+def test_github_slugging():
+    checker = _load_checker()
+    assert checker.github_slug("1. Layer tour") == "1-layer-tour"
+    assert (checker.github_slug("3. Plan cache (`repro.core.plancache`)")
+            == "3-plan-cache-reprocoreplancache")
+
+
+def test_anchor_extraction_sees_explicit_ids():
+    checker = _load_checker()
+    anchors = checker.anchors_of(CHECKER.parent.parent / "EXPERIMENTS.md")
+    assert "paper-vs-measured" in anchors
+    assert "calibration" in anchors

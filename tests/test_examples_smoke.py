@@ -19,7 +19,8 @@ FAST_EXAMPLES = [
     ("quickstart.py", "verified against numpy"),
     ("custom_sparse_collective.py", "verified"),
     ("trace_visualization.py", "digits = stage"),
-    ("training_step.py", "replicas identical"),
+    pytest.param("training_step.py", "replicas identical",
+                 marks=pytest.mark.slow),
 ]
 
 

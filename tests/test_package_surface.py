@@ -24,6 +24,7 @@ MODULES = [
     "repro.core.latency",
     "repro.core.ops",
     "repro.core.plan",
+    "repro.core.plancache",
     "repro.core.primitives",
     "repro.core.schedule",
     "repro.core.vcollectives",
@@ -54,6 +55,7 @@ MODULES = [
     "repro.bench",
     "repro.bench.configs",
     "repro.bench.figures",
+    "repro.bench.parallel",
     "repro.bench.report",
     "repro.bench.runner",
 ]

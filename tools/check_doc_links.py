@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Cross-reference checker for the repository's Markdown documentation.
+
+Two classes of reference are validated so broken pointers fail the build
+(via ``tests/test_docs.py`` and ``tools/smoke.sh``):
+
+1. **Markdown links** — every relative ``[text](path#anchor)`` in a ``*.md``
+   file must point at an existing file, and the ``#anchor`` (if any) must
+   match a heading slug (GitHub style) or an explicit ``<a id="...">`` in the
+   target.
+2. **Source mentions** — ``SOMEFILE.md``, ``SOMEFILE.md#anchor``, and
+   ``SOMEFILE.md Section N`` references inside Python docstrings/comments
+   under ``src/``, ``examples/``, ``benchmarks/``, ``tests/``, and
+   ``tools/`` must resolve against the repository root: the file must exist,
+   a ``#anchor`` must resolve, and ``Section N`` must match a numbered
+   heading (``## N. ...``).
+
+Run directly (``python tools/check_doc_links.py``); exits nonzero listing
+every broken reference.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories scanned for SOMEFILE.md mentions in Python sources.
+SOURCE_DIRS = ("src", "examples", "benchmarks", "tests", "tools")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+MD_EXPLICIT_ANCHOR = re.compile(r'<a\s+id="([^"]+)"')
+#: UPPERCASE.md[#anchor] mentions in source text (README.md, DESIGN.md, ...).
+SRC_MENTION = re.compile(r"\b([A-Z][A-Z_]*\.md)(#[A-Za-z0-9_-]+)?")
+SRC_SECTION = re.compile(r"\b([A-Z][A-Z_]*\.md)\s+Section\s+(\d+)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, punctuation dropped."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+#: Generated research-note files whose outbound links we do not police
+#: (arxiv extractions carry image references that were never downloaded).
+GENERATED_MD = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def md_files() -> list[Path]:
+    return sorted(p for p in REPO_ROOT.rglob("*.md")
+                  if ".git" not in p.parts and "output" not in p.parts
+                  and p.name not in GENERATED_MD)
+
+
+@functools.lru_cache(maxsize=None)
+def anchors_of(md_path: Path) -> frozenset[str]:
+    """All valid ``#anchor`` targets of one Markdown file (parsed once)."""
+    anchors: set[str] = set()
+    text = md_path.read_text(encoding="utf-8")
+    in_code = False
+    for line in text.splitlines():
+        if line.strip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = re.match(r"#{1,6}\s+(.*)", line)
+        if m:
+            anchors.add(github_slug(m.group(1)))
+    anchors.update(MD_EXPLICIT_ANCHOR.findall(text))
+    return frozenset(anchors)
+
+
+def check_markdown_links(errors: list[str]) -> None:
+    for md in md_files():
+        base = md.parent
+        for target in MD_LINK.findall(md.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = md if not path_part else (base / path_part)
+            rel = md.relative_to(REPO_ROOT)
+            if not dest.exists():
+                errors.append(f"{rel}: link target {target!r} does not exist")
+                continue
+            if anchor and dest.suffix == ".md":
+                if anchor not in anchors_of(dest):
+                    errors.append(
+                        f"{rel}: anchor {target!r} not found in "
+                        f"{dest.relative_to(REPO_ROOT)}")
+
+
+def check_source_mentions(errors: list[str]) -> None:
+    for top in SOURCE_DIRS:
+        root = REPO_ROOT / top
+        if not root.exists():
+            continue
+        for py in sorted(root.rglob("*.py")):
+            if py.resolve() == Path(__file__).resolve():
+                continue  # this file's docstring uses placeholder names
+            text = py.read_text(encoding="utf-8")
+            rel = py.relative_to(REPO_ROOT)
+            for name, anchor in SRC_MENTION.findall(text):
+                doc = REPO_ROOT / name
+                if not doc.exists():
+                    errors.append(f"{rel}: mentions missing document {name}")
+                elif anchor and anchor[1:] not in anchors_of(doc):
+                    errors.append(f"{rel}: anchor {name}{anchor} not found")
+            for name, number in SRC_SECTION.findall(text):
+                doc = REPO_ROOT / name
+                if not doc.exists():
+                    continue  # already reported above
+                headings = re.findall(r"#{1,6}\s+(.*)", doc.read_text())
+                if not any(re.match(rf"{number}[.\s]", h) for h in headings):
+                    errors.append(
+                        f"{rel}: {name} has no numbered heading for "
+                        f"'Section {number}'")
+
+
+def main() -> int:
+    """Run both checks; print a report and return the exit code."""
+    errors: list[str] = []
+    check_markdown_links(errors)
+    check_source_mentions(errors)
+    if errors:
+        print(f"{len(errors)} broken documentation reference(s):")
+        for err in errors:
+            print(f"  {err}")
+        return 1
+    print("documentation cross-references OK "
+          f"({len(md_files())} markdown files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

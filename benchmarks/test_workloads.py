@@ -1,0 +1,55 @@
+"""Workload scenario suite: committed baselines for shared-timeline runs.
+
+Regenerates ``benchmarks/output/workloads_{perlmutter,delta}.txt``.  The
+renders are deterministic functions of (machine, payload) — no clocks, no
+randomness — so regeneration must be byte-identical to the committed files,
+which ``test_committed_baselines_are_current`` enforces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.figures import render_workloads, workload_scenarios_table
+from repro.machine.machines import by_name
+
+#: Per-collective payload of the committed baselines (64 MiB).
+PAYLOAD = 1 << 26
+
+SYSTEMS = ("perlmutter", "delta")
+
+
+def _render(system: str) -> str:
+    machine = by_name(system, nodes=4)
+    return render_workloads(machine, workload_scenarios_table(machine, PAYLOAD))
+
+
+def test_workloads_perlmutter(record_output):
+    text = _render("perlmutter")
+    record_output("workloads_perlmutter", text)
+    assert "fsdp_step" in text and "disjoint_halves" in text
+
+
+def test_workloads_delta(record_output):
+    text = _render("delta")
+    record_output("workloads_delta", text)
+    # Delta's single NIC makes the contention mix pay heavily.
+    assert "contention_mix" in text
+
+
+def test_scenario_slowdown_invariants():
+    machine = by_name("perlmutter", nodes=4)
+    results = {r.name: r for r in workload_scenarios_table(machine, PAYLOAD)}
+    assert results["contention_mix"].worst_slowdown > 1.0
+    assert abs(results["disjoint_halves"].worst_slowdown - 1.0) < 1e-9
+    assert results["fsdp_step"].worst_slowdown > 1.0
+
+
+def test_committed_baselines_are_current(output_dir: Path):
+    """Regeneration is byte-identical to the committed baseline files."""
+    for system in SYSTEMS:
+        committed = (output_dir / f"workloads_{system}.txt").read_text()
+        assert committed == _render(system) + "\n", (
+            f"workloads_{system}.txt is stale; rerun "
+            "`pytest benchmarks/test_workloads.py -q -s` and commit"
+        )

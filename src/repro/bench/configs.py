@@ -156,6 +156,21 @@ def pipelined_config(machine: MachineSpec, topology: str = "tree") -> HicclConfi
     return replace(cfg, name=f"pipelined-{topology}")
 
 
+def workload_config(machine: MachineSpec, pipeline: int = 4) -> HicclConfig:
+    """Default configuration for one communicator of a workload scenario.
+
+    ``machine`` may be the full system or the group machine of a
+    :class:`~repro.core.communicator.SubCommunicator` (a single node for
+    tensor-parallel groups, one GPU per node for data-parallel groups, a node
+    block for pipeline stages): :func:`tree_config` already generalizes to
+    every such shape.  The pipeline depth defaults shallow because scenario
+    payloads are per-layer slices, not the GB-scale peak-throughput buffers
+    of Figure 8.
+    """
+    cfg = tree_config(machine, pipeline=pipeline)
+    return replace(cfg, name="workload")
+
+
 def best_config(machine: MachineSpec, collective: str) -> HicclConfig:
     """The configuration HiCCL's Figure 8 bars use per collective.
 

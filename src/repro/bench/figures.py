@@ -362,6 +362,42 @@ def render_fig9(collective: str, curves: dict[int, list[Measurement]]) -> str:
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------- Workload scenarios
+def workload_scenarios_table(machine: MachineSpec,
+                             payload_bytes: int | None = None,
+                             names=None, jobs: int = 1) -> list:
+    """Run the ML traffic scenario suite on one machine (workload layer).
+
+    Returns one :class:`~repro.workloads.workload.WorkloadResult` per
+    scenario, in registry order; ``names`` restricts the suite and ``jobs``
+    fans whole scenarios out to worker processes (a single scenario always
+    prices on one shared timeline in one process).
+    """
+    from ..workloads.scenarios import (
+        DEFAULT_PAYLOAD_BYTES,
+        applicable_scenarios,
+        run_scenarios,
+    )
+
+    if payload_bytes is None:
+        payload_bytes = DEFAULT_PAYLOAD_BYTES
+    if names is None:
+        names = applicable_scenarios(machine)
+    return run_scenarios(names, machine, payload_bytes, jobs=jobs)
+
+
+def render_workloads(machine: MachineSpec, results) -> str:
+    """Text rendering of the scenario suite (the committed baseline format)."""
+    lines = [
+        f"Workload scenarios ({machine.name}): concurrent collectives on one "
+        f"shared timeline ({machine.describe()})"
+    ]
+    for result in results:
+        lines.append("")
+        lines.append(result.render())
+    return "\n".join(lines)
+
+
 # -------------------------------------------------------------------- Fig 10
 FIG10_DEPTHS = (1, 2, 4, 8, 16, 32)
 

@@ -9,6 +9,8 @@ Entry point: ``python -m repro <command>``::
     python -m repro tune broadcast --system perlmutter --payload 256M
     python -m repro bounds --system aurora
     python -m repro bench --system perlmutter --jobs 4  # parallel Fig 8 grid
+    python -m repro workloads --list                # ML traffic scenarios
+    python -m repro workloads fsdp_step --system perlmutter --payload 64M
     python -m repro cache                           # plan-cache statistics
 
 Outputs are plain text; the heavy lifting lives in the library so every
@@ -196,6 +198,27 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_workloads(args) -> int:
+    """Run ML traffic scenarios: concurrent collectives on a shared timeline."""
+    from .bench.figures import render_workloads, workload_scenarios_table
+    from .workloads.scenarios import SCENARIOS, applicable_scenarios
+
+    if args.list:
+        print("Workload scenarios (repro.workloads):")
+        for name, scenario in SCENARIOS.items():
+            print(f"  {name:18s} {scenario.description}")
+        print("run with: repro workloads [name ...] --system <name> "
+              "[--payload 64M] [--jobs N]")
+        return 0
+    machine = _machine(args)
+    names = args.scenarios or applicable_scenarios(machine)
+    results = workload_scenarios_table(
+        machine, _parse_size(args.payload), names=names, jobs=args.jobs
+    )
+    print(render_workloads(machine, results))
+    return 0
+
+
 def cmd_gantt(args) -> int:
     """Render the pipeline timeline as an ASCII Gantt chart."""
     from .bench.configs import best_config
@@ -271,6 +294,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="shared on-disk plan cache for the workers")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "workloads",
+        help="ML traffic scenarios: concurrent collectives, shared timeline")
+    p.add_argument("scenarios", nargs="*",
+                   help="scenario names (default: all that fit the machine)")
+    p.add_argument("--list", action="store_true",
+                   help="list the available scenarios and exit")
+    p.add_argument("--system", default="perlmutter",
+                   help="delta|perlmutter|frontier|aurora")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--payload", default="64M",
+                   help="per-collective payload, e.g. 16M, 256M")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes across scenarios (0 = all cores); "
+                        "each scenario still prices on one shared timeline")
+    p.set_defaults(fn=cmd_workloads)
 
     p = sub.add_parser("cache", help="plan-cache statistics and maintenance")
     p.add_argument("--clear", action="store_true",

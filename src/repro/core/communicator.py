@@ -27,7 +27,8 @@ import time
 import numpy as np
 
 from ..errors import CompositionError, InitializationError
-from ..machine.spec import MachineSpec
+from ..machine.rankmap import embed_schedule, group_layout
+from ..machine.spec import LevelSpec, MachineSpec
 from ..simulator.engine import TimingResult, simulate
 from ..simulator.executor import execute
 from ..simulator.process import MemoryPool
@@ -223,9 +224,29 @@ class Communicator:
     # ------------------------------------------------------------ inspection
     @property
     def timing(self) -> TimingResult:
+        """Priced timing of the initialized schedule (simulated, isolated)."""
         if self._timing is None:
             raise InitializationError("init() must be called first")
         return self._timing
+
+    @property
+    def global_schedule(self) -> Schedule:
+        """The initialized schedule in machine (global) rank space.
+
+        For a plain communicator this *is* :attr:`schedule`;
+        :class:`SubCommunicator` overrides it with the group schedule embedded
+        onto the parent machine's ranks.  Workload composition
+        (:mod:`repro.workloads`) always reads this property, so full-machine
+        and group communicators mix freely on one shared timeline.
+        """
+        if self.schedule is None:
+            raise InitializationError("init() must be called first")
+        return self.schedule
+
+    @property
+    def global_machine(self) -> MachineSpec:
+        """The machine whose physical resources :attr:`timing` was priced on."""
+        return self.machine
 
     def describe(self) -> str:
         if self.plan is None:
@@ -234,3 +255,164 @@ class Communicator:
             f"Communicator(p={self.world_size}, {self.plan.describe()}, "
             f"{len(self.schedule or [])} p2p ops)"
         )
+
+
+# -------------------------------------------------------------- process groups
+def _group_levels(machine: MachineSpec, per_node: int) -> tuple[LevelSpec, ...]:
+    """Intra-node level structure of a group taking ``per_node`` GPUs per node.
+
+    A full node keeps the machine's levels.  A partial node keeps the longest
+    trailing suffix of levels whose extents multiply to ``per_node`` (e.g. one
+    dual-die device of Frontier keeps the ``die`` level); otherwise the group
+    collapses to a single flat level at the finest link's characteristics.
+    Either way the result is only a *lowering scaffold* — the embedded
+    schedule is priced against the parent machine's real links.
+    """
+    if per_node == machine.gpus_per_node:
+        return machine.levels
+    prod = 1
+    suffix: list[LevelSpec] = []
+    for level in reversed(machine.levels):
+        prod *= level.extent
+        suffix.append(level)
+        if prod == per_node:
+            return tuple(reversed(suffix))
+        if prod > per_node:
+            break
+    finest = machine.levels[-1]
+    return (LevelSpec("group", per_node, finest.bandwidth, finest.latency),)
+
+
+def group_machine(machine: MachineSpec, ranks) -> MachineSpec:
+    """A machine spec describing the shape of a node-regular rank subset.
+
+    The result is what a :class:`SubCommunicator` lowers against: the group's
+    nodes become the machine's nodes and its per-node GPU count becomes the
+    intra-node shape, while NIC/copy/reduce characteristics are inherited from
+    the parent.  It exists so hierarchy factorization and library validation
+    see the group's true extents; all *pricing* happens on the parent machine
+    after the schedule is embedded back into global rank space.
+    """
+    nodes, per_node = group_layout(machine, ranks)
+    return MachineSpec(
+        name=machine.name,
+        nodes=nodes,
+        levels=_group_levels(machine, per_node),
+        # The binding model rejects more NICs than GPUs; a partial node can
+        # engage at most one NIC per member anyway.
+        nic_count=min(machine.nic_count, per_node),
+        nic_bandwidth=machine.nic_bandwidth,
+        nic_latency=machine.nic_latency,
+        binding=machine.binding,
+        copy_bandwidth=machine.copy_bandwidth,
+        copy_latency=machine.copy_latency,
+        reduce_bandwidth=machine.reduce_bandwidth,
+        kernel_latency=machine.kernel_latency,
+        gpu_injection_bandwidth=machine.gpu_injection_bandwidth,
+    )
+
+
+class SubCommunicator(Communicator):
+    """Communicator over a subset of a machine's ranks (a process group).
+
+    The tensor/pipeline/data/expert-parallel groups of an ML job are
+    communicators over rank subsets of one physical machine.  A
+    ``SubCommunicator`` composes and allocates in **group rank space**
+    (``0 .. len(ranks)-1``, like an MPI sub-communicator), lowers against the
+    group-shaped machine of :func:`group_machine`, then embeds the schedule
+    onto the parent machine's global ranks and prices it against the parent's
+    physical NICs and links.  :attr:`timing` therefore reports the honest
+    isolated cost of the group's traffic on the real topology, and
+    :attr:`global_schedule` is ready to share a workload timeline
+    (:func:`repro.simulator.engine.simulate_workload`) with any other group
+    of the same machine.
+
+    Both synthesis products are memoized: the group-space lowering under the
+    group machine's plan key (shared by every same-shape group *and* by
+    standalone communicators over an identical machine), and the embedded,
+    parent-priced plan under that key extended with the group's placement.
+    """
+
+    def __init__(self, machine: MachineSpec, ranks, dtype=np.float32,
+                 materialize: bool = True) -> None:
+        """Create a group communicator over ``ranks`` of ``machine``.
+
+        ``ranks`` maps group ranks to machine ranks and must be node-regular
+        (see :func:`repro.machine.rankmap.group_layout`).
+        """
+        ranks = tuple(int(r) for r in ranks)
+        super().__init__(group_machine(machine, ranks), dtype=dtype,
+                         materialize=materialize)
+        self.parent = machine
+        self.global_ranks = ranks
+        self._global_schedule: Schedule | None = None
+
+    def global_rank(self, group_rank: int) -> int:
+        """Machine rank hosting ``group_rank`` of this group."""
+        return self.global_ranks[group_rank]
+
+    @property
+    def global_schedule(self) -> Schedule:
+        """The lowered schedule embedded into the parent's rank space."""
+        if self._global_schedule is None:
+            raise InitializationError("init() must be called first")
+        return self._global_schedule
+
+    @property
+    def global_machine(self) -> MachineSpec:
+        """The parent machine — what :attr:`timing` was priced against."""
+        return self.parent
+
+    def init(
+        self,
+        hierarchy,
+        library,
+        ring: int = 1,
+        stripe: int = 1,
+        pipeline: int = 1,
+        use_cache: bool = True,
+    ) -> None:
+        """Synthesize in group space, then embed and price on the parent.
+
+        Parameters are those of :meth:`Communicator.init`, interpreted
+        against the group machine (``hierarchy`` factors the *group* size,
+        ``stripe`` is bounded by the group's per-node GPU count).
+        """
+        super().init(hierarchy, library, ring=ring, stripe=stripe,
+                     pipeline=pipeline, use_cache=use_cache)
+        t0 = time.perf_counter()
+        cache = plancache.get_cache() if use_cache else None
+        key = None
+        if cache is not None:
+            key = plancache.plan_key(
+                self.program, self.machine,
+                self.plan.topology.factors, self.plan.libraries,
+                stripe=self.plan.stripe, ring=self.plan.ring,
+                pipeline=self.plan.pipeline,
+                elem_bytes=self.dtype.itemsize, dtype_name=self.dtype.name,
+                extra=(
+                    ("group", plancache.machine_fingerprint(self.parent),
+                     self.global_ranks),
+                ),
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                self._global_schedule = cached.schedule
+                self._timing = cached.timing
+                return
+        self._global_schedule = embed_schedule(
+            self.schedule, self.global_ranks, self.parent.world_size
+        )
+        self._timing = simulate(
+            self._global_schedule, self.parent, self.plan.libraries,
+            self.dtype.itemsize,
+        )
+        if cache is not None:
+            cache.put(key, plancache.CachedPlan(
+                self._global_schedule, self._timing,
+                time.perf_counter() - t0,
+            ))
+
+    def describe(self) -> str:
+        base = super().describe()
+        return f"{base[:-1]}, group of {self.parent.name} ranks {list(self.global_ranks)})"

@@ -149,8 +149,16 @@ def plan_key(
     pipeline: int,
     elem_bytes: int,
     dtype_name: str,
+    extra: tuple = (),
 ) -> PlanKey:
-    """Content-address one ``Communicator.init`` configuration."""
+    """Content-address one ``Communicator.init`` configuration.
+
+    ``extra`` extends the identity tuple with caller-specific hashable
+    components — sub-communicators use it to fold the parent machine and the
+    group's global rank placement into the key, so two same-shape groups
+    share the group-space synthesis under the plain key while their embedded
+    (parent-priced) plans stay distinct.
+    """
     parts = (
         ("schema", SCHEMA_VERSION),
         ("program", program_fingerprint(program)),
@@ -173,6 +181,8 @@ def plan_key(
         ("elem_bytes", int(elem_bytes)),
         ("dtype", dtype_name),
     )
+    if extra:
+        parts = parts + (("extra", tuple(extra)),)
     digest = hashlib.sha256(repr(parts).encode()).hexdigest()
     return PlanKey(digest, parts)
 

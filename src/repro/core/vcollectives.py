@@ -101,9 +101,48 @@ def compose_reduce_scatterv(comm: Communicator, counts,
     return send, recv
 
 
+def compose_all_to_allv(comm: Communicator, counts):
+    """All-to-all with per-pair counts: ``counts[i][j]`` elements ``i -> j``.
+
+    The ``MPI_Alltoallv`` pattern, and the exact traffic of MoE expert
+    dispatch/combine: each rank sends a differently-sized token slab to every
+    expert's rank.  ``counts`` is a dense ``p x p`` matrix of non-negative
+    element counts.  Buffers are symmetric, so send/recv are sized by the
+    largest per-rank footprint; rank ``i``'s outgoing chunk for ``j`` sits at
+    dense row offset ``sum(counts[i][:j])`` and lands at receiver offset
+    ``sum(counts[:i][j])`` (MPI displacement convention with dense packing).
+    """
+    p = comm.world_size
+    matrix = [[int(c) for c in row] for row in counts]
+    if len(matrix) != p or any(len(row) != p for row in matrix):
+        raise CompositionError(
+            f"counts must be a {p}x{p} matrix, got "
+            f"{len(matrix)}x{len(matrix[0]) if matrix else 0}"
+        )
+    if any(c < 0 for row in matrix for c in row):
+        raise CompositionError("per-pair counts must be non-negative")
+    if all(c == 0 for row in matrix for c in row):
+        raise CompositionError("at least one pair must exchange elements")
+    send_size = max(sum(row) for row in matrix)
+    recv_size = max(sum(matrix[i][j] for i in range(p)) for j in range(p))
+    send = comm.alloc(max(1, send_size), "sendbuf")
+    recv = comm.alloc(max(1, recv_size), "recvbuf")
+    recv_off = [0] * p  # running receiver-side displacement per destination
+    for i in range(p):
+        send_off = 0
+        for j in range(p):
+            c = matrix[i][j]
+            if c:
+                comm.add_multicast(send[send_off:], recv[recv_off[j]:], c, i, [j])
+                recv_off[j] += c
+            send_off += c
+    return send, recv
+
+
 V_COLLECTIVES = {
     "scatterv": compose_scatterv,
     "gatherv": compose_gatherv,
     "all_gatherv": compose_all_gatherv,
     "reduce_scatterv": compose_reduce_scatterv,
+    "all_to_allv": compose_all_to_allv,
 }

@@ -123,13 +123,17 @@ class RankMap:
         return moved / self.world_size if self.world_size else 0.0
 
 
-def permute_endpoints(schedule, rank_of) -> "Schedule":
+def permute_endpoints(schedule, rank_of, world_size: int | None = None) -> "Schedule":
     """A copy of ``schedule`` with every op's endpoints mapped by ``rank_of``.
 
     Buffers are symmetric (same name/offset on every rank), so relocating the
     endpoints preserves the data movement's semantics while changing which
     *physical* links carry it — exactly what a mismatched launcher placement
     does to a placement-unaware library.
+
+    ``world_size`` re-declares the rank space of the result; the default
+    keeps the input's.  Passing a *larger* world size embeds the schedule
+    into a bigger machine (see :func:`embed_schedule`).
     """
     from dataclasses import replace as dc_replace
 
@@ -141,7 +145,76 @@ def permute_endpoints(schedule, rank_of) -> "Schedule":
         name: {rank_of(rank): cnt for rank, cnt in sizes.items()}
         for name, sizes in schedule.scratch.items()
     }
-    return Schedule(schedule.world_size, ops, scratch, schedule.num_channels)
+    if world_size is None:
+        world_size = schedule.world_size
+    return Schedule(world_size, ops, scratch, schedule.num_channels)
+
+
+def embed_schedule(schedule, global_ranks, world_size: int) -> "Schedule":
+    """Relocate a group-space schedule onto global machine ranks.
+
+    ``global_ranks[g]`` names the machine rank hosting group rank ``g``; the
+    returned schedule moves the same data over the same dependency graph but
+    with every endpoint in machine rank space, which is what
+    :func:`repro.simulator.engine.simulate_workload` requires of every job
+    sharing one machine timeline.
+    """
+    mapping = tuple(int(r) for r in global_ranks)
+    if len(mapping) != schedule.world_size:
+        raise HierarchyError(
+            f"group map names {len(mapping)} ranks but the schedule spans "
+            f"{schedule.world_size}"
+        )
+    if len(set(mapping)) != len(mapping):
+        raise HierarchyError("group ranks must be distinct")
+    if any(not 0 <= r < world_size for r in mapping):
+        raise HierarchyError(
+            f"group ranks {mapping} out of range for a {world_size}-rank machine"
+        )
+    return permute_endpoints(schedule, mapping.__getitem__, world_size=world_size)
+
+
+def group_layout(machine: MachineSpec, ranks) -> tuple[int, int]:
+    """Validate a node-regular rank subset; returns ``(nodes, ranks_per_node)``.
+
+    Sub-communicator groups (:class:`repro.core.communicator.SubCommunicator`)
+    must be *node-regular* so the contiguous-block hierarchy arithmetic of
+    Section 4.2 applies within the group: listed in node-major order (each
+    node's members contiguous in the group ordering) with every participating
+    node contributing the same number of ranks.  Tensor-parallel (one node),
+    data-parallel (one GPU per node), and pipeline-stage (whole node blocks)
+    groups all satisfy this by construction.
+    """
+    ranks = [int(r) for r in ranks]
+    if not ranks:
+        raise HierarchyError("a communicator group needs at least one rank")
+    if len(set(ranks)) != len(ranks):
+        raise HierarchyError(f"group ranks {ranks} contain duplicates")
+    for rank in ranks:
+        if not 0 <= rank < machine.world_size:
+            raise HierarchyError(
+                f"group rank {rank} out of range for {machine.name} with "
+                f"{machine.world_size} GPUs"
+            )
+    runs: list[list[int]] = []  # [node, member count] per contiguous run
+    for rank in ranks:
+        node = machine.node_of(rank)
+        if runs and runs[-1][0] == node:
+            runs[-1][1] += 1
+        else:
+            runs.append([node, 1])
+    if len({node for node, _ in runs}) != len(runs):
+        raise HierarchyError(
+            "group ranks must be node-major: all ranks of a node contiguous "
+            f"in the group ordering, got nodes {[n for n, _ in runs]}"
+        )
+    counts = {count for _, count in runs}
+    if len(counts) != 1:
+        raise HierarchyError(
+            "every node in a group must contribute the same number of ranks; "
+            f"got per-node counts {[c for _, c in runs]}"
+        )
+    return len(runs), runs[0][1]
 
 
 def misplacement_penalty(machine: MachineSpec, hierarchy, libraries,

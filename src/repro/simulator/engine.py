@@ -1,4 +1,4 @@
-"""Discrete-event engine: prices a schedule on a machine model.
+"""Discrete-event engine: prices schedules on a machine model.
 
 An event-driven priority list scheduler over the op dependency graph.  Each
 op becomes *ready* when all of its dependencies complete; it *starts* when
@@ -20,12 +20,24 @@ of ops) price in seconds.
 
 The scheduler is deterministic (ties broken by uid), so repeated measurement
 rounds of a memoized schedule return identical times.
+
+Two entry points share one event loop:
+
+* :func:`simulate` prices a single :class:`~repro.core.schedule.Schedule` on
+  an otherwise idle machine — the paper's setting of one collective at a
+  time;
+* :func:`simulate_workload` prices *several* schedules (a list of
+  :class:`JobSpec`, each with a launch offset and optional dependencies on
+  earlier jobs) against **one shared set** of NIC/link/copy-engine resource
+  timelines, so concurrent collectives contend for the wires exactly as
+  concurrent ML-job traffic does.  See DESIGN.md Section 7 for the workload
+  contract built on top of it.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.schedule import Schedule
 from ..errors import ExecutionError
@@ -38,6 +50,16 @@ from .timing import PricedOp, price_ops
 #: high-priority ops before newly-ready ones are considered).
 _RES_FREED = 0
 _OP_READY = 1
+
+
+def rank_resources(by_resource: dict[tuple, float], n: int) -> list[tuple[tuple, float]]:
+    """The ``n`` highest-valued resources of an occupancy map, busiest first.
+
+    Ties break on the stringified resource key, so every report surface
+    (timing results, workload results) ranks identically and renders
+    deterministically.
+    """
+    return sorted(by_resource.items(), key=lambda kv: (-kv[1], str(kv[0])))[:n]
 
 
 @dataclass
@@ -56,7 +78,8 @@ class TimingResult:
         return payload_bytes / 1.0e9 / self.elapsed
 
     def busiest_resources(self, n: int = 8) -> list[tuple[tuple, float]]:
-        return sorted(self.resource_busy.items(), key=lambda kv: -kv[1])[:n]
+        """The ``n`` resources with the highest total occupancy, busiest first."""
+        return rank_resources(self.resource_busy, n)
 
 
 def compute_upward_ranks(priced: list[PricedOp], dependents: list[list[int]]) -> list[float]:
@@ -68,40 +91,39 @@ def compute_upward_ranks(priced: list[PricedOp], dependents: list[list[int]]) ->
     return upward
 
 
-def simulate(
-    schedule: Schedule,
-    machine: MachineSpec,
-    libraries: tuple[Library, ...],
-    elem_bytes: int,
-) -> TimingResult:
-    """Simulate ``schedule`` and return per-op timing and the makespan."""
-    ops = schedule.ops
-    if not ops:
-        return TimingResult(0.0, [], [], {})
+def _run_graph(
+    priced: list[PricedOp],
+    dependents: list[list[int]],
+    indegree: list[int],
+    ready_time: list[float],
+) -> tuple[list[float], list[float], dict[tuple, float], int]:
+    """Run the backfilling event loop over one priced dependency graph.
 
-    priced: list[PricedOp] = price_ops(ops, machine, libraries, elem_bytes)
+    ``ready_time[uid]`` seeds the earliest instant each initially-ready op
+    (indegree zero) may start — :func:`simulate` passes all zeros, while
+    :func:`simulate_workload` uses it to realize per-job launch offsets.
+    The arrays are shared state between both public entry points; mutating
+    ``indegree``/``ready_time`` in place is intentional.
 
-    indegree = [len(op.deps) for op in ops]
-    dependents: list[list[int]] = [[] for _ in ops]
-    for op in ops:
-        for dep in op.deps:
-            dependents[dep].append(op.uid)
+    Returns ``(start_times, completion_times, resource_busy, done_count)``;
+    the caller is responsible for diagnosing ``done_count`` mismatches.
+    """
+    n = len(priced)
     upward = compute_upward_ranks(priced, dependents)
 
     free_at: dict[tuple, float] = {}
     busy: dict[tuple, float] = {}
-    start_times = [0.0] * len(ops)
-    completion = [0.0] * len(ops)
-    ready_time = [0.0] * len(ops)
+    start_times = [0.0] * n
+    completion = [0.0] * n
     done = 0
 
     # Parked ops per resource: the op is waiting for this resource to free.
     parked: dict[tuple, list[tuple[float, int]]] = {}
     # Global event heap: (time, kind, priority, payload).
     events: list[tuple[float, int, float, object]] = [
-        (0.0, _OP_READY, -upward[op.uid], op.uid)
-        for op in ops
-        if indegree[op.uid] == 0
+        (ready_time[uid], _OP_READY, -upward[uid], uid)
+        for uid in range(n)
+        if indegree[uid] == 0
     ]
     heapq.heapify(events)
 
@@ -171,6 +193,35 @@ def simulate(
                 if migrate_to == payload:
                     break  # it re-parked here; this resource is busy again
 
+    return start_times, completion, busy, done
+
+
+def _graph_arrays(ops) -> tuple[list[int], list[list[int]]]:
+    """Indegree and dependents arrays of one schedule's op list."""
+    indegree = [len(op.deps) for op in ops]
+    dependents: list[list[int]] = [[] for _ in ops]
+    for op in ops:
+        for dep in op.deps:
+            dependents[dep].append(op.uid)
+    return indegree, dependents
+
+
+def simulate(
+    schedule: Schedule,
+    machine: MachineSpec,
+    libraries: tuple[Library, ...],
+    elem_bytes: int,
+) -> TimingResult:
+    """Simulate ``schedule`` on an idle machine; per-op timing + makespan."""
+    ops = schedule.ops
+    if not ops:
+        return TimingResult(0.0, [], [], {})
+
+    priced: list[PricedOp] = price_ops(ops, machine, libraries, elem_bytes)
+    indegree, dependents = _graph_arrays(ops)
+    start_times, completion, busy, done = _run_graph(
+        priced, dependents, indegree, [0.0] * len(ops)
+    )
     if done != len(ops):
         raise ExecutionError(
             f"dependency deadlock: only {done}/{len(ops)} ops executed"
@@ -180,5 +231,172 @@ def simulate(
         elapsed=max(completion),
         start_times=start_times,
         completion_times=completion,
+        resource_busy=busy,
+    )
+
+
+# ------------------------------------------------------- concurrent workloads
+#: Virtual graph node (job entry/exit gate): occupies nothing, takes no time.
+_VIRTUAL_OP = PricedOp((), 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedule entering a shared-timeline workload simulation.
+
+    ``schedule`` must be expressed in the machine's global rank space (a
+    :class:`~repro.core.communicator.SubCommunicator` provides this via its
+    ``global_schedule``).  ``offset`` delays the job's launch by simulated
+    seconds; ``after`` lists indices of *earlier* jobs in the workload that
+    must fully complete before this one may start (launch offsets and job
+    dependencies combine: the job starts at the later of the two).
+    """
+
+    schedule: Schedule
+    libraries: tuple[Library, ...]
+    elem_bytes: int = 4
+    offset: float = 0.0
+    after: tuple[int, ...] = ()
+    name: str = ""
+
+
+@dataclass
+class JobTiming:
+    """Realized window of one job inside a workload simulation.
+
+    ``start`` is the instant the job's gate opened (its launch offset and
+    every ``after`` dependency satisfied); ``finish`` is the completion of
+    its last op.  ``op_start_times``/``op_completion_times`` are indexed by
+    the job schedule's op uids and carry *absolute* workload-timeline
+    instants, so trace tooling can join them with the schedule directly.
+    """
+
+    name: str
+    start: float
+    finish: float
+    op_start_times: list[float] = field(repr=False, default_factory=list)
+    op_completion_times: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds from gate-open to last-op completion (contended duration)."""
+        return self.finish - self.start
+
+
+@dataclass
+class WorkloadTimingResult:
+    """Outcome of simulating several schedules on one shared machine timeline."""
+
+    makespan: float
+    jobs: list[JobTiming]
+    resource_busy: dict[tuple, float]
+
+    def utilization(self) -> dict[tuple, float]:
+        """Busy fraction of the workload makespan per machine resource."""
+        if self.makespan <= 0:
+            return {}
+        return {k: b / self.makespan for k, b in self.resource_busy.items()}
+
+    def busiest_resources(self, n: int = 8) -> list[tuple[tuple, float]]:
+        """The ``n`` resources with the highest total occupancy, busiest first."""
+        return rank_resources(self.resource_busy, n)
+
+
+def simulate_workload(jobs, machine: MachineSpec) -> WorkloadTimingResult:
+    """Price several schedules against one shared set of resource timelines.
+
+    Unlike mapping :func:`simulate` over the jobs — where each schedule
+    assumes an idle machine — every op of every job here books the *same*
+    NIC/link/copy-engine timelines, so concurrent jobs slow each other down
+    exactly as far as they share resources, and not at all when they are
+    disjoint.  Within the merged graph the scheduling discipline (upward-rank
+    priority, backfilling, deterministic ties) is unchanged; a workload with
+    a single zero-offset job therefore reproduces :func:`simulate` exactly.
+
+    Each job contributes two zero-cost virtual graph nodes: an *entry* gate
+    (ready at ``offset``, and dependent on the exit gates of every job named
+    in ``after``) feeding the job's root ops, and an *exit* gate joining its
+    sink ops.  ``after`` may only reference earlier list positions, which
+    keeps the merged graph topologically ordered by construction.
+
+    Returns a :class:`WorkloadTimingResult`; per-job contended durations are
+    in its ``jobs`` list, in input order.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return WorkloadTimingResult(0.0, [], {})
+
+    priced: list[PricedOp] = []
+    dependents: list[list[int]] = []
+    indegree: list[int] = []
+    ready: list[float] = []
+
+    def push(cost: PricedOp, deps, t0: float = 0.0) -> int:
+        uid = len(priced)
+        priced.append(cost)
+        dependents.append([])
+        indegree.append(len(deps))
+        ready.append(t0)
+        for dep in deps:
+            dependents[dep].append(uid)
+        return uid
+
+    entry_idx: list[int] = []
+    exit_idx: list[int] = []
+    spans: list[tuple[int, int]] = []
+    for j, job in enumerate(jobs):
+        label = job.name or f"job{j}"
+        if job.offset < 0:
+            raise ExecutionError(f"job {label!r}: launch offset must be >= 0")
+        for k in job.after:
+            if not 0 <= k < j:
+                raise ExecutionError(
+                    f"job {label!r} (index {j}) can only depend on earlier "
+                    f"jobs, got after={tuple(job.after)}"
+                )
+        if job.schedule.world_size != machine.world_size:
+            raise ExecutionError(
+                f"job {label!r}: schedule spans {job.schedule.world_size} "
+                f"ranks but {machine.name} has {machine.world_size}; embed "
+                "group schedules into machine rank space first"
+            )
+        ops = job.schedule.ops
+        entry = push(
+            _VIRTUAL_OP, tuple(exit_idx[k] for k in job.after), job.offset
+        )
+        base = len(priced)
+        job_priced = price_ops(ops, machine, job.libraries, job.elem_bytes)
+        is_sink = [True] * len(ops)
+        for op in ops:
+            for dep in op.deps:
+                is_sink[dep] = False
+            deps = tuple(base + dep for dep in op.deps) or (entry,)
+            push(job_priced[op.uid], deps)
+        sinks = [base + i for i, s in enumerate(is_sink) if s] or [entry]
+        exit_ = push(_VIRTUAL_OP, tuple(sinks))
+        entry_idx.append(entry)
+        exit_idx.append(exit_)
+        spans.append((base, base + len(ops)))
+
+    start, completion, busy, done = _run_graph(priced, dependents, indegree, ready)
+    if done != len(priced):
+        raise ExecutionError(
+            f"dependency deadlock: only {done}/{len(priced)} workload nodes "
+            "executed"
+        )
+
+    timings = []
+    for j, job in enumerate(jobs):
+        lo, hi = spans[j]
+        timings.append(JobTiming(
+            name=job.name or f"job{j}",
+            start=start[entry_idx[j]],
+            finish=completion[exit_idx[j]],
+            op_start_times=start[lo:hi],
+            op_completion_times=completion[lo:hi],
+        ))
+    return WorkloadTimingResult(
+        makespan=max(t.finish for t in timings),
+        jobs=timings,
         resource_busy=busy,
     )

@@ -50,6 +50,7 @@ class MemoryPool:
 
     # -------------------------------------------------------------- access
     def array(self, rank: int, name: str) -> np.ndarray:
+        """The numpy array backing ``name`` on ``rank`` (read/write)."""
         try:
             return self._buffers[(rank, name)]
         except KeyError:
@@ -58,6 +59,7 @@ class MemoryPool:
             ) from None
 
     def slice(self, rank: int, name: str, offset: int, count: int) -> np.ndarray:
+        """A bounds-checked ``count``-element view at ``offset`` of a buffer."""
         arr = self.array(rank, name)
         if offset < 0 or offset + count > arr.size:
             raise ExecutionError(
@@ -85,4 +87,5 @@ class MemoryPool:
 
     @property
     def symmetric_buffers(self) -> dict[str, int]:
+        """Name -> element count of every symmetric (user) buffer."""
         return dict(self._symmetric)

@@ -54,10 +54,12 @@ class PricedOp:
 
     @property
     def transfer_time(self) -> float:
+        """Serialization time on the op's slowest resource (the beta term)."""
         return max((dur for _, dur in self.resources), default=0.0)
 
     @property
     def total_time(self) -> float:
+        """End-to-end op latency: alpha + slowest-resource beta + gamma."""
         return self.alpha + self.transfer_time + self.gamma
 
 

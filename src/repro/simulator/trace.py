@@ -43,6 +43,7 @@ class TraceEvent:
 
     @property
     def duration(self) -> float:
+        """Realized wall-clock seconds between start and finish."""
         return self.finish - self.start
 
 
@@ -154,9 +155,11 @@ class UtilizationReport:
     busy_fraction: dict[tuple, float]
 
     def bottlenecks(self, n: int = 5) -> list[tuple[tuple, float]]:
+        """The ``n`` busiest resources, highest busy-fraction first."""
         return sorted(self.busy_fraction.items(), key=lambda kv: -kv[1])[:n]
 
     def render(self, n: int = 10) -> str:
+        """Text report: makespan plus the ``n`` busiest resources."""
         lines = [f"makespan {self.makespan * 1e3:.3f} ms; busiest resources:"]
         for key, frac in self.bottlenecks(n):
             bar = "#" * int(frac * 40)

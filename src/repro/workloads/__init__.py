@@ -1,0 +1,48 @@
+"""Workload layer: concurrent multi-communicator scheduling.
+
+The paper evaluates one collective at a time on an idle machine; real ML
+jobs run several collectives *concurrently* — MoE all-to-all overlapping
+FSDP all-gather, pipeline sends overlapping reduce-scatter — on the same
+NICs and links.  This package composes multiple communicators (full-machine
+and :class:`~repro.core.communicator.SubCommunicator` process groups) into
+one :class:`~repro.workloads.workload.Workload` priced on a **shared
+machine timeline**, and ships a parameterized scenario suite
+(:mod:`repro.workloads.scenarios`) for standard training-traffic patterns.
+
+See DESIGN.md Section 7 for the layer contract and EXPERIMENTS.md for the
+committed scenario baselines.
+"""
+
+from .groups import (
+    data_parallel_groups,
+    pipeline_pair_groups,
+    pipeline_stage_groups,
+    tensor_parallel_groups,
+)
+from .scenarios import (
+    DEFAULT_PAYLOAD_BYTES,
+    SCENARIOS,
+    Scenario,
+    applicable_scenarios,
+    build_scenario,
+    run_scenario,
+    run_scenarios,
+)
+from .workload import JobReport, Workload, WorkloadResult
+
+__all__ = [
+    "DEFAULT_PAYLOAD_BYTES",
+    "JobReport",
+    "SCENARIOS",
+    "Scenario",
+    "Workload",
+    "WorkloadResult",
+    "applicable_scenarios",
+    "build_scenario",
+    "data_parallel_groups",
+    "pipeline_pair_groups",
+    "pipeline_stage_groups",
+    "run_scenario",
+    "run_scenarios",
+    "tensor_parallel_groups",
+]

@@ -1,0 +1,101 @@
+"""Parallelism process groups: rank subsets for 3D-parallel ML jobs.
+
+Real training jobs split one machine into orthogonal communicator groups —
+tensor-parallel within a node, pipeline stages across node blocks,
+data-parallel across same-position GPUs of different nodes.  These helpers
+compute the rank subsets; each subset feeds a
+:class:`~repro.core.communicator.SubCommunicator` and is node-regular by
+construction (see :func:`repro.machine.rankmap.group_layout`).
+"""
+
+from __future__ import annotations
+
+from ..errors import HierarchyError
+from ..machine.spec import MachineSpec
+
+
+def tensor_parallel_groups(machine: MachineSpec,
+                           size: int | None = None) -> list[tuple[int, ...]]:
+    """Split every node into tensor-parallel groups of ``size`` local GPUs.
+
+    ``size`` defaults to the whole node (one group per node) and must divide
+    ``gpus_per_node``.  Groups are returned node-major, contiguous local
+    ranks per group — the standard NVLink-domain tensor-parallel layout.
+    """
+    g = machine.gpus_per_node
+    if size is None:
+        size = g
+    if size < 1 or g % size != 0:
+        raise HierarchyError(
+            f"tensor-parallel size {size} must divide {g} GPUs per node"
+        )
+    groups = []
+    for node in range(machine.nodes):
+        base = node * g
+        for start in range(0, g, size):
+            groups.append(tuple(base + start + i for i in range(size)))
+    return groups
+
+
+def pipeline_stage_groups(machine: MachineSpec,
+                          stages: int) -> list[tuple[int, ...]]:
+    """Partition the nodes into ``stages`` contiguous pipeline-stage blocks.
+
+    Every stage owns all GPUs of its node block; ``stages`` must divide the
+    node count.
+    """
+    if stages < 1 or machine.nodes % stages != 0:
+        raise HierarchyError(
+            f"{stages} pipeline stages must divide {machine.nodes} nodes"
+        )
+    per_stage = machine.nodes // stages
+    g = machine.gpus_per_node
+    return [
+        tuple(range(stage * per_stage * g, (stage + 1) * per_stage * g))
+        for stage in range(stages)
+    ]
+
+
+def data_parallel_groups(machine: MachineSpec,
+                         nodes=None) -> list[tuple[int, ...]]:
+    """Cross-node groups: one GPU per node at the same local position.
+
+    ``nodes`` restricts the replica set (default: every node) — pass one
+    pipeline stage's node list to build that stage's gradient-sync groups.
+    Returns ``gpus_per_node`` groups of ``len(nodes)`` ranks each, the
+    classic data-parallel all-reduce rails.
+    """
+    if nodes is None:
+        nodes = range(machine.nodes)
+    nodes = sorted(int(n) for n in nodes)
+    if len(nodes) < 1:
+        raise HierarchyError("data-parallel groups need at least one node")
+    for node in nodes:
+        if not 0 <= node < machine.nodes:
+            raise HierarchyError(
+                f"node {node} out of range for {machine.nodes} nodes"
+            )
+    g = machine.gpus_per_node
+    return [
+        tuple(node * g + local for node in nodes)
+        for local in range(g)
+    ]
+
+
+def pipeline_pair_groups(machine: MachineSpec,
+                         stages: int) -> list[tuple[int, int]]:
+    """Point-to-point partner pairs between consecutive pipeline stages.
+
+    For each GPU of stages ``0 .. stages-2``, pairs it with the GPU at the
+    same position of the next stage — the activation-send / gradient-return
+    rails of pipeline parallelism.  Each pair is a two-rank group spanning
+    two nodes.
+    """
+    if stages < 2:
+        raise HierarchyError("pipeline pairs need at least two stages")
+    blocks = pipeline_stage_groups(machine, stages)
+    pairs = []
+    for stage in range(stages - 1):
+        for src, dst in zip(blocks[stage], blocks[stage + 1]):
+            pairs.append((src, dst))
+    return pairs

@@ -1,0 +1,353 @@
+"""ML traffic scenario suite: parameterized multi-collective workloads.
+
+Each scenario composes the communicator groups of a real training-job
+traffic pattern — FSDP parameter gathering, MoE expert dispatch, 3D-parallel
+LLM steps, plain contention stress — into one :class:`~repro.workloads
+.workload.Workload` and prices it on the shared machine timeline.  Every
+scenario reports the workload makespan, each collective's slowdown versus
+running alone on an idle machine, and per-resource utilization.
+
+Scenarios are deterministic functions of ``(machine, payload_bytes)``: no
+clocks, no randomness, so committed baseline outputs under
+``benchmarks/output/`` regenerate byte-identically.  The registry is
+:data:`SCENARIOS`; the CLI front-end is ``repro workloads``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from ..bench.configs import workload_config
+from ..core.communicator import Communicator, SubCommunicator
+from ..core.composition import compose
+from ..core.vcollectives import compose_all_to_allv
+from ..errors import CompositionError
+from ..machine.spec import MachineSpec
+from .groups import (
+    data_parallel_groups,
+    pipeline_pair_groups,
+    pipeline_stage_groups,
+    tensor_parallel_groups,
+)
+from .workload import Workload, WorkloadResult
+
+#: Default per-collective payload for scenarios: 64 MiB.  Scenario traffic
+#: models per-layer slices of a training step, not the GB-scale saturation
+#: buffers of the Figure 8 sweeps.
+DEFAULT_PAYLOAD_BYTES = 1 << 26
+
+#: Element size used by every scenario communicator (float32).
+ELEM_BYTES = 4
+
+
+def _count(payload_bytes: int, group_size: int) -> int:
+    """Per-chunk element count so one collective moves ``payload_bytes``."""
+    return max(1, payload_bytes // (group_size * ELEM_BYTES))
+
+
+def _group_comm(machine: MachineSpec, ranks) -> Communicator:
+    """A timing-only communicator over ``ranks`` (full machine or subgroup)."""
+    ranks = tuple(ranks)
+    if ranks == tuple(range(machine.world_size)):
+        return Communicator(machine, materialize=False)
+    return SubCommunicator(machine, ranks, materialize=False)
+
+
+def _collective(machine: MachineSpec, ranks, name: str, payload_bytes: int,
+                pipeline: int = 4) -> Communicator:
+    """Compose + init one named collective over a rank subset."""
+    comm = _group_comm(machine, ranks)
+    compose(comm, name, _count(payload_bytes, comm.world_size))
+    comm.init(**workload_config(comm.machine, pipeline=pipeline).init_kwargs())
+    return comm
+
+
+def _all_to_allv(machine: MachineSpec, ranks, matrix,
+                 pipeline: int = 2) -> Communicator:
+    """Compose + init a grouped all-to-all-v over a rank subset."""
+    comm = _group_comm(machine, ranks)
+    compose_all_to_allv(comm, matrix)
+    comm.init(**workload_config(comm.machine, pipeline=pipeline).init_kwargs())
+    return comm
+
+
+# ------------------------------------------------------------------ scenarios
+def build_fsdp_step(machine: MachineSpec, payload_bytes: int) -> Workload:
+    """FSDP training step: all-gather/reduce-scatter rounds with prefetch.
+
+    Three layers.  The forward pass all-gathers each layer's parameters in
+    sequence; the backward pass re-gathers the *previous* layer's parameters
+    while the current layer's gradients reduce-scatter — the prefetch overlap
+    every FSDP implementation relies on, and exactly the same-NIC contention
+    this layer exists to price.  One all-gather plan and one reduce-scatter
+    plan are synthesized once each and replayed for every layer.
+    """
+    world = tuple(range(machine.world_size))
+    ag = _collective(machine, world, "all_gather", payload_bytes)
+    rs = _collective(machine, world, "reduce_scatter", payload_bytes)
+    wl = Workload(machine, "fsdp_step")
+    # Forward: sequential parameter all-gathers (layer i waits for i-1).
+    wl.add(ag, "fwd-allgather-L0")
+    wl.add(ag, "fwd-allgather-L1", after=("fwd-allgather-L0",))
+    wl.add(ag, "fwd-allgather-L2", after=("fwd-allgather-L1",))
+    # Backward: grad reduce-scatter of layer i overlaps the backward
+    # parameter prefetch (all-gather) of layer i-1.
+    wl.add(rs, "bwd-gradsync-L2", after=("fwd-allgather-L2",))
+    wl.add(ag, "bwd-prefetch-L1", after=("fwd-allgather-L2",))
+    wl.add(rs, "bwd-gradsync-L1", after=("bwd-prefetch-L1",))
+    wl.add(ag, "bwd-prefetch-L0", after=("bwd-prefetch-L1",))
+    wl.add(rs, "bwd-gradsync-L0", after=("bwd-prefetch-L0",))
+    return wl
+
+
+def moe_token_matrix(p: int, payload_bytes: int) -> list[list[int]]:
+    """Deterministic imbalanced token-routing matrix for the MoE scenario.
+
+    ``matrix[i][j]`` is the element count rank ``i`` dispatches to expert
+    rank ``j``: a base slab scaled by ``1 + (3i + 5j) mod 4``, modeling the
+    hot/cold expert imbalance of real routers while staying a pure function
+    of the shape.  Total volume is close to ``payload_bytes``.
+    """
+    base = max(1, payload_bytes // (ELEM_BYTES * p * p * 3))
+    return [
+        [base * (1 + (3 * i + 5 * j) % 4) for j in range(p)]
+        for i in range(p)
+    ]
+
+
+def build_moe_layer(machine: MachineSpec, payload_bytes: int) -> Workload:
+    """MoE layer: expert dispatch/combine all-to-all-v + tensor-parallel work.
+
+    Token dispatch is a grouped all-to-all-v over the expert-parallel group
+    (the full machine) with an imbalanced routing matrix; each node's
+    tensor-parallel group all-gathers activations concurrently (the dense
+    half of the layer); the combine all-to-all-v — the transposed routing —
+    waits for dispatch and for every expert's compute traffic.
+    """
+    p = machine.world_size
+    world = tuple(range(p))
+    matrix = moe_token_matrix(p, payload_bytes)
+    transposed = [[matrix[j][i] for j in range(p)] for i in range(p)]
+    dispatch = _all_to_allv(machine, world, matrix)
+    combine = _all_to_allv(machine, world, transposed)
+    wl = Workload(machine, "moe_layer")
+    wl.add(dispatch, "dispatch-a2av")
+    tp_names = []
+    for node, ranks in enumerate(tensor_parallel_groups(machine)):
+        tp = _collective(machine, ranks, "all_gather", payload_bytes // 4)
+        name = f"tp-allgather-n{node}"
+        wl.add(tp, name)
+        tp_names.append(name)
+    wl.add(combine, "combine-a2av", after=("dispatch-a2av", *tp_names))
+    return wl
+
+
+def build_llm3d_step(machine: MachineSpec, payload_bytes: int) -> Workload:
+    """3D-parallel LLM step: tensor + pipeline + data parallel groups.
+
+    Two pipeline stages over the node blocks; each node is one
+    tensor-parallel group.  Forward: stage-0 nodes all-reduce activations,
+    send them point-to-point to stage-1 peers, stage-1 nodes all-reduce.
+    Gradient sync: every data-parallel rail (same GPU position across a
+    stage's nodes) all-reduces concurrently — disjoint NICs on multi-NIC
+    bijective machines, a single contended NIC on Delta-like nodes.
+    """
+    stages = 2
+    stage_blocks = pipeline_stage_groups(machine, stages)
+    stage_nodes = [
+        sorted({machine.node_of(r) for r in block}) for block in stage_blocks
+    ]
+    tp_payload = payload_bytes
+    send_payload = max(ELEM_BYTES, payload_bytes // 4)
+    wl = Workload(machine, "llm3d_step")
+    # Forward tensor-parallel all-reduce on every stage-0 node.
+    tp0_names = []
+    for node in stage_nodes[0]:
+        ranks = tensor_parallel_groups(machine)[node]
+        tp = _collective(machine, ranks, "all_reduce", tp_payload)
+        name = f"tp-allreduce-n{node}"
+        wl.add(tp, name)
+        tp0_names.append(name)
+    # Pipeline activation sends: each stage-0 GPU to its stage-1 peer, after
+    # its node's tensor-parallel job.
+    send_names = []
+    for src, dst in pipeline_pair_groups(machine, stages):
+        pair = _collective(machine, (src, dst), "broadcast", send_payload,
+                           pipeline=1)
+        name = f"pp-send-{src}-{dst}"
+        wl.add(pair, name, after=(f"tp-allreduce-n{machine.node_of(src)}",))
+        send_names.append(name)
+    # Stage-1 tensor parallel, gated on the sends arriving at that node.
+    tp1_names = []
+    for node in stage_nodes[1]:
+        ranks = tensor_parallel_groups(machine)[node]
+        gate = tuple(
+            name for name, (_, dst) in zip(send_names,
+                                           pipeline_pair_groups(machine, stages))
+            if machine.node_of(dst) == node
+        )
+        tp = _collective(machine, ranks, "all_reduce", tp_payload)
+        name = f"tp-allreduce-n{node}"
+        wl.add(tp, name, after=gate)
+        tp1_names.append(name)
+    # Data-parallel gradient rails: all concurrent after the forward.
+    gate = tuple(tp0_names + tp1_names)
+    for stage in range(stages):
+        for rail, ranks in enumerate(
+                data_parallel_groups(machine, stage_nodes[stage])):
+            dp = _collective(machine, ranks, "all_reduce", payload_bytes)
+            wl.add(dp, f"dp-allreduce-s{stage}r{rail}", after=gate)
+    return wl
+
+
+def build_contention_mix(machine: MachineSpec, payload_bytes: int) -> Workload:
+    """Contention stress: four full-machine collectives launched at once.
+
+    Three identical broadcasts plus an all-reduce, all at offset zero on the
+    same NICs and links — the adversarial case for the shared timeline, and
+    the scenario the slowdown > 1 contention invariant is asserted against.
+    """
+    world = tuple(range(machine.world_size))
+    bcast = _collective(machine, world, "broadcast", payload_bytes)
+    ar = _collective(machine, world, "all_reduce", payload_bytes)
+    wl = Workload(machine, "contention_mix")
+    wl.add(bcast, "broadcast-0")
+    wl.add(bcast, "broadcast-1")
+    wl.add(bcast, "broadcast-2")
+    wl.add(ar, "allreduce-0")
+    return wl
+
+
+def build_disjoint_halves(machine: MachineSpec, payload_bytes: int) -> Workload:
+    """Disjoint halves: two sub-machine all-reduces that share nothing.
+
+    Each half of the nodes runs its own all-reduce on its own NICs, links,
+    and copy engines; the shared timeline must price both at exactly their
+    isolated times (slowdown 1.0) — the zero-interference invariant.
+    """
+    g = machine.gpus_per_node
+    half = machine.nodes // 2
+    lo = tuple(range(0, half * g))
+    hi = tuple(range(half * g, machine.nodes * g))
+    wl = Workload(machine, "disjoint_halves")
+    wl.add(_collective(machine, lo, "all_reduce", payload_bytes),
+           "allreduce-lo-half")
+    wl.add(_collective(machine, hi, "all_reduce", payload_bytes),
+           "allreduce-hi-half")
+    return wl
+
+
+# ------------------------------------------------------------------- registry
+@dataclass(frozen=True)
+class Scenario:
+    """One parameterized traffic pattern of the suite."""
+
+    name: str
+    description: str
+    build: Callable[[MachineSpec, int], Workload]
+    min_nodes: int = 2
+
+    def supports(self, machine: MachineSpec) -> str | None:
+        """``None`` when the scenario fits ``machine``, else the reason."""
+        n = machine.nodes
+        if n < self.min_nodes:
+            return f"needs >= {self.min_nodes} nodes, machine has {n}"
+        if n & (n - 1):
+            return f"needs a power-of-two node count, machine has {n}"
+        return None
+
+
+#: Name -> scenario, in presentation order.
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            "fsdp_step",
+            "FSDP step: sequential forward all-gathers, backward "
+            "reduce-scatter overlapping parameter prefetch",
+            build_fsdp_step,
+        ),
+        Scenario(
+            "moe_layer",
+            "MoE layer: imbalanced all-to-all-v dispatch/combine over "
+            "tensor-parallel all-gathers",
+            build_moe_layer,
+        ),
+        Scenario(
+            "llm3d_step",
+            "3D-parallel LLM step: tensor + pipeline + data-parallel "
+            "groups on one machine",
+            build_llm3d_step,
+            min_nodes=4,
+        ),
+        Scenario(
+            "contention_mix",
+            "stress: three broadcasts and an all-reduce launched "
+            "simultaneously on the full machine",
+            build_contention_mix,
+        ),
+        Scenario(
+            "disjoint_halves",
+            "control: two all-reduces on disjoint node halves "
+            "(slowdown must be 1.0)",
+            build_disjoint_halves,
+        ),
+    )
+}
+
+
+def build_scenario(name: str, machine: MachineSpec,
+                   payload_bytes: int = DEFAULT_PAYLOAD_BYTES) -> Workload:
+    """Build (but do not run) one named scenario's workload."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise CompositionError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    reason = scenario.supports(machine)
+    if reason is not None:
+        raise CompositionError(
+            f"scenario {name!r} does not fit {machine.describe()}: {reason}"
+        )
+    return scenario.build(machine, payload_bytes)
+
+
+def run_scenario(name: str, machine: MachineSpec,
+                 payload_bytes: int = DEFAULT_PAYLOAD_BYTES) -> WorkloadResult:
+    """Build and price one named scenario on the shared timeline."""
+    return build_scenario(name, machine, payload_bytes).run()
+
+
+def applicable_scenarios(machine: MachineSpec) -> list[str]:
+    """Names of the scenarios that fit ``machine``, in registry order."""
+    return [name for name, s in SCENARIOS.items() if s.supports(machine) is None]
+
+
+def run_scenarios(names, machine: MachineSpec,
+                  payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+                  jobs: int = 1) -> list[WorkloadResult]:
+    """Run several scenarios, optionally across worker processes.
+
+    One scenario is always priced on a single shared timeline inside one
+    process — that is the whole point of the workload layer — so ``jobs``
+    parallelizes *across* scenarios: each worker builds and runs whole
+    scenarios, and results return in input order.  ``jobs=0`` uses all
+    cores; ``jobs<=1`` runs serially (sharing this process's plan cache,
+    which the per-scenario repeated plans hit heavily).
+    """
+    names = list(names)
+    if jobs == 0:
+        from ..bench.parallel import default_jobs
+
+        jobs = default_jobs()
+    if jobs <= 1 or len(names) <= 1:
+        return [run_scenario(name, machine, payload_bytes) for name in names]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        futures = [
+            pool.submit(run_scenario, name, machine, payload_bytes)
+            for name in names
+        ]
+        return [fut.result() for fut in futures]

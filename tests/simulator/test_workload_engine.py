@@ -1,0 +1,150 @@
+"""Shared-timeline engine: contention invariants of simulate_workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.communicator import Communicator, SubCommunicator
+from repro.core.composition import compose
+from repro.errors import ExecutionError
+from repro.machine.machines import generic, perlmutter
+from repro.simulator.engine import JobSpec, simulate, simulate_workload
+from repro.transport.library import Library
+
+MACHINE = perlmutter(nodes=2)
+COUNT = 1 << 12
+
+
+def _world_comm(collective: str = "all_reduce", count: int = COUNT):
+    comm = Communicator(MACHINE, materialize=False)
+    compose(comm, collective, count)
+    comm.init(hierarchy=[2, 4], library=[Library.NCCL, Library.IPC],
+              stripe=4, pipeline=4)
+    return comm
+
+
+def _job(comm, **kwargs) -> JobSpec:
+    return JobSpec(comm.global_schedule, comm.plan.libraries,
+                   comm.dtype.itemsize, **kwargs)
+
+
+class TestSingleJob:
+    def test_single_job_reproduces_simulate_exactly(self):
+        comm = _world_comm()
+        isolated = simulate(comm.schedule, MACHINE, comm.plan.libraries,
+                            comm.dtype.itemsize)
+        result = simulate_workload([_job(comm, name="solo")], MACHINE)
+        assert result.makespan == isolated.elapsed
+        assert result.jobs[0].start == 0.0
+        assert result.jobs[0].elapsed == isolated.elapsed
+        assert result.jobs[0].op_start_times == isolated.start_times
+        assert result.jobs[0].op_completion_times == isolated.completion_times
+
+    def test_offset_shifts_the_whole_job(self):
+        comm = _world_comm()
+        base = simulate_workload([_job(comm)], MACHINE)
+        shifted = simulate_workload([_job(comm, offset=1.5)], MACHINE)
+        assert shifted.jobs[0].start == 1.5
+        assert shifted.jobs[0].elapsed == pytest.approx(base.jobs[0].elapsed)
+        assert shifted.makespan == pytest.approx(1.5 + base.makespan)
+
+    def test_empty_workload(self):
+        result = simulate_workload([], MACHINE)
+        assert result.makespan == 0.0 and result.jobs == []
+
+
+class TestContentionInvariants:
+    def test_disjoint_resources_compose_with_zero_slowdown(self):
+        # Two all-reduces confined to different nodes share no NIC, link, or
+        # copy engine; the shared timeline must price both exactly at their
+        # isolated times.
+        lo = SubCommunicator(MACHINE, range(0, 4), materialize=False)
+        hi = SubCommunicator(MACHINE, range(4, 8), materialize=False)
+        for comm in (lo, hi):
+            compose(comm, "all_reduce", COUNT)
+            comm.init(hierarchy=[4], library=[Library.IPC], pipeline=2)
+        result = simulate_workload(
+            [_job(lo, name="lo"), _job(hi, name="hi")], MACHINE
+        )
+        assert result.jobs[0].elapsed == lo.timing.elapsed
+        assert result.jobs[1].elapsed == hi.timing.elapsed
+
+    def test_same_nic_schedules_never_finish_faster_than_isolated(self):
+        # Bandwidth-bound payload so the NIC contention is visible.
+        comm = _world_comm("broadcast", 1 << 17)
+        isolated = comm.timing.elapsed
+        result = simulate_workload(
+            [_job(comm, name="a"), _job(comm, name="b")], MACHINE
+        )
+        for job in result.jobs:
+            assert job.elapsed >= isolated
+        # And the pair genuinely contends: at least one pays visibly.
+        assert max(job.elapsed for job in result.jobs) > 1.5 * isolated
+
+    def test_contended_beats_sequential_lower_bound(self):
+        # Sharing a machine can never beat perfect overlap (max of isolated
+        # times) nor lose to full serialization (sum of isolated times).
+        a = _world_comm("broadcast")
+        b = _world_comm("all_reduce")
+        result = simulate_workload(
+            [_job(a, name="a"), _job(b, name="b")], MACHINE
+        )
+        iso = (a.timing.elapsed, b.timing.elapsed)
+        assert result.makespan >= max(iso)
+        assert result.makespan <= sum(iso) * (1 + 1e-9)
+
+
+class TestDependencies:
+    def test_after_serializes_jobs(self):
+        comm = _world_comm()
+        result = simulate_workload(
+            [_job(comm, name="first"), _job(comm, after=(0,), name="second")],
+            MACHINE,
+        )
+        first, second = result.jobs
+        assert second.start == first.finish
+        assert second.elapsed == pytest.approx(first.elapsed)
+
+    def test_after_combines_with_offset(self):
+        comm = _world_comm()
+        iso = comm.timing.elapsed
+        late = simulate_workload(
+            [_job(comm), _job(comm, offset=10 * iso, after=(0,))], MACHINE
+        )
+        assert late.jobs[1].start == pytest.approx(10 * iso)
+
+    def test_forward_dependency_rejected(self):
+        comm = _world_comm()
+        with pytest.raises(ExecutionError, match="earlier jobs"):
+            simulate_workload(
+                [_job(comm, after=(0,)), _job(comm)], MACHINE
+            )
+
+    def test_negative_offset_rejected(self):
+        comm = _world_comm()
+        with pytest.raises(ExecutionError, match="offset"):
+            simulate_workload([_job(comm, offset=-1.0)], MACHINE)
+
+    def test_wrong_world_size_rejected(self):
+        small = generic(1, 2, 1, name="tiny")
+        comm = Communicator(small, materialize=False)
+        compose(comm, "broadcast", 64)
+        comm.init(hierarchy=[2], library=[Library.IPC])
+        with pytest.raises(ExecutionError, match="rank space"):
+            simulate_workload([_job(comm)], MACHINE)
+
+
+class TestAccounting:
+    def test_resource_busy_sums_both_jobs(self):
+        comm = _world_comm("broadcast")
+        solo = simulate_workload([_job(comm)], MACHINE)
+        duo = simulate_workload([_job(comm), _job(comm)], MACHINE)
+        for key, busy in solo.resource_busy.items():
+            assert duo.resource_busy[key] == pytest.approx(2 * busy)
+
+    def test_utilization_bounded_by_one(self):
+        comm = _world_comm("broadcast")
+        duo = simulate_workload([_job(comm), _job(comm)], MACHINE)
+        util = duo.utilization()
+        assert util
+        assert all(0.0 < frac <= 1.0 + 1e-9 for frac in util.values())

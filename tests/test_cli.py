@@ -92,6 +92,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 8" in out and "jobs=2" in out
 
+    def test_workloads_list(self, capsys):
+        assert main(["workloads", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fsdp_step", "moe_layer", "llm3d_step",
+                     "contention_mix", "disjoint_halves"):
+            assert name in out
+
+    def test_workloads_run_named_scenarios(self, capsys):
+        rc = main(["workloads", "contention_mix", "disjoint_halves",
+                   "--system", "perlmutter", "--nodes", "2",
+                   "--payload", "1M"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Workload scenarios (perlmutter)" in out
+        assert "contention_mix" in out and "disjoint_halves" in out
+        assert "slowdown" in out and "busiest resources" in out
+
+    def test_workloads_unknown_scenario_errors(self):
+        from repro.errors import CompositionError
+
+        with pytest.raises(CompositionError, match="unknown scenario"):
+            main(["workloads", "not_a_scenario", "--nodes", "2"])
+
     def test_cache_stats(self, capsys):
         rc = main(["cache"])
         assert rc == 0

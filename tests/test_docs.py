@@ -3,18 +3,25 @@
 from __future__ import annotations
 
 import importlib.util
+import re
 import sys
 from pathlib import Path
 
-CHECKER = Path(__file__).resolve().parent.parent / "tools" / "check_doc_links.py"
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+CHECKER = TOOLS / "check_doc_links.py"
+DOCSTRINGS = TOOLS / "check_docstrings.py"
 
 
-def _load_checker():
-    spec = importlib.util.spec_from_file_location("check_doc_links", CHECKER)
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
     module = importlib.util.module_from_spec(spec)
     sys.modules[spec.name] = module
     spec.loader.exec_module(module)
     return module
+
+
+def _load_checker():
+    return _load(CHECKER)
 
 
 def test_promised_documents_exist():
@@ -43,3 +50,39 @@ def test_anchor_extraction_sees_explicit_ids():
     anchors = checker.anchors_of(CHECKER.parent.parent / "EXPERIMENTS.md")
     assert "paper-vs-measured" in anchors
     assert "calibration" in anchors
+
+
+def test_docstring_coverage_of_workload_and_simulator_layers():
+    checker = _load(DOCSTRINGS)
+    problems = checker.missing_docstrings()
+    assert not problems, "missing docstrings:\n" + "\n".join(problems)
+
+
+def test_docstring_checker_detects_offenders(tmp_path):
+    checker = _load(DOCSTRINGS)
+    bad = tmp_path / "src" / "repro" / "workloads"
+    bad.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "simulator").mkdir()
+    (bad / "mod.py").write_text(
+        '"""Module doc."""\n\n\ndef documented():\n    """Yes."""\n\n\n'
+        "def naked():\n    pass\n\n\nclass Thing:\n"
+        '    """Doc."""\n\n    def method(self):\n        pass\n'
+    )
+    problems = checker.missing_docstrings(tmp_path)
+    assert any("'naked'" in p for p in problems)
+    assert any("'Thing.method'" in p for p in problems)
+    assert not any("documented" in p for p in problems)
+
+
+def test_readme_workload_quickstart_runs():
+    """The README "Simulating a training step" snippet executes as written."""
+    readme = CHECKER.parent.parent / "README.md"
+    section = readme.read_text().split("## Simulating a training step")[1]
+    section = section.split("\n## ")[0]
+    blocks = re.findall(r"```python\n(.*?)```", section, re.S)
+    assert blocks, "quickstart python block missing"
+    namespace: dict = {}
+    exec(compile(blocks[0], str(readme), "exec"), namespace)  # noqa: S102
+    result = namespace["result"]
+    assert result.makespan > 0
+    assert result.worst_slowdown >= 1.0

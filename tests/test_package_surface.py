@@ -58,6 +58,10 @@ MODULES = [
     "repro.bench.parallel",
     "repro.bench.report",
     "repro.bench.runner",
+    "repro.workloads",
+    "repro.workloads.groups",
+    "repro.workloads.scenarios",
+    "repro.workloads.workload",
 ]
 
 

@@ -1,0 +1,164 @@
+"""Workload layer: groups, workload runtime, and the scenario suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.communicator import Communicator, SubCommunicator
+from repro.core.composition import compose
+from repro.errors import CompositionError, HierarchyError
+from repro.machine.machines import delta, perlmutter
+from repro.transport.library import Library
+from repro.workloads import (
+    SCENARIOS,
+    Workload,
+    applicable_scenarios,
+    build_scenario,
+    data_parallel_groups,
+    pipeline_pair_groups,
+    pipeline_stage_groups,
+    run_scenario,
+    run_scenarios,
+    tensor_parallel_groups,
+)
+
+MACHINE = perlmutter(nodes=4)  # 16 ranks
+PAYLOAD = 1 << 20  # 1 MiB per collective keeps the suite quick
+
+
+class TestGroups:
+    def test_tensor_parallel_defaults_to_whole_nodes(self):
+        groups = tensor_parallel_groups(MACHINE)
+        assert groups == [tuple(range(n * 4, n * 4 + 4)) for n in range(4)]
+
+    def test_tensor_parallel_subnode(self):
+        groups = tensor_parallel_groups(MACHINE, size=2)
+        assert len(groups) == 8 and groups[0] == (0, 1)
+
+    def test_tensor_parallel_size_must_divide(self):
+        with pytest.raises(HierarchyError, match="divide"):
+            tensor_parallel_groups(MACHINE, size=3)
+
+    def test_pipeline_stage_blocks(self):
+        stages = pipeline_stage_groups(MACHINE, 2)
+        assert stages == [tuple(range(8)), tuple(range(8, 16))]
+
+    def test_pipeline_pairs_match_positions(self):
+        pairs = pipeline_pair_groups(MACHINE, 2)
+        assert pairs == [(r, r + 8) for r in range(8)]
+
+    def test_data_parallel_rails(self):
+        rails = data_parallel_groups(MACHINE, nodes=[0, 1])
+        assert rails == [(0, 4), (1, 5), (2, 6), (3, 7)]
+
+
+class TestWorkloadRuntime:
+    def _comm(self):
+        comm = Communicator(MACHINE, materialize=False)
+        compose(comm, "broadcast", 1 << 10)
+        comm.init(hierarchy=[2, 2, 4],
+                  library=[Library.NCCL, Library.NCCL, Library.IPC],
+                  stripe=4, pipeline=2)
+        return comm
+
+    def test_add_rejects_uninitialized(self):
+        comm = Communicator(MACHINE, materialize=False)
+        with pytest.raises(Exception, match="init"):
+            Workload(MACHINE).add(comm, "x")
+
+    def test_add_rejects_foreign_machine(self):
+        other = delta(nodes=2)
+        comm = Communicator(other, materialize=False)
+        compose(comm, "broadcast", 64)
+        comm.init(hierarchy=[2, 4], library=[Library.NCCL, Library.IPC])
+        with pytest.raises(CompositionError, match="machine"):
+            Workload(MACHINE).add(comm, "x")
+
+    def test_after_by_name_and_unknown_name(self):
+        wl = Workload(MACHINE)
+        comm = self._comm()
+        wl.add(comm, "first")
+        wl.add(comm, "second", after=("first",))
+        with pytest.raises(CompositionError, match="unknown job"):
+            wl.add(comm, "third", after=("missing",))
+
+    def test_run_requires_jobs(self):
+        with pytest.raises(CompositionError, match="no jobs"):
+            Workload(MACHINE).run()
+
+    def test_result_lookup_and_render(self):
+        wl = Workload(MACHINE, "pair")
+        comm = self._comm()
+        wl.add(comm, "a")
+        wl.add(comm, "b")
+        result = wl.run()
+        assert result.job("a").slowdown >= 1.0
+        with pytest.raises(KeyError):
+            result.job("zzz")
+        text = result.render()
+        assert "pair" in text and "slowdown" in text and "busiest" in text
+        # Deterministic rendering: repeated runs are byte-identical.
+        assert wl.run().render() == text
+
+
+class TestScenarioSuite:
+    def test_registry_has_at_least_four_scenarios(self):
+        assert len(SCENARIOS) >= 4
+
+    def test_all_applicable_scenarios_run_end_to_end(self):
+        names = applicable_scenarios(MACHINE)
+        assert len(names) >= 4
+        for name in names:
+            result = run_scenario(name, MACHINE, PAYLOAD)
+            assert result.makespan > 0
+            assert all(job.isolated > 0 for job in result.jobs)
+            assert all(job.slowdown > 0 for job in result.jobs)
+            assert result.utilization, f"{name}: no resource utilization"
+
+    def test_same_nic_contention_scenario_reports_slowdown(self):
+        result = run_scenario("contention_mix", MACHINE, PAYLOAD)
+        assert result.worst_slowdown > 1.0
+
+    def test_disjoint_scenario_reports_unit_slowdown(self):
+        result = run_scenario("disjoint_halves", MACHINE, PAYLOAD)
+        for job in result.jobs:
+            assert job.slowdown == pytest.approx(1.0, abs=1e-9)
+
+    def test_fsdp_prefetch_overlap_contends(self):
+        result = run_scenario("fsdp_step", MACHINE, PAYLOAD)
+        # The backward grad-sync overlaps the parameter prefetch on the same
+        # NICs; at least one overlapped job must pay for it.
+        assert result.worst_slowdown > 1.0
+        # The purely sequential forward all-gathers do not contend.
+        assert result.job("fwd-allgather-L0").slowdown == pytest.approx(1.0)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(CompositionError, match="unknown scenario"):
+            build_scenario("nope", MACHINE, PAYLOAD)
+
+    def test_unsupported_machine_rejected(self):
+        single = perlmutter(nodes=1)
+        with pytest.raises(CompositionError, match="does not fit"):
+            build_scenario("disjoint_halves", single, PAYLOAD)
+
+    def test_llm3d_requires_four_nodes(self):
+        two = perlmutter(nodes=2)
+        assert "llm3d_step" not in applicable_scenarios(two)
+        with pytest.raises(CompositionError, match="does not fit"):
+            build_scenario("llm3d_step", two, PAYLOAD)
+
+
+class TestScenarioDeterminism:
+    def test_repeated_runs_are_byte_identical(self):
+        a = run_scenario("moe_layer", MACHINE, PAYLOAD)
+        b = run_scenario("moe_layer", MACHINE, PAYLOAD)
+        assert a.render() == b.render()
+
+
+@pytest.mark.slow
+class TestParallelScenarios:
+    def test_run_scenarios_across_workers_matches_serial(self):
+        names = ["contention_mix", "disjoint_halves"]
+        serial = run_scenarios(names, MACHINE, PAYLOAD, jobs=1)
+        parallel = run_scenarios(names, MACHINE, PAYLOAD, jobs=2)
+        assert [r.render() for r in serial] == [r.render() for r in parallel]

@@ -1,9 +1,11 @@
 #!/bin/sh
-# Fast CI smoke job: documentation cross-reference check + the quick half of
-# the test suite (the long figure sweeps are marked `slow` and excluded; the
-# tier-1 run `pytest -x -q` still executes everything).
+# Fast CI smoke job: documentation checkers (cross-references + docstring
+# coverage of the workload/simulator layers) + the quick half of the test
+# suite (the long figure sweeps are marked `slow` and excluded; the tier-1
+# run `pytest -x -q` still executes everything).
 set -e
 cd "$(dirname "$0")/.."
 
 python tools/check_doc_links.py
+python tools/check_docstrings.py
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q -m "not slow"

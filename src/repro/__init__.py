@@ -18,7 +18,7 @@ See DESIGN.md#1-layer-tour for the system inventory and
 EXPERIMENTS.md#paper-vs-measured for the record of every table and figure.
 """
 
-from . import collectives, machine as machines, workloads
+from . import collectives, machine as machines, planner, workloads
 from .core.buffers import BufferHandle, BufferView
 from .core.communicator import Communicator
 from .core.composition import COLLECTIVES, FIGURE8_ORDER, compose
@@ -61,5 +61,6 @@ __all__ = [
     "collectives",
     "compose",
     "machines",
+    "planner",
     "workloads",
 ]

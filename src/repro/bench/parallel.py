@@ -19,7 +19,10 @@ The evaluation figures are embarrassingly parallel — Figure 8 alone prices
 
 ``repro bench --jobs N`` on the CLI and the ``jobs=`` parameter of
 :func:`repro.bench.figures.fig8_system` are thin wrappers over
-:func:`run_sweep`.
+:func:`run_sweep`; :func:`run_tasks` is the generic engine underneath it
+(any picklable object with a ``run()`` method), which is how the planner
+(:mod:`repro.planner.search`) fans candidate evaluations out to the same
+worker pool.
 """
 
 from __future__ import annotations
@@ -79,8 +82,8 @@ class SweepPoint:
         )
 
 
-def _run_indexed(index: int, point: SweepPoint) -> tuple[int, Measurement | None]:
-    return index, point.run()
+def _run_indexed(index: int, task) -> tuple[int, object]:
+    return index, task.run()
 
 
 def _worker_init(cache_dir: str | None) -> None:
@@ -103,24 +106,28 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def run_sweep(
-    points,
+def run_tasks(
+    tasks,
     jobs: int = 1,
     cache_dir: str | os.PathLike | None = None,
-) -> list[Measurement | None]:
-    """Measure every point, ``jobs`` at a time; results in input order.
+) -> list:
+    """Run picklable ``.run()`` tasks, ``jobs`` at a time; results in order.
 
-    ``jobs <= 1`` runs serially in this process (and therefore shares this
-    process's plan cache).  ``cache_dir`` points the plan cache — the
-    workers' or, for a serial run, this process's — at a shared on-disk
-    layer; the in-process layer and its statistics are kept either way.
+    The generic engine under :func:`run_sweep`: a *task* is any picklable
+    object with a ``run()`` method (sweep :class:`SweepPoint`\\ s, planner
+    candidate evaluations, ...).  ``jobs <= 1`` runs serially in this
+    process (and therefore shares this process's plan cache); ``cache_dir``
+    points the plan cache — the workers' or, for a serial run, this
+    process's — at a shared on-disk layer; the in-process layer and its
+    statistics are kept either way.  Results are returned in input order
+    regardless of which worker finished first.
     """
-    points = list(points)
+    tasks = list(tasks)
     if jobs == 0:
         jobs = default_jobs()
-    if jobs <= 1 or len(points) <= 1:
+    if jobs <= 1 or len(tasks) <= 1:
         if cache_dir is None:
-            return [p.run() for p in points]
+            return [t.run() for t in tasks]
         # Serial runs honor the shared disk layer exactly as a worker would,
         # so mixed serial/parallel sweeps see the same persisted plans — but
         # the repointing is scoped to the sweep: the process-wide cache gets
@@ -131,22 +138,35 @@ def run_sweep(
         previous = cache.disk_dir
         cache.set_disk_dir(cache_dir)
         try:
-            return [p.run() for p in points]
+            return [t.run() for t in tasks]
         finally:
             cache.set_disk_dir(previous)
-    results: list[Measurement | None] = [None] * len(points)
+    results: list = [None] * len(tasks)
     cache_arg = str(cache_dir) if cache_dir is not None else None
     with ProcessPoolExecutor(
-        max_workers=min(jobs, len(points)),
+        max_workers=min(jobs, len(tasks)),
         initializer=_worker_init, initargs=(cache_arg,),
     ) as pool:
         futures = [
-            pool.submit(_run_indexed, i, p) for i, p in enumerate(points)
+            pool.submit(_run_indexed, i, t) for i, t in enumerate(tasks)
         ]
         for fut in as_completed(futures):
-            index, measurement = fut.result()
-            results[index] = measurement
+            index, result = fut.result()
+            results[index] = result
     return results
+
+
+def run_sweep(
+    points,
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+) -> list[Measurement | None]:
+    """Measure every point, ``jobs`` at a time; results in input order.
+
+    A thin, measurement-typed wrapper over :func:`run_tasks`; see there for
+    the worker-pool and plan-cache semantics.
+    """
+    return run_tasks(points, jobs=jobs, cache_dir=cache_dir)
 
 
 def hiccl_grid(

@@ -7,6 +7,7 @@ Entry point: ``python -m repro <command>``::
         --payload 256M --topology ring --pipeline 32
     python -m repro compare broadcast --system frontier --payload 1G
     python -m repro tune broadcast --system perlmutter --payload 256M
+    python -m repro tune fsdp_step --workload --system perlmutter
     python -m repro bounds --system aurora
     python -m repro bench --system perlmutter --jobs 4  # parallel Fig 8 grid
     python -m repro workloads --list                # ML traffic scenarios
@@ -105,20 +106,61 @@ def cmd_compare(args) -> int:
 
 
 def cmd_tune(args) -> int:
-    """Autotune the optimization parameters for a collective."""
-    from .bench.runner import payload_count
-    from .core.autotune import tune
-    from .core.composition import compose
-
+    """Plan the optimization parameters (staged search / workload mode)."""
     machine = _machine(args)
-    count = payload_count(machine, _parse_size(args.payload))
+    pipelines = (tuple(int(x) for x in args.pipelines.split(","))
+                 if args.pipelines else None)
+    if args.workload:
+        # Flags of the collective search have no meaning here; reject them
+        # loudly instead of silently searching something else.
+        ignored = [
+            flag for flag, given in (
+                ("--strategy", args.strategy is not None),
+                ("--jobs", args.jobs is not None),
+                ("--budget", args.budget is not None),
+                ("--top", args.top is not None),
+                ("--no-library-search", args.no_library_search),
+            ) if given
+        ]
+        if ignored:
+            print(f"error: {', '.join(ignored)} not applicable with "
+                  "--workload (groups are searched with library choice on, "
+                  "serially, against the contended makespan)")
+            return 2
+        from .workloads.scenarios import tune_scenario
 
-    def compose_fn(comm):
-        compose(comm, args.collective, count)
+        result = tune_scenario(
+            args.collective, machine, _parse_size(args.payload),
+            pipelines=pipelines or (1, 2, 4, 8),
+            rounds=args.rounds if args.rounds is not None else 2,
+        )
+        print(f"workload-aware tuning on {machine.describe()}")
+        print(result.render())
+        return 0
 
-    result = tune(compose_fn, machine, pipelines=(1, 4, 16, 32))
-    print(f"tuning {args.collective} on {machine.describe()}")
-    print(result.render(args.top))
+    if args.rounds is not None:
+        print("error: --rounds only applies with --workload")
+        return 2
+    from .planner import SearchBudget, SearchSpace, plan_collective
+
+    strategy = args.strategy or "staged"
+    space = SearchSpace.build(
+        machine, pipelines=pipelines or (1, 4, 16, 32),
+        search_libraries=not args.no_library_search,
+    )
+    if args.budget is not None and args.budget < 1:
+        print("error: --budget must be >= 1")
+        return 2
+    budget = (SearchBudget(max_full=args.budget)
+              if args.budget is not None else None)
+    result = plan_collective(
+        machine, args.collective, _parse_size(args.payload),
+        space=space, budget=budget, strategy=strategy,
+        jobs=args.jobs if args.jobs is not None else 1,
+    )
+    print(f"planning {args.collective} on {machine.describe()} "
+          f"(strategy: {strategy})")
+    print(result.render(args.top if args.top is not None else 5))
     return 0
 
 
@@ -275,9 +317,32 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(fn=cmd_compare)
 
-    p = sub.add_parser("tune", help="autotune the optimization parameters")
+    p = sub.add_parser(
+        "tune",
+        help="plan the optimization parameters (staged search / workloads)")
     common(p)
-    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--top", type=int, default=None,
+                   help="candidates to print (default 5)")
+    p.add_argument("--strategy", choices=("staged", "grid"), default=None,
+                   help="staged = prune+halve (default); grid = exhaustive")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for candidate evaluation "
+                        "(0 = all cores; default in-process)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="cap on full-payload simulations "
+                        "(default: derive from the grid size)")
+    p.add_argument("--pipelines", default=None,
+                   help="comma-separated pipeline depths to search "
+                        "(default 1,4,16,32; 1,2,4,8 with --workload)")
+    p.add_argument("--no-library-search", action="store_true",
+                   help="fix per-level libraries to the Table 5 policy")
+    p.add_argument("--workload", action="store_true",
+                   help="treat the positional argument as a workload "
+                        "scenario and tune its groups against the "
+                        "contended makespan")
+    p.add_argument("--rounds", type=int, default=None,
+                   help="coordinate-descent passes in --workload mode "
+                        "(default 2)")
     p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("bounds", help="Table 3 + empirical bounds for a system")

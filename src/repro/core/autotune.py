@@ -1,34 +1,34 @@
-"""Autotuning the optimization parameters (an extension the paper invites).
+"""Legacy autotuning façade — now a thin shim over :mod:`repro.planner`.
 
-Section 4.1: "HiCCL does not automatically select these parameters, which
-are part of the input."  Because this reproduction prices schedules on a
-deterministic simulator in milliseconds, exhaustive search over the
-parameter space becomes practical — so we provide the autotuner the paper
-leaves to the user:
+Earlier revisions implemented an exhaustive grid search here: every
+(hierarchy, stripe, ring, pipeline) combination was synthesized and fully
+simulated, with the per-level library vector fixed by the Table 5 policy.
+That search — generation, pricing, ranking — now lives in the planner
+subsystem (:mod:`repro.planner`), which adds the library dimension, sound
+analytic pruning, successive halving, and parallel evaluation on top.
 
-* :func:`hierarchy_candidates` — sensible factor vectors for a machine
-  (physical, binary-split inter-node, flat, and merged-level variants);
-* :func:`tune` — grid search over (hierarchy, stripe, ring, pipeline) for a
-  given composition, returning every priced configuration;
-* :class:`TuneResult` — the ranked outcome with a ``best`` plan ready to
-  feed ``Communicator.init``.
+This module keeps the original public surface working unchanged:
 
-The search space is the paper's five parameters minus the library choice,
-which follows the machine (Table 5's policy: the best inter-node p2p
-library, IPC within nodes) unless overridden.
+* :func:`hierarchy_candidates` — re-exported from
+  :mod:`repro.planner.space`;
+* :func:`tune` — same signature and same exhaustive default behaviour
+  (``strategy="grid"`` over the policy-library space), now with opt-in
+  ``search_libraries`` / ``strategy`` / ``jobs`` pass-throughs;
+* :class:`Candidate` / :class:`TuneResult` — the ranked result types.
+
+New code should call :func:`repro.planner.plan_collective` or
+``Communicator.init_tuned`` directly.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import InitializationError
 from ..machine.spec import MachineSpec
-from ..transport.library import DIRECT_LIBRARY, Library
-from .communicator import Communicator
+from ..planner.space import hierarchy_candidates  # noqa: F401  (re-export)
+from ..transport.library import Library
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,7 @@ class Candidate:
     seconds: float
 
     def init_kwargs(self) -> dict:
+        """Keyword arguments for ``Communicator.init``."""
         return {
             "hierarchy": list(self.hierarchy),
             "library": list(self.libraries),
@@ -52,6 +53,7 @@ class Candidate:
         }
 
     def describe(self) -> str:
+        """Human-readable configuration + simulated milliseconds."""
         libs = ",".join(lib.name for lib in self.libraries)
         return (
             f"{list(self.hierarchy)} [{libs}] stripe({self.stripe}) "
@@ -68,70 +70,18 @@ class TuneResult:
 
     @property
     def best(self) -> Candidate:
+        """The fastest evaluated candidate."""
         return self.candidates[0]
 
     def top(self, n: int = 5) -> list[Candidate]:
+        """The ``n`` fastest evaluated candidates."""
         return self.candidates[:n]
 
     def render(self, n: int = 5) -> str:
+        """Deterministic text summary, best candidates first."""
         lines = [f"{len(self.candidates)} configurations evaluated; best:"]
         lines += [f"  {c.describe()}" for c in self.top(n)]
         return "\n".join(lines)
-
-
-def _binary_split(n: int) -> list[int] | None:
-    """[2, 2, ...] factorization of a power of two, else None."""
-    factors = []
-    while n > 1:
-        if n % 2:
-            return None
-        factors.append(2)
-        n //= 2
-    return factors
-
-
-def hierarchy_candidates(machine: MachineSpec) -> list[list[int]]:
-    """Factor vectors worth trying on this machine.
-
-    Always includes the flat ``{p}`` and the physical factorization; adds a
-    binary inter-node split when the node count is a power of two, and a
-    node-merged variant (whole nodes as leaves of the inter-node tree with a
-    single intra level) for machines with multi-level nodes.
-    """
-    p = machine.world_size
-    out: list[list[int]] = [[p]]
-    physical = machine.physical_factors()
-    if machine.nodes > 1:
-        out.append(physical)
-    else:
-        out.append([lvl.extent for lvl in machine.levels])
-    binary = _binary_split(machine.nodes)
-    if binary and machine.nodes > 2:
-        out.append(binary + [lvl.extent for lvl in machine.levels])
-    if len(machine.levels) > 1 and machine.nodes > 1:
-        # Collapse the intra-node levels into one (ignore die boundaries).
-        out.append([machine.nodes, machine.gpus_per_node])
-    seen: set[tuple[int, ...]] = set()
-    unique = []
-    for h in out:
-        key = tuple(h)
-        if key not in seen:
-            seen.add(key)
-            unique.append(h)
-    return unique
-
-
-def _libraries_for(machine: MachineSpec, hierarchy: list[int],
-                   inter: Library) -> list[Library]:
-    """Per-level libraries: IPC for levels provably inside a node."""
-    libs: list[Library] = []
-    block = machine.world_size
-    g = machine.gpus_per_node
-    for factor in hierarchy:
-        # Level i serves hops between sub-blocks of the current block.
-        libs.append(Library.IPC if block <= g and g % block == 0 else inter)
-        block //= factor
-    return libs
 
 
 def tune(
@@ -143,41 +93,47 @@ def tune(
     pipelines=(1, 4, 16, 32),
     include_ring: bool = True,
     dtype=np.float32,
+    search_libraries: bool = False,
+    strategy: str = "grid",
+    jobs: int = 1,
 ) -> TuneResult:
     """Search the optimization space for ``compose_fn``'s composition.
 
     ``compose_fn(comm)`` registers primitives on a fresh communicator; it is
-    invoked once per candidate (composition is cheap; synthesis dominates).
-    Invalid combinations (e.g. ring on a flat hierarchy) are skipped.
+    invoked once (composition is cheap; synthesis dominates) and the
+    resulting program is searched by the planner.  The default is the
+    historical behaviour — exhaustive pricing of the policy-library grid —
+    while ``search_libraries=True`` adds the per-level library dimension,
+    ``strategy="staged"`` switches to the pruned staged search, and ``jobs``
+    fans candidate evaluations out to worker processes.  Invalid
+    combinations (e.g. ring on a flat hierarchy) are skipped as before.
     """
-    if inter_library is None:
-        inter_library = DIRECT_LIBRARY.get(machine.name, Library.MPI)
-    if stripes is None:
-        stripes = sorted({1, machine.gpus_per_node})
-    candidates: list[Candidate] = []
-    for hierarchy in hierarchy_candidates(machine):
-        libs = _libraries_for(machine, hierarchy, inter_library)
-        rings = [1]
-        if include_ring and len(hierarchy) > 1 and hierarchy[0] == machine.nodes \
-                and machine.nodes > 1:
-            rings.append(machine.nodes)
-        for stripe, ring, pipeline in itertools.product(stripes, rings, pipelines):
-            comm = Communicator(machine, dtype=dtype, materialize=False)
-            compose_fn(comm)
-            try:
-                comm.init(hierarchy=hierarchy, library=libs, stripe=stripe,
-                          ring=ring, pipeline=pipeline)
-            except InitializationError:
-                continue
-            candidates.append(Candidate(
-                hierarchy=tuple(hierarchy),
-                libraries=tuple(libs),
-                stripe=stripe,
-                ring=ring,
-                pipeline=pipeline,
-                seconds=comm.run(),
-            ))
-    if not candidates:
-        raise InitializationError("no valid configuration found")
-    candidates.sort(key=lambda c: c.seconds)
-    return TuneResult(candidates)
+    from ..planner.search import search_program
+    from ..planner.space import SearchSpace
+    from .communicator import Communicator
+
+    comm = Communicator(machine, dtype=dtype, materialize=False)
+    compose_fn(comm)
+    space = SearchSpace.build(
+        machine,
+        inter_library=inter_library,
+        stripes=stripes,
+        pipelines=pipelines,
+        include_ring=include_ring,
+        search_libraries=search_libraries,
+    )
+    result = search_program(
+        comm.program, machine, dtype=dtype, space=space,
+        strategy=strategy, jobs=jobs,
+    )
+    return TuneResult([
+        Candidate(
+            hierarchy=e.candidate.hierarchy,
+            libraries=e.candidate.libraries,
+            stripe=e.candidate.stripe,
+            ring=e.candidate.ring,
+            pipeline=e.candidate.pipeline,
+            seconds=e.seconds,
+        )
+        for e in result.evaluated
+    ])

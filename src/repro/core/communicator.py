@@ -183,6 +183,49 @@ class Communicator:
                 self.schedule, self._timing, self.synthesis_seconds,
             ))
 
+    def init_tuned(
+        self,
+        *,
+        strategy: str = "staged",
+        space=None,
+        budget=None,
+        jobs: int = 1,
+        cache_dir=None,
+    ):
+        """Let the planner pick the optimization parameters, then ``init``.
+
+        Runs the staged search of :mod:`repro.planner` over the already
+        registered composition — unified candidate generation (including
+        per-level library choice), sound analytic pruning, and a bounded
+        number of full simulations — and initializes this communicator with
+        the winning plan.  ``space``/``budget`` accept a
+        :class:`~repro.planner.space.SearchSpace` /
+        :class:`~repro.planner.search.SearchBudget`; ``strategy="grid"``
+        forces the exhaustive legacy behaviour; ``jobs`` fans candidate
+        evaluations out to worker processes.
+
+        Payload truncation needs to *recompose* the program at a smaller
+        count, which an already-composed communicator cannot do, so the
+        halving rungs are replaced by the Equation 1-2 model ranking here;
+        use :func:`repro.planner.plan_collective` for the full staged
+        search over a named collective.  Returns the planner's
+        :class:`~repro.planner.search.PlanResult`.
+        """
+        from ..planner.search import search_program
+
+        if self.schedule is not None:
+            raise InitializationError("communicator already initialized")
+        if not self.program.primitives:
+            raise InitializationError(
+                "no primitives registered before init_tuned()"
+            )
+        result = search_program(
+            self.program, self.machine, dtype=self.dtype, space=space,
+            budget=budget, strategy=strategy, jobs=jobs, cache_dir=cache_dir,
+        )
+        self.init(**result.best.candidate.init_kwargs())
+        return result
+
     # ------------------------------------------------------------- execution
     def start(self) -> None:
         """Nonblocking start (Listing 2 line 21)."""

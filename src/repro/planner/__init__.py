@@ -1,0 +1,78 @@
+"""Planner subsystem: model-guided, parallel, workload-aware plan search.
+
+The paper leaves its five optimization parameters "part of the input"
+(Section 4.1).  This package selects them automatically, in three tiers:
+
+* :mod:`repro.planner.space` — unified candidate generation over hierarchy,
+  per-level libraries, striping, ring, and pipeline depth;
+* :mod:`repro.planner.search` — the staged search: sound analytic pruning
+  (:mod:`repro.planner.score`), successive halving at truncated payloads,
+  and parallel full-payload pricing of the few finalists, all memoized
+  through the plan cache;
+* :mod:`repro.planner.workload` — contended tuning: pick each process
+  group's plan by the shared-timeline workload makespan instead of its
+  isolated time.
+
+Entry points: :func:`plan_collective` for a named Table 2 collective,
+:func:`search_program` for an arbitrary composed program,
+:func:`plan_workload` for a built workload, and
+``Communicator.init_tuned`` for the persistent-communicator workflow.
+The ``repro tune`` CLI fronts all three.  See DESIGN.md Section 8 for the
+staged-search contract.
+"""
+
+from .score import (
+    TrafficSummary,
+    analyze_program,
+    estimate_seconds,
+    lower_bound_seconds,
+)
+from .search import (
+    CollectiveBuilder,
+    Evaluated,
+    PlanResult,
+    SearchBudget,
+    SearchStats,
+    plan_collective,
+    search_program,
+)
+from .space import (
+    PlanCandidate,
+    SearchSpace,
+    default_inter_libraries,
+    hierarchy_candidates,
+    library_vectors,
+    policy_libraries,
+)
+from .workload import (
+    GroupChoice,
+    WorkloadPlanResult,
+    WorkloadPlanStats,
+    group_shortlist,
+    plan_workload,
+)
+
+__all__ = [
+    "CollectiveBuilder",
+    "Evaluated",
+    "GroupChoice",
+    "PlanCandidate",
+    "PlanResult",
+    "SearchBudget",
+    "SearchSpace",
+    "SearchStats",
+    "TrafficSummary",
+    "WorkloadPlanResult",
+    "WorkloadPlanStats",
+    "analyze_program",
+    "default_inter_libraries",
+    "estimate_seconds",
+    "group_shortlist",
+    "hierarchy_candidates",
+    "library_vectors",
+    "lower_bound_seconds",
+    "plan_collective",
+    "plan_workload",
+    "policy_libraries",
+    "search_program",
+]

@@ -27,6 +27,7 @@ from .scenarios import (
     build_scenario,
     run_scenario,
     run_scenarios,
+    tune_scenario,
 )
 from .workload import JobReport, Workload, WorkloadResult
 
@@ -45,4 +46,5 @@ __all__ = [
     "run_scenario",
     "run_scenarios",
     "tensor_parallel_groups",
+    "tune_scenario",
 ]

@@ -326,6 +326,31 @@ def applicable_scenarios(machine: MachineSpec) -> list[str]:
     return [name for name, s in SCENARIOS.items() if s.supports(machine) is None]
 
 
+def tune_scenario(name: str, machine: MachineSpec,
+                  payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+                  *,
+                  pipelines=(1, 2, 4, 8),
+                  candidates_per_group: int = 4,
+                  rounds: int = 2):
+    """Workload-aware tuning of one named scenario's communicator groups.
+
+    Builds the scenario as committed (every group under its default
+    ``workload_config``), then hands the workload to
+    :func:`repro.planner.plan_workload`, which re-plans each group against
+    the *contended* shared-timeline makespan instead of its isolated time.
+    Returns the planner's
+    :class:`~repro.planner.workload.WorkloadPlanResult`, whose ``baseline``
+    field prices per-group isolated tuning for comparison.
+    """
+    from ..planner.workload import plan_workload
+
+    workload = build_scenario(name, machine, payload_bytes)
+    return plan_workload(
+        workload, pipelines=pipelines,
+        candidates_per_group=candidates_per_group, rounds=rounds,
+    )
+
+
 def run_scenarios(names, machine: MachineSpec,
                   payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
                   jobs: int = 1) -> list[WorkloadResult]:

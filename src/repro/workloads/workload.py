@@ -116,6 +116,34 @@ class Workload:
         """Registered job names, in timeline order."""
         return [name for _, name, _, _ in self._entries]
 
+    def entries(self) -> list[tuple[Communicator, str, float, tuple[int, ...]]]:
+        """Registered jobs as ``(comm, name, offset, deps)`` tuples.
+
+        Deps are entry indices (already resolved).  The list is a copy; the
+        workload planner reads it to discover tunable groups and to rebuild
+        variants via :meth:`with_communicators`.
+        """
+        return list(self._entries)
+
+    def with_communicators(self, comms) -> "Workload":
+        """A new workload with entry ``i`` driven by ``comms[i]``.
+
+        Names, offsets, and dependencies are preserved; ``comms`` must have
+        one initialized communicator per existing entry.  This is how the
+        workload planner prices alternative per-group plans on the same
+        timeline structure.
+        """
+        comms = list(comms)
+        if len(comms) != len(self._entries):
+            raise CompositionError(
+                f"with_communicators: expected {len(self._entries)} "
+                f"communicators, got {len(comms)}"
+            )
+        out = Workload(self.machine, self.name)
+        for comm, (_, name, offset, deps) in zip(comms, self._entries):
+            out.add(comm, name, offset=offset, after=deps)
+        return out
+
     def add(self, comm: Communicator, name: str | None = None,
             offset: float = 0.0, after=()) -> int:
         """Register one communicator's schedule as a job; returns its index.

@@ -1,0 +1,98 @@
+"""Bound soundness: the invariants the planner's pruning correctness rests on.
+
+Two claims, asserted for every Table 2 collective on both committed machine
+models (Perlmutter and Delta) across the planner's entire candidate space —
+every hierarchy, library vector, stripe, ring, and pipeline depth:
+
+1. simulated throughput never exceeds the Table 3 theoretical bound;
+2. the analytic pruning score (:func:`repro.planner.lower_bound_seconds`)
+   is a true lower bound on the simulated time.
+
+If either ever fails, the staged search could discard a candidate that would
+have won, so these tests are the planner's license to prune.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.communicator import Communicator
+from repro.core.composition import FIGURE8_ORDER, compose
+from repro.errors import HicclError
+from repro.machine.machines import by_name
+from repro.model.bounds import theoretical_bound
+from repro.planner import SearchSpace, analyze_program, lower_bound_seconds
+
+#: Total payload per collective (1 MiB per rank pair keeps this suite fast
+#: while staying far above the latency floor).
+PAYLOAD_BYTES = 1 << 22
+
+SYSTEMS = ("perlmutter", "delta")
+
+#: Relative slack for float accumulation; the invariants are strict.
+RTOL = 1e-9
+
+
+def _simulated(machine, program, candidate) -> float | None:
+    comm = Communicator(machine, materialize=False)
+    comm.program = program
+    try:
+        comm.init(**candidate.init_kwargs())
+    except HicclError:
+        return None
+    return comm.timing.elapsed
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("collective", FIGURE8_ORDER)
+def test_bounds_hold_across_the_whole_space(system, collective):
+    machine = by_name(system, nodes=2)
+    space = SearchSpace.build(machine, pipelines=(1, 8))
+    count = max(1, PAYLOAD_BYTES // (machine.world_size * 4))
+    payload = count * machine.world_size * 4
+    base = Communicator(machine, materialize=False)
+    compose(base, collective, count)
+    traffic = analyze_program(base.program, machine, 4)
+    bound = theoretical_bound(machine, collective)
+    checked = 0
+    for candidate in space.candidates():
+        seconds = _simulated(machine, base.program, candidate)
+        if seconds is None:
+            continue
+        checked += 1
+        throughput = payload / 1.0e9 / seconds
+        assert throughput <= bound * (1 + RTOL), (
+            f"{candidate.describe()} simulates {throughput:.2f} GB/s above "
+            f"the Table 3 bound {bound:.2f} GB/s"
+        )
+        score = lower_bound_seconds(
+            traffic, machine, candidate,
+            collective=collective, payload_bytes=payload,
+        )
+        assert score <= seconds * (1 + RTOL), (
+            f"{candidate.describe()}: pruning score {score * 1e3:.4f} ms "
+            f"exceeds simulated {seconds * 1e3:.4f} ms — pruning would be "
+            "unsound"
+        )
+    # The space must have been meaningfully exercised.
+    assert checked >= 20
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_score_is_positive_and_candidate_sensitive(system):
+    """Deeper pipelines can only raise the analytic floor, never lower it
+    below the bandwidth term, and the score is strictly positive."""
+    machine = by_name(system, nodes=2)
+    space = SearchSpace.build(machine, pipelines=(1, 32))
+    count = max(1, PAYLOAD_BYTES // (machine.world_size * 4))
+    base = Communicator(machine, materialize=False)
+    compose(base, "broadcast", count)
+    traffic = analyze_program(base.program, machine, 4)
+    by_key = {c.sort_key(): c for c in space.candidates()}
+    for candidate in by_key.values():
+        score = lower_bound_seconds(traffic, machine, candidate)
+        assert score > 0
+        shallow_key = candidate.sort_key()[:-1] + (1,)
+        shallow = by_key.get(shallow_key)
+        if shallow is not None and candidate.pipeline > 1:
+            assert score >= lower_bound_seconds(traffic, machine, shallow)

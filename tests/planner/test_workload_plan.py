@@ -1,0 +1,108 @@
+"""Workload-aware planning tests: contended tuning of communicator groups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CompositionError
+from repro.machine.machines import by_name
+from repro.planner import group_shortlist, plan_workload
+from repro.planner.space import PlanCandidate, policy_libraries
+from repro.workloads.scenarios import build_scenario, tune_scenario
+from repro.workloads.workload import Workload
+
+PAYLOAD = 1 << 21  # 2 MiB keeps the descent quick
+
+
+def small_workload(system="delta", name="contention_mix"):
+    return build_scenario(name, by_name(system, nodes=2), PAYLOAD)
+
+
+class TestWorkloadAccessors:
+    def test_entries_round_trip(self):
+        wl = small_workload()
+        entries = wl.entries()
+        assert [e[1] for e in entries] == wl.job_names
+        rebuilt = wl.with_communicators([e[0] for e in entries])
+        assert rebuilt.job_names == wl.job_names
+        assert rebuilt.run().makespan == pytest.approx(wl.run().makespan)
+
+    def test_with_communicators_checks_length(self):
+        wl = small_workload()
+        with pytest.raises(CompositionError, match="expected"):
+            wl.with_communicators([])
+
+
+class TestGroupShortlist:
+    def test_contains_policy_and_current(self):
+        wl = small_workload()
+        comm = wl.entries()[0][0]
+        shortlist = group_shortlist(comm, pipelines=(1, 4), limit=3)
+        assert len(shortlist) >= 2
+        machine = comm.machine
+        assert any(
+            c.libraries == policy_libraries(machine, c.hierarchy,
+                                            c.libraries[0])
+            for c in shortlist
+        )
+        current = PlanCandidate(
+            hierarchy=tuple(comm.plan.topology.factors),
+            libraries=tuple(comm.plan.libraries),
+            stripe=comm.plan.stripe,
+            ring=comm.plan.ring,
+            pipeline=comm.plan.pipeline,
+        )
+        assert current in shortlist
+
+
+class TestPlanWorkload:
+    def test_never_worse_than_isolated_tuning(self):
+        result = plan_workload(small_workload(), pipelines=(1, 4),
+                               candidates_per_group=3, rounds=1)
+        assert result.tuned.makespan <= result.baseline.makespan
+        assert result.improvement >= 1.0
+        assert result.stats.groups == 2  # broadcast plan + all-reduce plan
+        assert result.stats.workload_sims >= result.stats.groups
+
+    def test_choices_cover_every_job(self):
+        wl = small_workload()
+        result = plan_workload(wl, pipelines=(1, 4),
+                               candidates_per_group=2, rounds=1)
+        covered = [job for choice in result.choices for job in choice.jobs]
+        assert sorted(covered) == sorted(wl.job_names)
+        for choice in result.choices:
+            assert choice.chosen in choice.shortlist
+            assert choice.isolated_best in choice.shortlist
+
+    def test_deterministic(self):
+        a = plan_workload(small_workload(), pipelines=(1, 4),
+                          candidates_per_group=3, rounds=1)
+        b = plan_workload(small_workload(), pipelines=(1, 4),
+                          candidates_per_group=3, rounds=1)
+        assert a.tuned.makespan == b.tuned.makespan
+        assert [c.chosen for c in a.choices] == [c.chosen for c in b.choices]
+
+    def test_render_reports_comparison(self):
+        result = plan_workload(small_workload(), pipelines=(1, 4),
+                               candidates_per_group=2, rounds=1)
+        text = result.render()
+        assert "isolated-tuned makespan" in text
+        assert "contended-tuned" in text
+        assert "workload simulations" in text
+
+    def test_empty_workload_rejected(self):
+        wl = Workload(by_name("delta", nodes=2), "empty")
+        with pytest.raises(CompositionError, match="no jobs"):
+            plan_workload(wl)
+
+
+class TestTuneScenario:
+    def test_wires_scenario_into_planner(self):
+        result = tune_scenario(
+            "disjoint_halves", by_name("perlmutter", nodes=2), PAYLOAD,
+            pipelines=(1, 4), candidates_per_group=2, rounds=1,
+        )
+        assert result.name == "disjoint_halves"
+        assert result.tuned.makespan <= result.baseline.makespan
+        # Disjoint halves share nothing: contention cannot change the choice.
+        assert result.improvement == pytest.approx(1.0)

@@ -56,11 +56,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mpi" in out and "hiccl" in out and "bounds:" in out
 
-    def test_tune(self, capsys):
+    def test_tune_staged(self, capsys):
         rc = main(["tune", "broadcast", "--system", "perlmutter",
-                   "--nodes", "2", "--payload", "8M", "--top", "3"])
+                   "--nodes", "2", "--payload", "8M", "--top", "3",
+                   "--pipelines", "1,8"])
         assert rc == 0
-        assert "configurations evaluated" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "planning broadcast" in out and "strategy: staged" in out
+        assert "pruned analytically" in out
+        assert "full-payload evals" in out
+
+    def test_tune_grid_strategy(self, capsys):
+        rc = main(["tune", "broadcast", "--system", "perlmutter",
+                   "--nodes", "2", "--payload", "4M", "--strategy", "grid",
+                   "--pipelines", "1,4", "--no-library-search"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "strategy: grid" in out and "best:" in out
+
+    def test_tune_budget_caps_full_evals(self, capsys):
+        rc = main(["tune", "broadcast", "--system", "perlmutter",
+                   "--nodes", "2", "--payload", "4M", "--budget", "3",
+                   "--pipelines", "1,8"])
+        assert rc == 0
+        assert "3 full-payload evals" in capsys.readouterr().out
+
+    def test_tune_workload_rejects_collective_flags(self, capsys):
+        rc = main(["tune", "disjoint_halves", "--workload",
+                   "--system", "perlmutter", "--nodes", "2",
+                   "--jobs", "4", "--strategy", "grid"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "--jobs" in out and "--strategy" in out
+        assert "not applicable with --workload" in out
+
+    def test_tune_rounds_requires_workload(self, capsys):
+        rc = main(["tune", "broadcast", "--system", "perlmutter",
+                   "--nodes", "2", "--rounds", "3"])
+        assert rc == 2
+        assert "--rounds only applies" in capsys.readouterr().out
+
+    def test_tune_workload_mode(self, capsys):
+        rc = main(["tune", "disjoint_halves", "--workload",
+                   "--system", "perlmutter", "--nodes", "2",
+                   "--payload", "2M", "--rounds", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "workload-aware tuning" in out
+        assert "isolated-tuned makespan" in out and "contended-tuned" in out
 
     def test_bounds(self, capsys):
         rc = main(["bounds", "--system", "aurora"])

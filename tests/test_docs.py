@@ -86,3 +86,19 @@ def test_readme_workload_quickstart_runs():
     result = namespace["result"]
     assert result.makespan > 0
     assert result.worst_slowdown >= 1.0
+
+
+def test_readme_planner_quickstart_runs():
+    """The README "Tuning the optimization parameters" snippet executes."""
+    readme = CHECKER.parent.parent / "README.md"
+    section = readme.read_text().split(
+        "## Tuning the optimization parameters")[1]
+    section = section.split("\n## ")[0]
+    blocks = re.findall(r"```python\n(.*?)```", section, re.S)
+    assert blocks, "planner python block missing"
+    namespace: dict = {}
+    exec(compile(blocks[0], str(readme), "exec"), namespace)  # noqa: S102
+    plan = namespace["plan"]
+    assert plan.best.seconds > 0
+    assert namespace["elapsed"] == plan.best.seconds
+    assert plan.stats.full_evals * 3 <= plan.stats.grid_size

@@ -62,6 +62,11 @@ MODULES = [
     "repro.workloads.groups",
     "repro.workloads.scenarios",
     "repro.workloads.workload",
+    "repro.planner",
+    "repro.planner.space",
+    "repro.planner.score",
+    "repro.planner.search",
+    "repro.planner.workload",
 ]
 
 

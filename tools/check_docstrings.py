@@ -1,10 +1,10 @@
 #!/usr/bin/env python
-"""Docstring coverage checker for the workload and simulator layers.
+"""Docstring coverage checker for the workload/simulator/planner/model layers.
 
 Every *public* module, class, function, and method under the checked
-directories must carry a docstring — these layers define the workload
-contract documented in DESIGN.md, and an undocumented public name is a
-contract hole.  Public means: not prefixed with ``_``, not a dunder, and not
+directories must carry a docstring — these layers define the workload and
+planner contracts documented in DESIGN.md, and an undocumented public name
+is a contract hole.  Public means: not prefixed with ``_``, not a dunder, and not
 nested inside a private class.  Wired into ``tools/smoke.sh``, the CI
 workflow, and ``tests/test_docs.py``.
 
@@ -24,6 +24,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 CHECKED_DIRS = (
     "src/repro/workloads",
     "src/repro/simulator",
+    "src/repro/planner",
+    "src/repro/model",
 )
 
 _DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)

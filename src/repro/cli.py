@@ -12,6 +12,7 @@ Entry point: ``python -m repro <command>``::
     python -m repro bench --system perlmutter --jobs 4  # parallel Fig 8 grid
     python -m repro workloads --list                # ML traffic scenarios
     python -m repro workloads fsdp_step --system perlmutter --payload 64M
+    python -m repro lower all_reduce --system perlmutter --dump  # pass summary
     python -m repro cache                           # plan-cache statistics
 
 Outputs are plain text; the heavy lifting lives in the library so every
@@ -222,14 +223,16 @@ def cmd_cache(args) -> int:
     cache = get_cache()
     print(f"plan cache (schema v{SCHEMA_VERSION})")
     print(f"  in-process: {len(cache)} plan(s), capacity {cache.capacity}, "
-          f"{cache.total_ops()} lowered op(s) held "
-          f"(budget {cache.max_total_ops})")
+          f"{cache.total_bytes() / 1e6:.2f} MB of plan arrays held "
+          f"(budget {cache.max_total_bytes / 1e6:.0f} MB)")
     print(f"  stats: {cache.stats.render()}")
     # Inspect the persistent layer even when this process has it disabled.
     state = "active" if cache.disk_dir is not None else "inactive; set REPRO_PLAN_CACHE=disk"
     disk = cache if cache.disk_dir is not None else PlanCache(
         disk_dir=default_disk_dir())
-    entries = sorted(disk.disk_dir.glob("v*-*.pkl")) if disk.disk_dir.exists() else []
+    entries = (sorted(disk.disk_dir.glob("v*-*.npz"))
+               + sorted(disk.disk_dir.glob("v*-*.pkl"))
+               if disk.disk_dir.exists() else [])
     total = sum(p.stat().st_size for p in entries)
     print(f"  disk layer ({state}): {disk.disk_dir}")
     print(f"    {len(entries)} persisted plan(s), {total / 1e6:.2f} MB")
@@ -258,6 +261,51 @@ def cmd_workloads(args) -> int:
         machine, _parse_size(args.payload), names=names, jobs=args.jobs
     )
     print(render_workloads(machine, results))
+    return 0
+
+
+def cmd_lower(args) -> int:
+    """Lower one collective through the pass pipeline and summarize it."""
+    from .bench.configs import best_config
+    from .bench.runner import payload_count
+    from .core.communicator import Communicator
+    from .core.composition import compose
+    from .core.passes import PassPipeline
+    from .core.plan import OptimizationPlan
+
+    machine = _machine(args)
+    count = payload_count(machine, _parse_size(args.payload))
+    comm = Communicator(machine, materialize=False)
+    compose(comm, args.collective, count)
+    cfg = best_config(machine, args.collective)
+    if args.pipeline:
+        cfg = cfg.with_pipeline(args.pipeline)
+    kw = cfg.init_kwargs()
+    plan = OptimizationPlan.create(
+        machine, kw["hierarchy"], kw["library"],
+        stripe=kw["stripe"], ring=kw["ring"], pipeline=kw["pipeline"],
+    )
+    pipeline = PassPipeline(plan, fuse=args.fuse, dce=args.dce)
+    lowered = pipeline.run(comm.program)
+    sched = lowered.schedule
+    print(f"lowering {args.collective} on {machine.describe()}")
+    print(f"  config: {cfg.name} hierarchy={list(cfg.hierarchy)} "
+          f"stripe({cfg.stripe}) ring({cfg.ring}) pipeline({cfg.pipeline})")
+    if args.dump:
+        print("per-pass summary:")
+        print(lowered.render())
+    kinds = sched.op_kind_counts(machine)
+    kind_text = "  ".join(f"{k}={v}" for k, v in kinds.items())
+    level_text = "  ".join(
+        f"lvl{lvl if lvl >= 0 else '(copy)'}={vol}"
+        for lvl, vol in sorted(sched.volume_by_level().items())
+    )
+    print(f"schedule: {len(sched)} ops in {sched.num_channels} channel(s), "
+          f"{sched.stage_count()} stage(s)")
+    print(f"  ops by kind: {kind_text}")
+    print(f"  elements by level: {level_text}")
+    print(f"  scratch high-water: {sched.max_scratch_elements()} elements/rank")
+    print(f"  array footprint: {sched.nbytes() / 1e6:.2f} MB")
     return 0
 
 
@@ -381,6 +429,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clear", action="store_true",
                    help="also delete the persisted plans on disk")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "lower",
+        help="run the pass pipeline over one collective; summarize the IR")
+    common(p)
+    p.add_argument("--pipeline", type=int, default=0)
+    p.add_argument("--dump", action="store_true",
+                   help="print the per-pass schedule summary")
+    p.add_argument("--fuse", action="store_true",
+                   help="enable the contiguous-send fusion pass")
+    p.add_argument("--dce", action="store_true",
+                   help="enable the dead-copy elimination pass")
+    p.set_defaults(fn=cmd_lower)
 
     p = sub.add_parser("gantt", help="ASCII pipeline timeline (Figure 7)")
     common(p)

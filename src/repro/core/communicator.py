@@ -129,13 +129,16 @@ class Communicator:
         stripe: int = 1,
         pipeline: int = 1,
         use_cache: bool = True,
+        optimize: tuple = (),
     ) -> None:
         """Synthesize the optimized schedule (Listing 2 line 19).
 
         Parameters mirror the paper: ``hierarchy`` is the integer factor
         vector, ``library`` the per-level backend vector, ``stripe`` the
         NIC striping factor, ``ring`` the conceptual ring node count (1 =
-        tree only), ``pipeline`` the pipeline depth ``m``.
+        tree only), ``pipeline`` the pipeline depth ``m``.  ``optimize``
+        names optional post-bind passes (``"fuse"``, ``"dce"`` — see
+        :mod:`repro.core.passes.opt`); they alter pricing and default off.
 
         The synthesized schedule and its priced timing are memoized in the
         process-wide plan cache (:mod:`repro.core.plancache`): a later
@@ -153,6 +156,7 @@ class Communicator:
             self.machine, hierarchy, library,
             stripe=stripe, ring=ring, pipeline=pipeline,
         )
+        self._optimize = tuple(optimize)
         self.cache_hit = False
         cache = plancache.get_cache() if use_cache else None
         key = None
@@ -163,6 +167,7 @@ class Communicator:
                 stripe=self.plan.stripe, ring=self.plan.ring,
                 pipeline=self.plan.pipeline,
                 elem_bytes=self.dtype.itemsize, dtype_name=self.dtype.name,
+                extra=(("optimize", self._optimize),) if self._optimize else (),
             )
             cached = cache.get(key)
             if cached is not None:
@@ -171,7 +176,8 @@ class Communicator:
                 self.cache_hit = True
                 self.synthesis_seconds = time.perf_counter() - t0
                 return
-        self.schedule = lower_program(self.program, self.plan)
+        self.schedule = lower_program(self.program, self.plan,
+                                      optimize=self._optimize)
         # Price the schedule once; the persistent design (Section 5.2) reuses
         # the memoized movement and timing on every subsequent start().
         self._timing = simulate(
@@ -414,6 +420,7 @@ class SubCommunicator(Communicator):
         stripe: int = 1,
         pipeline: int = 1,
         use_cache: bool = True,
+        optimize: tuple = (),
     ) -> None:
         """Synthesize in group space, then embed and price on the parent.
 
@@ -422,7 +429,8 @@ class SubCommunicator(Communicator):
         ``stripe`` is bounded by the group's per-node GPU count).
         """
         super().init(hierarchy, library, ring=ring, stripe=stripe,
-                     pipeline=pipeline, use_cache=use_cache)
+                     pipeline=pipeline, use_cache=use_cache,
+                     optimize=optimize)
         t0 = time.perf_counter()
         cache = plancache.get_cache() if use_cache else None
         key = None
@@ -436,7 +444,7 @@ class SubCommunicator(Communicator):
                 extra=(
                     ("group", plancache.machine_fingerprint(self.parent),
                      self.global_ranks),
-                ),
+                ) + ((("optimize", self._optimize),) if self._optimize else ()),
             )
             cached = cache.get(key)
             if cached is not None:

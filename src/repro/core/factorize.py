@@ -1,424 +1,56 @@
-"""Lowering: primitives -> point-to-point dependency graph (Section 4).
+"""Lowering entry point: primitives -> point-to-point dependency graph.
 
-HiCCL "factorizes each primitive with 1) striping, 2) ring, and 3) tree (in
-this order) — down to a dependency graph composed of multiple point-to-point
-communication stages" (Section 4.4).  This module implements that pipeline:
+Historically this module held the whole recursive lowering in one
+monolithic class.  The synthesis path now lives in the explicit pass
+pipeline of :mod:`repro.core.passes` (logic expansion -> hierarchy ->
+pipelining -> striping -> ring/tree -> channel binding); this module keeps
+the stable public surface:
 
-**Pipelining** (Section 4.5) — the outermost loop.  The payload of every
-primitive is partitioned into ``m`` channel slices; each channel is lowered
-independently on its slice, so channels share no dependencies and the event
-engine overlaps their stages exactly as Figure 7 shows (warm-up, fully
-overlapped middle, wind-down).
-
-**Striping** (Section 4.3) — a primitive rooted at rank ``r`` is split into
-``s`` branches.  For a multicast, the root first scatters chunk ``q`` to its
-node peer ``r_q`` (the solid golden stage-0 hops of Figure 6); each branch
-then multicasts its chunk to *all* the original leaves.  For a reduction the
-pattern mirrors: branch ``q`` reduces chunk ``q`` of every leaf into node
-peer ``r_q``, which finally forwards the finished chunk to the root
-(intra-node assembly).  Striping is what forms the multi-rail pattern that
-engages every NIC of the root's node.
-
-**Ring** (Section 4.4) — with ``ring(n)``, inter-node traffic forms a chain
-across the ``n`` top-level groups; intra-group distribution still uses a
-tree (the hybrid ring+tree of Figure 6b).
-
-**Tree** (Section 4.2) — recursive factorization over the virtual hierarchy.
-At each level the leaf set is partitioned into blocks (pruning empty ones);
-one *representative* per block receives the data and recurses.  The
-representative is chosen **position-matched**: the rank occupying the same
-offset within its block as the sender does in its own block, so parallel
-branches travel over distinct GPUs and therefore distinct NICs (Section 2.3).
-If the position-matched rank is not itself a leaf, the hop stages through its
-scratch memory and forwards within the block — this is what spreads the
-root-node traffic of Gather/Scatter-style single-leaf primitives across all
-NICs of the dense side's node.
+* :func:`lower_program` — the one-call lowering used by
+  :class:`~repro.core.communicator.Communicator`;
+* :func:`split_even` — the payload chunking helper (canonical home:
+  :mod:`repro.core.passes.pipelining`);
+* :class:`Accumulator` — the reduction-serialization helper (canonical
+  home: :mod:`repro.core.passes.ringtree`);
+* :class:`Lowering` — a thin inspection facade over the pipeline's shared
+  geometry (stripe peers, position matching, effective stripe), kept for
+  white-box tests and interactive debugging.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from ..errors import InitializationError
-from .buffers import BufferView
-from .ops import ReduceOp
+from .passes import lower_program, split_even  # noqa: F401  (re-exports)
+from .passes.lir import LoweringState
+from .passes.ringtree import Accumulator  # noqa: F401  (re-export)
 from .plan import OptimizationPlan
-from .primitives import Multicast, Program, Reduction
-from .schedule import Schedule, ScheduleBuilder
-
-Loc = tuple[str, int]
-
-
-def split_even(count: int, parts: int) -> list[tuple[int, int]]:
-    """Split ``count`` into up to ``parts`` contiguous (offset, size) chunks.
-
-    Sizes differ by at most one; empty chunks are dropped, so fewer than
-    ``parts`` chunks are returned when ``count < parts``.
-    """
-    parts = max(1, parts)
-    base, extra = divmod(count, parts)
-    chunks: list[tuple[int, int]] = []
-    off = 0
-    for q in range(parts):
-        size = base + (1 if q < extra else 0)
-        if size > 0:
-            chunks.append((off, size))
-        off += size
-    return chunks
-
-
-@dataclass
-class Accumulator:
-    """Serialized reduction target at one rank (threads WAW ordering).
-
-    Contributions arrive via :meth:`contribute_local` / :meth:`contribute_remote`;
-    the first contribution is a plain write (initialization), later ones apply
-    the reduction operator with an explicit dependency on the previous writer,
-    keeping the functional result deterministic.
-    """
-
-    rank: int
-    loc: Loc
-    count: int
-    op: ReduceOp
-    initialized: bool = False
-    last_uid: int | None = None
-    deps_if_first: tuple[int, ...] = ()
-
-    def _deps(self, deps: tuple[int, ...]) -> tuple[int, ...]:
-        chained = set(deps)
-        if self.last_uid is not None:
-            chained.add(self.last_uid)
-        if not self.initialized:
-            chained.update(self.deps_if_first)
-        return tuple(sorted(chained))
-
-    def contribute_local(self, b: ScheduleBuilder, src_loc: Loc, *, deps=(),
-                         channel=0, stage=0, tag="red-local") -> None:
-        if not self.initialized and src_loc == self.loc:
-            # In-place: the accumulator region already holds this contribution.
-            self.initialized = True
-            return
-        uid = b.copy(
-            self.rank, src_loc, self.loc, self.count,
-            reduce_op=self.op if self.initialized else None,
-            deps=self._deps(tuple(deps)), channel=channel, stage=stage, tag=tag,
-        )
-        self.initialized = True
-        self.last_uid = uid
-
-    def contribute_remote(self, b: ScheduleBuilder, src_rank: int, src_loc: Loc,
-                          *, level: int, deps=(), channel=0, stage=0,
-                          tag="red-hop") -> None:
-        uid = b.send(
-            src_rank, self.rank, src_loc, self.loc, self.count,
-            reduce_op=self.op if self.initialized else None,
-            level=level, deps=self._deps(tuple(deps)),
-            channel=channel, stage=stage, tag=tag,
-        )
-        self.initialized = True
-        self.last_uid = uid
-
-    def final_deps(self) -> tuple[int, ...]:
-        return (self.last_uid,) if self.last_uid is not None else ()
+from .primitives import Program
+from .schedule import Schedule
 
 
 class Lowering:
-    """Lowers a :class:`~repro.core.primitives.Program` under a plan."""
+    """Inspection facade over the pass pipeline's lowering geometry.
+
+    Exposes the striping/position-matching arithmetic the structural passes
+    share, plus a :meth:`lower` convenience that runs the full pipeline.
+    """
 
     def __init__(self, plan: OptimizationPlan) -> None:
+        """Bind a plan (machine, topology, optimization parameters)."""
         self.plan = plan
         self.topo = plan.topology
         self.machine = plan.machine
-        self.builder = ScheduleBuilder(plan.machine.world_size)
+        self._state = LoweringState(Program(plan.machine.world_size), plan)
 
-    # ------------------------------------------------------------------ main
     def lower(self, program: Program) -> Schedule:
-        if program.world_size != self.machine.world_size:
-            raise InitializationError(
-                f"program composed for {program.world_size} ranks but machine "
-                f"{self.machine.name} has {self.machine.world_size}"
-            )
-        m = self.plan.pipeline
-        self.builder.set_num_channels(m)
-        for channel in range(m):
-            for step in program.steps:
-                emitted = False
-                for prim in step:
-                    chunks = split_even(prim.count, m)
-                    if channel < len(chunks):
-                        off, cnt = chunks[channel]
-                        sliced = prim.sliced(off, cnt)
-                        if isinstance(sliced, Multicast):
-                            self._multicast(sliced, channel)
-                        else:
-                            self._reduction(sliced, channel)
-                        emitted = True
-                if emitted:
-                    self.builder.end_step()
-        return self.builder.build()
+        """Run the full pass pipeline over ``program``."""
+        return lower_program(program, self.plan)
 
-    # -------------------------------------------------------------- helpers
+    # ------------------------------------------------------ shared geometry
     def _stripe_peers(self, root: int, s: int) -> list[int]:
-        """Branch roots for striping: the root plus ``s-1`` node peers.
-
-        Rotation keeps chunk 0 at the root and assigns consecutive chunks to
-        consecutive local GPU indices, which map to distinct NICs under all
-        binding policies.
-        """
-        g = self.machine.gpus_per_node
-        node_start = self.machine.node_of(root) * g
-        local = self.machine.local_index(root)
-        return [node_start + (local + q) % g for q in range(s)]
+        return self._state.stripe_peers(root, s)
 
     def _position_match(self, sender: int, block: int, depth: int) -> int:
-        """Rank in ``block`` at the same within-block offset as ``sender``."""
-        sender_block = self.topo.block_of(sender, depth)
-        offset = sender - self.topo.block_ranks(sender_block, depth).start
-        return self.topo.block_ranks(block, depth).start + offset
+        return self._state.position_match(sender, block, depth)
 
     def _effective_stripe(self, count: int) -> int:
-        return max(1, min(self.plan.stripe, self.machine.gpus_per_node, count))
-
-    # ------------------------------------------------------------- multicast
-    def _multicast(self, mc: Multicast, channel: int) -> None:
-        if mc.count == 0:
-            return
-        b = self.builder
-        s = self._effective_stripe(mc.count)
-        chunks = split_even(mc.count, s)
-        peers = self._stripe_peers(mc.root, len(chunks))
-        stage_base = 1 if len(chunks) > 1 else 0
-        for q, (off, cnt) in enumerate(chunks):
-            send = mc.sendbuf.shifted(off)
-            recv = mc.recvbuf.shifted(off)
-            branch_root = peers[q]
-            if branch_root == mc.root:
-                holder: Loc = send.loc()
-                deps: tuple[int, ...] = ()
-                if mc.root in mc.leaves and send.loc() != recv.loc():
-                    # Place the root's own copy (the solid self-edge of Fig 4);
-                    # done once here, outside the recursion.
-                    b.copy(mc.root, send.loc(), recv.loc(), cnt,
-                           channel=channel, stage=stage_base, tag="mc-place")
-            else:
-                if branch_root in mc.leaves:
-                    target: Loc = recv.loc()
-                else:
-                    target = b.alloc_scratch(branch_root, cnt, hint="stripe")
-                uid = b.send(
-                    mc.root, branch_root, send.loc(), target, cnt,
-                    level=self.topo.separating_depth(mc.root, branch_root) - 1,
-                    channel=channel, stage=0, tag="stripe-scatter",
-                )
-                holder = target
-                deps = (uid,)
-            self._mc_spread(
-                branch_root, holder, list(mc.leaves), recv, cnt,
-                deps=deps, channel=channel, stage_base=stage_base,
-            )
-
-    def _mc_spread(self, root: int, holder: Loc, leaves: list[int],
-                   recv: BufferView, count: int, *, deps, channel, stage_base) -> None:
-        """Distribute from ``root`` to ``leaves``: ring at the top, then tree."""
-        if self.plan.uses_ring:
-            self._mc_ring(root, holder, leaves, recv, count,
-                          deps=deps, channel=channel, stage_base=stage_base)
-        else:
-            self._mc_tree(root, holder, leaves, recv, count, depth=0,
-                          deps=deps, channel=channel, stage_base=stage_base,
-                          stage_override=None)
-
-    def _mc_ring(self, root: int, holder: Loc, leaves: list[int],
-                 recv: BufferView, count: int, *, deps, channel, stage_base) -> None:
-        topo = self.topo
-        n = topo.factors[0]
-        groups = topo.partition_leaves(leaves, 1)
-        root_block = topo.block_of(root, 1)
-        chain = [blk for blk in ((root_block + t) % n for t in range(1, n)) if blk in groups]
-        intra_stage = stage_base + len(chain)
-        # Root's own group assembles concurrently with the chain.
-        if root_block in groups:
-            self._mc_tree(root, holder, groups[root_block], recv, count, depth=1,
-                          deps=deps, channel=channel, stage_base=stage_base,
-                          stage_override=intra_stage)
-        prev_rank, prev_loc, prev_deps = root, holder, deps
-        for idx, blk in enumerate(chain):
-            blk_leaves = groups[blk]
-            rep = self._position_match(prev_rank, blk, 1)
-            if rep in blk_leaves:
-                target = recv.loc()
-            else:
-                # Stage through the position-matched rank's scratch so the
-                # chain stays NIC-aligned even for sparse leaf sets.
-                target = self.builder.alloc_scratch(rep, count, hint="ring")
-            uid = self.builder.send(
-                prev_rank, rep, prev_loc, target, count,
-                level=0, channel=channel, stage=stage_base + idx,
-                deps=prev_deps, tag="mc-ring",
-            )
-            self._mc_tree(rep, target, blk_leaves, recv, count, depth=1,
-                          deps=(uid,), channel=channel, stage_base=stage_base,
-                          stage_override=intra_stage)
-            prev_rank, prev_loc, prev_deps = rep, target, (uid,)
-
-    def _mc_tree(self, root: int, holder: Loc, leaves: list[int],
-                 recv: BufferView, count: int, *, depth: int, deps, channel,
-                 stage_base: int, stage_override: int | None) -> None:
-        """Recursive tree multicast within ``root``'s depth-block.
-
-        The root's own placement copy (when the root is a leaf but holds the
-        payload in its send buffer) is emitted once by ``_multicast``; here a
-        root always either already holds the data in its recv region or is a
-        pure forwarder staging through scratch.
-        """
-        topo = self.topo
-        b = self.builder
-        if depth >= topo.depth:
-            return
-        groups = topo.partition_leaves(leaves, depth + 1)
-        root_block = topo.block_of(root, depth + 1)
-        hop_stage = stage_override if stage_override is not None else stage_base + depth
-        if root_block in groups:
-            self._mc_tree(root, holder, groups[root_block], recv, count,
-                          depth=depth + 1, deps=deps, channel=channel,
-                          stage_base=stage_base, stage_override=stage_override)
-        for blk in sorted(groups):
-            if blk == root_block:
-                continue
-            blk_leaves = groups[blk]
-            natural = self._position_match(root, blk, depth + 1)
-            if natural in blk_leaves:
-                rep, target = natural, recv.loc()
-            else:
-                rep = natural
-                target = b.alloc_scratch(rep, count, hint="mc")
-            uid = b.send(root, rep, holder, target, count,
-                         level=depth, channel=channel, stage=hop_stage,
-                         deps=deps, tag="mc-hop")
-            self._mc_tree(rep, target, blk_leaves, recv, count,
-                          depth=depth + 1, deps=(uid,), channel=channel,
-                          stage_base=stage_base, stage_override=stage_override)
-
-    # ------------------------------------------------------------- reduction
-    def _reduction(self, rd: Reduction, channel: int) -> None:
-        if rd.count == 0:
-            return
-        b = self.builder
-        s = self._effective_stripe(rd.count)
-        chunks = split_even(rd.count, s)
-        peers = self._stripe_peers(rd.root, len(chunks))
-        assembly_stage = self.topo.depth + (self.topo.factors[0] if self.plan.uses_ring else 0) + 1
-        for q, (off, cnt) in enumerate(chunks):
-            send = rd.sendbuf.shifted(off)
-            recv = rd.recvbuf.shifted(off)
-            branch_root = peers[q]
-            if branch_root == rd.root:
-                acc = Accumulator(rd.root, recv.loc(), cnt, rd.op)
-            else:
-                acc = Accumulator(
-                    branch_root,
-                    b.alloc_scratch(branch_root, cnt, hint="stripe"),
-                    cnt, rd.op,
-                )
-            self._red_gather(acc, list(rd.leaves), send, cnt, channel=channel)
-            if branch_root != rd.root:
-                b.send(
-                    branch_root, rd.root, acc.loc, recv.loc(), cnt,
-                    level=self.topo.separating_depth(branch_root, rd.root) - 1,
-                    deps=acc.final_deps(), channel=channel,
-                    stage=assembly_stage, tag="stripe-gather",
-                )
-
-    def _red_gather(self, acc: Accumulator, leaves: list[int],
-                    send: BufferView, count: int, *, channel: int) -> None:
-        if self.plan.uses_ring:
-            self._red_ring(acc, leaves, send, count, channel=channel)
-        else:
-            self._red_tree(acc, leaves, send, count, depth=0, channel=channel)
-
-    def _red_ring(self, acc: Accumulator, leaves: list[int],
-                  send: BufferView, count: int, *, channel: int) -> None:
-        """Chain reduction across top-level groups, ending at the accumulator."""
-        topo = self.topo
-        b = self.builder
-        n = topo.factors[0]
-        groups = topo.partition_leaves(leaves, 1)
-        root_block = topo.block_of(acc.rank, 1)
-        # Farthest group first; partials flow toward the root's group.
-        chain = [blk for blk in ((root_block + t) % n for t in range(n - 1, 0, -1))
-                 if blk in groups]
-        prev: tuple[int, Loc, tuple[int, ...]] | None = None
-        for idx, blk in enumerate(chain):
-            blk_leaves = groups[blk]
-            uploader = self._position_match(acc.rank, blk, 1)
-            if blk_leaves == [uploader] and prev is None:
-                # Single leaf, nothing incoming: its send region is the partial.
-                prev = (uploader, send.loc(), ())
-                continue
-            blk_acc = Accumulator(
-                uploader, b.alloc_scratch(uploader, count, hint="ringred"),
-                count, acc.op,
-            )
-            self._red_tree(blk_acc, blk_leaves, send, count, depth=1,
-                           channel=channel)
-            if prev is not None:
-                prev_rank, prev_loc, prev_deps = prev
-                blk_acc.contribute_remote(
-                    b, prev_rank, prev_loc, level=0, deps=prev_deps,
-                    channel=channel, stage=topo.depth + idx, tag="red-ring",
-                )
-            prev = (uploader, blk_acc.loc, blk_acc.final_deps())
-        if root_block in groups:
-            self._red_tree(acc, groups[root_block], send, count, depth=1,
-                           channel=channel)
-        if prev is not None:
-            prev_rank, prev_loc, prev_deps = prev
-            acc.contribute_remote(
-                b, prev_rank, prev_loc, level=0, deps=prev_deps,
-                channel=channel, stage=topo.depth + len(chain), tag="red-ring",
-            )
-
-    def _red_tree(self, acc: Accumulator, leaves: list[int],
-                  send: BufferView, count: int, *, depth: int, channel: int) -> None:
-        """Reduce ``leaves`` (within the accumulator's depth-block) into ``acc``."""
-        topo = self.topo
-        b = self.builder
-        root = acc.rank
-        if depth >= topo.depth:
-            # Single-rank block: contribute the root's own partial.
-            if leaves:
-                acc.contribute_local(b, send.loc(), channel=channel, stage=0,
-                                     tag="red-own")
-            return
-        groups = topo.partition_leaves(leaves, depth + 1)
-        root_block = topo.block_of(root, depth + 1)
-        hop_stage = topo.depth - 1 - depth
-        if root_block in groups:
-            self._red_tree(acc, groups[root_block], send, count,
-                           depth=depth + 1, channel=channel)
-        for blk in sorted(groups):
-            if blk == root_block:
-                continue
-            blk_leaves = groups[blk]
-            uploader = self._position_match(root, blk, depth + 1)
-            if blk_leaves == [uploader]:
-                # The uploader's own send region is the finished partial.
-                acc.contribute_remote(b, uploader, send.loc(), level=depth,
-                                      channel=channel, stage=hop_stage)
-                continue
-            blk_acc = Accumulator(
-                uploader, b.alloc_scratch(uploader, count, hint="red"),
-                count, acc.op,
-            )
-            self._red_tree(blk_acc, blk_leaves, send, count,
-                           depth=depth + 1, channel=channel)
-            acc.contribute_remote(
-                b, uploader, blk_acc.loc, level=depth,
-                deps=blk_acc.final_deps(), channel=channel, stage=hop_stage,
-            )
-
-
-def lower_program(program: Program, plan: OptimizationPlan) -> Schedule:
-    """Lower ``program`` to a point-to-point schedule under ``plan``."""
-    return Lowering(plan).lower(program)
+        return self._state.effective_stripe(count)

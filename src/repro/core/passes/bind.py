@@ -1,0 +1,186 @@
+"""Channel binding: dependency resolution and array assembly.
+
+The last structural pass.  Each template's row list is fed through the
+:class:`~repro.core.schedule.ScheduleBuilder`, which assigns uids, unions
+the rows' explicit dependencies with the implicit fence dependencies from
+its per-(rank, buffer) interval maps, and enforces the intra-step race
+rules (Section 3.2) — exactly the semantics the historical single-shot
+lowering applied, but once per *template* instead of once per channel.
+
+Channel instances are then realized at the array level: the template's
+column arrays are replicated per channel with
+
+* uids (and the CSR dependency indices) shifted by the instance's base,
+* user-buffer offsets shifted by the instance's per-primitive payload
+  deltas (scratch offsets are instance-local and stay at zero),
+* scratch buffers renamed to fresh global names, so instances never alias,
+* the channel column rewritten to the instance's channel.
+
+When the pipelining pass fell back to the shared template (channels not
+provably separable), the single instance passes through unchanged — the
+builder already saw every channel in historical order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..schedule import COLUMNS, Schedule, ScheduleBuilder
+from .lir import FenceNode, LoweringState, Row
+
+
+class BindPass:
+    """Bind dependencies per template, then assemble channel instances."""
+
+    name = "channel-binding"
+
+    def run(self, state: LoweringState) -> Schedule:
+        """Produce the final array-form schedule."""
+        bound: list[tuple[Schedule, np.ndarray]] = []
+        for template in state.templates:
+            bound.append(self._bind_template(state, template))
+        schedule = self._assemble(state, bound)
+        state.summaries.append({
+            "pass": self.name,
+            "ops": len(schedule),
+            "by-kind": schedule.op_kind_counts(state.machine),
+            "by-level": {
+                int(lvl): int(cnt) for lvl, cnt in zip(
+                    *np.unique(schedule.level, return_counts=True)
+                )
+            } if len(schedule) else {},
+            "stages": schedule.stage_count(),
+            "scratch-high-water": schedule.max_scratch_elements(),
+        })
+        return schedule
+
+    @staticmethod
+    def _bind_template(state: LoweringState,
+                       template) -> tuple[Schedule, np.ndarray]:
+        builder = ScheduleBuilder(state.machine.world_size)
+        rid_to_uid: dict[int, int] = {}
+        prim_of: list[int] = []
+        for node in template.nodes:
+            if isinstance(node, Row):
+                deps = tuple(rid_to_uid[r] for r in node.deps)
+                if node.src == node.dst:
+                    uid = builder.copy(
+                        node.src, node.src_loc, node.dst_loc, node.count,
+                        channel=node.channel, stage=node.stage, deps=deps,
+                        reduce_op=node.reduce_op, tag=node.tag,
+                    )
+                else:
+                    uid = builder.send(
+                        node.src, node.dst, node.src_loc, node.dst_loc,
+                        node.count, level=node.level, channel=node.channel,
+                        stage=node.stage, deps=deps,
+                        reduce_op=node.reduce_op, tag=node.tag,
+                    )
+                rid_to_uid[node.rid] = uid
+                prim_of.append(node.prim)
+            elif isinstance(node, FenceNode):
+                builder.end_step()
+        return builder.build(), np.asarray(prim_of, dtype=np.int64)
+
+    @staticmethod
+    def _assemble(state: LoweringState, bound) -> Schedule:
+        num_channels = max(1, state.plan.pipeline)
+        buf_ids: dict[str, int] = {}
+        buf_names: list[str] = []
+        tag_ids: dict[str, int] = {"": 0}
+        tag_names: list[str] = [""]
+        scratch: dict[str, dict[int, int]] = {}
+        counter = 0
+        pieces: dict[str, list[np.ndarray]] = {name: [] for name, _ in COLUMNS}
+        degree_pieces: list[np.ndarray] = []
+        index_pieces: list[np.ndarray] = []
+        uid_base = 0
+
+        for inst in state.instances:
+            sched, prim_of = bound[inst.template]
+            template = state.templates[inst.template]
+            n = len(sched)
+            # Fresh scratch names for this instance, in allocation order.
+            local_final: dict[str, str] = {}
+            for name, idx in template.scratch_index.items():
+                hint, sizes = template.scratch_order[idx]
+                final = f"_{hint}{counter}"
+                counter += 1
+                local_final[name] = final
+                scratch[final] = dict(sizes)
+            # Buffer table remap (user buffers shared, scratch per-instance).
+            nbuf = len(sched.buffer_names)
+            remap = np.empty(max(nbuf, 1), dtype=np.int32)
+            is_user = np.zeros(max(nbuf, 1), dtype=bool)
+            for bid, name in enumerate(sched.buffer_names):
+                final = local_final.get(name)
+                if final is None:
+                    is_user[bid] = True
+                    final = name
+                fid = buf_ids.get(final)
+                if fid is None:
+                    fid = buf_ids[final] = len(buf_names)
+                    buf_names.append(final)
+                remap[bid] = fid
+            tremap = np.empty(max(len(sched.tag_names), 1), dtype=np.int16)
+            for tid, name in enumerate(sched.tag_names):
+                fid = tag_ids.get(name)
+                if fid is None:
+                    fid = tag_ids[name] = len(tag_names)
+                    tag_names.append(name)
+                tremap[tid] = fid
+            # Payload shift per op, from its originating primitive.
+            if inst.deltas and n:
+                delta = np.zeros(state.num_prims, dtype=np.int64)
+                for p, d in inst.deltas.items():
+                    delta[p] = d
+                shift = delta[prim_of]
+            else:
+                shift = np.zeros(n, dtype=np.int64)
+            src_user = is_user[sched.src_buf] if n else np.zeros(0, bool)
+            dst_user = is_user[sched.dst_buf] if n else np.zeros(0, bool)
+
+            pieces["src"].append(sched.src)
+            pieces["dst"].append(sched.dst)
+            pieces["src_buf"].append(remap[sched.src_buf] if n
+                                     else np.empty(0, np.int32))
+            pieces["src_off"].append(
+                sched.src_off + np.where(src_user, shift, 0))
+            pieces["dst_buf"].append(remap[sched.dst_buf] if n
+                                     else np.empty(0, np.int32))
+            pieces["dst_off"].append(
+                sched.dst_off + np.where(dst_user, shift, 0))
+            pieces["count"].append(sched.count)
+            pieces["reduce"].append(sched.reduce)
+            pieces["level"].append(sched.level)
+            if inst.channel >= 0:
+                pieces["channel"].append(np.full(n, inst.channel, np.int32))
+            else:
+                pieces["channel"].append(sched.channel)
+            pieces["stage"].append(sched.stage)
+            pieces["tag"].append(tremap[sched.tag] if n
+                                 else np.empty(0, np.int16))
+            degree_pieces.append(np.diff(sched.dep_indptr))
+            index_pieces.append(sched.dep_indices + uid_base)
+            uid_base += n
+
+        if uid_base == 0:
+            columns = {name: np.empty(0, dtype) for name, dtype in COLUMNS}
+            return Schedule.from_arrays(
+                state.machine.world_size, columns,
+                np.zeros(1, np.int64), np.empty(0, np.int32),
+                (), ("",), {}, num_channels,
+            )
+        columns = {
+            name: np.concatenate(pieces[name]).astype(dtype, copy=False)
+            for name, dtype in COLUMNS
+        }
+        degrees = np.concatenate(degree_pieces)
+        indptr = np.zeros(uid_base + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = (np.concatenate(index_pieces).astype(np.int32, copy=False)
+                   if index_pieces else np.empty(0, np.int32))
+        return Schedule.from_arrays(
+            state.machine.world_size, columns, indptr, indices,
+            buf_names, tag_names, scratch, num_channels,
+        )

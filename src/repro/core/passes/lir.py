@@ -1,0 +1,239 @@
+"""Mid-level lowering IR: the nodes the pass pipeline refines.
+
+The pipeline lowers a :class:`~repro.core.primitives.Program` to the final
+array-form :class:`~repro.core.schedule.Schedule` through a sequence of
+IR -> IR passes (see :mod:`repro.core.passes`).  Between passes, a program
+lives as an ordered list of *nodes*, progressively refined:
+
+* :class:`PrimNode` — a (possibly channel-sliced) collective primitive not
+  yet factorized;
+* :class:`MCBranch` / :class:`RedGather` — a striping branch awaiting
+  ring/tree expansion (a multicast spread from a branch root, or a
+  reduction gather into an accumulator plus its optional assembly hop);
+* :class:`Row` — a fully lowered point-to-point transfer, with its
+  *explicit* dependencies expressed as row ids (``rid``); implicit fence
+  dependencies are added later by the bind pass;
+* :class:`FenceNode` — a step boundary (the paper's fence, Section 3.3).
+
+Nodes keep their final emission order at every stage: a pass replaces a
+node with its expansion *in place*, so the bind pass can assign uids by a
+single walk and the resulting schedule is identical to what the historical
+single-shot recursive lowering emitted.
+
+:class:`TemplateIR` owns one such node list together with its scratch
+allocations and row-id counter.  The pipelining pass may create several
+templates (one per distinct channel chunk shape) and instantiate each
+template once per channel — see :mod:`repro.core.passes.pipelining`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import InitializationError
+from ..buffers import BufferView
+from ..ops import ReduceOp
+from ..plan import OptimizationPlan
+from ..primitives import Multicast, Program, Reduction
+
+#: Location of data within one rank's address space: (buffer name, offset).
+BufLoc = tuple[str, int]
+
+
+@dataclass
+class Row:
+    """A fully lowered point-to-point transfer awaiting dependency binding.
+
+    ``deps`` holds *explicit* dependencies as row ids; the bind pass maps
+    them to uids and unions in the implicit fence dependencies.  ``prim``
+    is the index of the program primitive this row descends from (used to
+    shift user-buffer offsets when a template is instantiated on another
+    channel).
+    """
+
+    rid: int
+    src: int
+    dst: int
+    src_loc: BufLoc
+    dst_loc: BufLoc
+    count: int
+    reduce_op: ReduceOp | None
+    level: int | None
+    channel: int
+    stage: int
+    deps: tuple[int, ...]
+    tag: str
+    prim: int
+
+
+@dataclass
+class FenceNode:
+    """Step boundary: the bind pass commits interval state here."""
+
+
+@dataclass
+class PrimNode:
+    """A channel slice of one registered primitive, not yet factorized."""
+
+    prim: Multicast | Reduction
+    channel: int
+    index: int  # global index of the originating program primitive
+
+
+@dataclass
+class MCBranch:
+    """A multicast striping branch: spread ``holder`` to ``leaves``.
+
+    Created by the striping pass; the ring/tree pass expands it into hop
+    rows (ring chain at the top level when the plan says so, recursive tree
+    below).
+    """
+
+    root: int
+    holder: BufLoc
+    leaves: list[int]
+    recv: BufferView
+    count: int
+    deps: tuple[int, ...]
+    channel: int
+    stage_base: int
+    prim: int
+
+
+@dataclass
+class RedGather:
+    """A reduction striping branch: gather ``leaves`` into an accumulator.
+
+    ``assembly`` optionally names the final intra-node hop that forwards
+    the finished chunk from the branch root to the primitive root
+    (``(dst_rank, dst_loc, level, stage)``); the ring/tree pass emits it
+    after the gather so its dependency on the accumulator's last write can
+    be resolved.
+    """
+
+    acc_rank: int
+    acc_loc: BufLoc
+    count: int
+    op: ReduceOp
+    leaves: list[int]
+    send: BufferView
+    channel: int
+    assembly: tuple[int, BufLoc, int, int] | None
+    prim: int
+
+
+@dataclass
+class TemplateIR:
+    """One node list plus its scratch allocations and row-id counter."""
+
+    nodes: list = field(default_factory=list)
+    #: Scratch allocations in order: (hint, {rank: count}) per buffer.
+    scratch_order: list[tuple[str, dict[int, int]]] = field(default_factory=list)
+    #: Template-local scratch name -> index into :attr:`scratch_order`.
+    scratch_index: dict[str, int] = field(default_factory=dict)
+    #: Global primitive index -> payload offset this template was sliced at
+    #: (instances shift user-buffer offsets relative to these).
+    base_offsets: dict[int, int] = field(default_factory=dict)
+    _rid: int = 0
+
+    def new_rid(self) -> int:
+        """Allocate the next row id."""
+        rid = self._rid
+        self._rid += 1
+        return rid
+
+    def alloc_scratch(self, rank: int, count: int, hint: str = "s") -> BufLoc:
+        """Reserve scratch on ``rank`` under a template-local name.
+
+        Final (channel-instance) names are assigned during assembly so that
+        every instantiation gets fresh, never-aliasing buffers.
+        """
+        idx = len(self.scratch_order)
+        name = f"_{hint}~{idx}"
+        self.scratch_order.append((hint, {rank: count}))
+        self.scratch_index[name] = idx
+        return (name, 0)
+
+    def scratch_elements(self) -> int:
+        """Total scratch elements allocated so far (summary reporting)."""
+        return sum(
+            count for _, sizes in self.scratch_order
+            for count in sizes.values()
+        )
+
+    def counts(self) -> dict[str, int]:
+        """Node counts by kind (summary reporting)."""
+        out = {"prims": 0, "branches": 0, "rows": 0, "fences": 0}
+        for node in self.nodes:
+            if isinstance(node, PrimNode):
+                out["prims"] += 1
+            elif isinstance(node, (MCBranch, RedGather)):
+                out["branches"] += 1
+            elif isinstance(node, Row):
+                out["rows"] += 1
+            else:
+                out["fences"] += 1
+        return out
+
+
+@dataclass
+class ChannelInstance:
+    """One pipeline channel realized from a template.
+
+    ``deltas`` maps global primitive index -> element offset to add to
+    every user-buffer offset of rows descending from that primitive (the
+    difference between this channel's payload slice and the template's).
+    """
+
+    channel: int
+    template: int
+    deltas: dict[int, int]
+
+
+class LoweringState:
+    """Shared state threaded through the pass pipeline.
+
+    Carries the plan (machine, topology, optimization parameters), the
+    geometry helpers every structural pass uses, the template list, and the
+    per-pass summaries collected for ``repro lower --dump``.
+    """
+
+    def __init__(self, program: Program, plan: OptimizationPlan) -> None:
+        if program.world_size != plan.machine.world_size:
+            raise InitializationError(
+                f"program composed for {program.world_size} ranks but machine "
+                f"{plan.machine.name} has {plan.machine.world_size}"
+            )
+        self.program = program
+        self.plan = plan
+        self.topo = plan.topology
+        self.machine = plan.machine
+        self.templates: list[TemplateIR] = []
+        self.instances: list[ChannelInstance] = []
+        #: True when channel slices were proven range-disjoint, so each
+        #: template binds independently and channels are array-replicated.
+        self.separable = False
+        self.summaries: list[dict] = []
+
+    # ------------------------------------------------------ shared geometry
+    def stripe_peers(self, root: int, s: int) -> list[int]:
+        """Branch roots for striping: the root plus ``s - 1`` node peers.
+
+        Rotation keeps chunk 0 at the root and assigns consecutive chunks to
+        consecutive local GPU indices, which map to distinct NICs under all
+        binding policies.
+        """
+        g = self.machine.gpus_per_node
+        node_start = self.machine.node_of(root) * g
+        local = self.machine.local_index(root)
+        return [node_start + (local + q) % g for q in range(s)]
+
+    def position_match(self, sender: int, block: int, depth: int) -> int:
+        """Rank in ``block`` at the same within-block offset as ``sender``."""
+        sender_block = self.topo.block_of(sender, depth)
+        offset = sender - self.topo.block_ranks(sender_block, depth).start
+        return self.topo.block_ranks(block, depth).start + offset
+
+    def effective_stripe(self, count: int) -> int:
+        """Striping factor after the per-node GPU and payload caps."""
+        return max(1, min(self.plan.stripe, self.machine.gpus_per_node, count))

@@ -1,0 +1,70 @@
+"""Front of the pipeline: logic expansion and hierarchy binding.
+
+``ExpandLogicPass`` turns the registered :class:`~repro.core.primitives.Program`
+into the pipeline's working form — the step-partitioned primitive list with
+stable global primitive indices — after validating that the composition and
+the machine agree on the rank space.  This is the paper's "logic" half of
+the separation of concerns: what moves where, with no machine-specific
+choices yet (Section 3).
+
+``HierarchyPass`` binds the plan's virtual topology (the integer factor
+vector of Section 4.2) to the lowering state and is where every later
+structural pass reads block arithmetic from.  It exists as its own stage so
+the hierarchy's shape is inspectable between passes (``repro lower --dump``)
+and so alternative topology selections can slot in without touching the
+expansion logic.
+"""
+
+from __future__ import annotations
+
+from ..primitives import Multicast
+from .lir import LoweringState
+
+
+class ExpandLogicPass:
+    """Program -> step-partitioned primitive list with global indices."""
+
+    name = "expand-logic"
+
+    def run(self, state: LoweringState) -> None:
+        """Expand the program; records step structure on the state."""
+        steps: list[list[tuple[int, object]]] = []
+        index = 0
+        n_mc = n_red = 0
+        for step in state.program.steps:
+            entries = []
+            for prim in step:
+                entries.append((index, prim))
+                if isinstance(prim, Multicast):
+                    n_mc += 1
+                else:
+                    n_red += 1
+                index += 1
+            steps.append(entries)
+        state.steps = steps
+        state.num_prims = index
+        state.summaries.append({
+            "pass": self.name,
+            "steps": sum(1 for s in steps if s),
+            "multicasts": n_mc,
+            "reductions": n_red,
+            "elements": sum(p.count for _, s in enumerate(steps) for _, p in s),
+        })
+
+
+class HierarchyPass:
+    """Bind the plan's virtual tree topology to the lowering state."""
+
+    name = "hierarchy"
+
+    def run(self, state: LoweringState) -> None:
+        """Record the factor tree the structural passes recurse over."""
+        topo = state.plan.topology
+        state.topo = topo
+        state.summaries.append({
+            "pass": self.name,
+            "factors": list(topo.factors),
+            "depth": topo.depth,
+            "ring": state.plan.ring if state.plan.uses_ring else 1,
+            "stripe": state.plan.stripe,
+        })

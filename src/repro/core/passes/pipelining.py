@@ -1,0 +1,155 @@
+"""Pipelining pass: channel slicing with template-based replication.
+
+Section 4.5: the payload of every primitive is partitioned into ``m``
+channel slices; each channel is lowered independently on its slice, so
+channels share no dependencies and the event engine overlaps their stages
+exactly as Figure 7 shows.
+
+The historical lowering re-ran the full factorization once per channel.
+This pass exploits the structure instead: a channel's lowered form depends
+only on its *chunk-size vector* (``split_even`` gives every channel either
+``base`` or ``base + 1`` elements per primitive), so there are at most a
+handful of distinct channel shapes regardless of the pipeline depth.  The
+pass builds one :class:`~repro.core.passes.lir.TemplateIR` per distinct
+shape and records a :class:`~repro.core.passes.lir.ChannelInstance` per
+channel naming its template and its per-primitive payload offsets; the bind
+pass then lowers each template once and *replicates* it across channels at
+the array level.
+
+Replication is only sound when channel slices can never conflict across
+channels.  :func:`channels_separable` proves this from the registered
+ranges alone: if any two distinct buffer ranges touched by the program
+overlap without being identical, consecutive channels of the two primitives
+could interleave (the historical lowering would emit a cross-channel fence
+dependency there), and the pass falls back to lowering every channel
+explicitly into a single template bound under one shared dependency
+builder — bit-identical to the historical path.
+"""
+
+from __future__ import annotations
+
+from .lir import ChannelInstance, LoweringState, PrimNode, FenceNode, TemplateIR
+
+
+def split_even(count: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``count`` into up to ``parts`` contiguous (offset, size) chunks.
+
+    Sizes differ by at most one; empty chunks are dropped, so fewer than
+    ``parts`` chunks are returned when ``count < parts``.
+    """
+    parts = max(1, parts)
+    base, extra = divmod(count, parts)
+    chunks: list[tuple[int, int]] = []
+    off = 0
+    for q in range(parts):
+        size = base + (1 if q < extra else 0)
+        if size > 0:
+            chunks.append((off, size))
+        off += size
+    return chunks
+
+
+def channels_separable(program) -> bool:
+    """True when no two distinct registered buffer ranges overlap.
+
+    Every primitive touches its send range and its recv range
+    (``[offset, offset + count)`` on the named symmetric buffer).  When all
+    overlapping ranges are *identical*, equal counts force identical
+    ``split_even`` chunking, so the set of bytes a channel touches is the
+    same slice of every range it shares — channels touch pairwise-disjoint
+    bytes and the fence machinery can never create a cross-channel edge.
+    A partial overlap (or an overlap between ranges of different length)
+    breaks that alignment, so the pipeline must fall back to the shared
+    dependency builder.
+    """
+    by_buffer: dict[str, set[tuple[int, int]]] = {}
+    for prim in program.primitives:
+        for view in (prim.sendbuf, prim.recvbuf):
+            by_buffer.setdefault(view.name, set()).add(
+                (view.offset, view.offset + prim.count)
+            )
+    for ranges in by_buffer.values():
+        ordered = sorted(ranges)
+        for (lo_a, hi_a), (lo_b, _hi_b) in zip(ordered, ordered[1:]):
+            if lo_b < hi_a and (lo_a, hi_a) != (lo_b, _hi_b):
+                return False
+    return True
+
+
+class PipelinePass:
+    """Slice the payload into channels; plan templates and instances."""
+
+    name = "pipelining"
+
+    def run(self, state: LoweringState) -> None:
+        """Populate ``state.templates`` / ``state.instances``."""
+        m = state.plan.pipeline
+        state.separable = channels_separable(state.program)
+        prims = [entry for step in state.steps for entry in step]
+        # Per-primitive channel chunks, in global primitive index order.
+        chunks = {index: split_even(prim.count, m) for index, prim in prims}
+
+        template_of_shape: dict[tuple, int] = {}
+        shared: TemplateIR | None = None
+        for channel in range(m):
+            shape = tuple(
+                chunks[index][channel][1] if channel < len(chunks[index]) else 0
+                for index, _ in prims
+            )
+            if not any(shape):
+                continue  # payload smaller than m: this channel is empty
+            if state.separable:
+                tid = template_of_shape.get(shape)
+                if tid is None:
+                    tid = len(state.templates)
+                    template_of_shape[shape] = tid
+                    template = TemplateIR()
+                    self._emit_channel(state, template, channel, chunks)
+                    state.templates.append(template)
+                    template.base_offsets = {
+                        index: chunks[index][channel][0]
+                        for index, _ in prims
+                        if channel < len(chunks[index])
+                    }
+                base = state.templates[tid].base_offsets
+                deltas = {
+                    index: chunks[index][channel][0] - base[index]
+                    for index, _ in prims
+                    if channel < len(chunks[index])
+                }
+                state.instances.append(ChannelInstance(channel, tid, deltas))
+            else:
+                if shared is None:
+                    shared = TemplateIR()
+                    state.templates.append(shared)
+                    state.instances.append(ChannelInstance(-1, 0, {}))
+                self._emit_channel(state, shared, channel, chunks)
+        state.summaries.append({
+            "pass": self.name,
+            "channels": m,
+            "separable": state.separable,
+            "templates": len(state.templates),
+            "sliced-prims": sum(
+                state.templates[inst.template].counts()["prims"]
+                for inst in state.instances
+            ) if state.separable else (
+                shared.counts()["prims"] if shared is not None else 0
+            ),
+        })
+
+    @staticmethod
+    def _emit_channel(state: LoweringState, template: TemplateIR,
+                      channel: int, chunks: dict) -> None:
+        """Append one channel's sliced primitives (plus fences) in order."""
+        for step in state.steps:
+            emitted = False
+            for index, prim in step:
+                prim_chunks = chunks[index]
+                if channel < len(prim_chunks):
+                    off, cnt = prim_chunks[channel]
+                    template.nodes.append(
+                        PrimNode(prim.sliced(off, cnt), channel, index)
+                    )
+                    emitted = True
+            if emitted:
+                template.nodes.append(FenceNode())

@@ -1,0 +1,358 @@
+"""Ring/tree selection and hierarchical factorization (Sections 4.2, 4.4).
+
+Expands every striping branch into point-to-point hop rows:
+
+**Ring** — with ``ring(n)``, inter-node traffic forms a chain across the
+``n`` top-level groups; intra-group distribution still uses a tree (the
+hybrid ring+tree of Figure 6b).
+
+**Tree** — recursive factorization over the virtual hierarchy.  At each
+level the leaf set is partitioned into blocks (pruning empty ones); one
+*representative* per block receives the data and recurses.  The
+representative is chosen **position-matched**: the rank occupying the same
+offset within its block as the sender does in its own block, so parallel
+branches travel over distinct GPUs and therefore distinct NICs
+(Section 2.3).  If the position-matched rank is not itself a leaf, the hop
+stages through its scratch memory and forwards within the block — this is
+what spreads the root-node traffic of Gather/Scatter-style single-leaf
+primitives across all NICs of the dense side's node.
+
+Reductions mirror the multicast structure inward through
+:class:`Accumulator`, which serializes contributions at each target (WAW
+ordering) so the functional result is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ops import ReduceOp
+from .lir import BufLoc, LoweringState, MCBranch, RedGather, Row, TemplateIR
+
+
+class RowEmitter:
+    """Appends :class:`Row` records to an expansion, allocating row ids.
+
+    Exposes the same ``copy``/``send``/``alloc_scratch`` surface as the
+    :class:`~repro.core.schedule.ScheduleBuilder`, so the accumulator and
+    the recursive expansion code read identically to a direct emission —
+    but nothing is dependency-bound yet (explicit deps are row ids).
+    """
+
+    def __init__(self, template: TemplateIR, out: list, prim: int) -> None:
+        self._template = template
+        self._out = out
+        self._prim = prim
+
+    def copy(self, rank: int, src_loc: BufLoc, dst_loc: BufLoc, count: int, *,
+             channel: int = 0, stage: int = 0, deps: tuple[int, ...] = (),
+             reduce_op: ReduceOp | None = None, tag: str = "") -> int:
+        """Emit a local copy/accumulate row; returns its row id."""
+        rid = self._template.new_rid()
+        self._out.append(Row(rid, rank, rank, src_loc, dst_loc, count,
+                             reduce_op, None, channel, stage, tuple(deps),
+                             tag, self._prim))
+        return rid
+
+    def send(self, src: int, dst: int, src_loc: BufLoc, dst_loc: BufLoc,
+             count: int, *, level: int, channel: int = 0, stage: int = 0,
+             deps: tuple[int, ...] = (), reduce_op: ReduceOp | None = None,
+             tag: str = "") -> int:
+        """Emit a remote transfer row; returns its row id."""
+        rid = self._template.new_rid()
+        self._out.append(Row(rid, src, dst, src_loc, dst_loc, count,
+                             reduce_op, level, channel, stage, tuple(deps),
+                             tag, self._prim))
+        return rid
+
+    def alloc_scratch(self, rank: int, count: int, hint: str = "s") -> BufLoc:
+        """Reserve template scratch (renamed per channel instance later)."""
+        return self._template.alloc_scratch(rank, count, hint)
+
+
+@dataclass
+class Accumulator:
+    """Serialized reduction target at one rank (threads WAW ordering).
+
+    Contributions arrive via :meth:`contribute_local` / :meth:`contribute_remote`;
+    the first contribution is a plain write (initialization), later ones apply
+    the reduction operator with an explicit dependency on the previous writer,
+    keeping the functional result deterministic.
+
+    ``b`` may be a :class:`RowEmitter` (inside the pass pipeline) or a
+    :class:`~repro.core.schedule.ScheduleBuilder` (direct use in tests) —
+    both expose the same ``copy``/``send`` signatures.
+    """
+
+    rank: int
+    loc: BufLoc
+    count: int
+    op: ReduceOp
+    initialized: bool = False
+    last_uid: int | None = None
+    deps_if_first: tuple[int, ...] = ()
+
+    def _deps(self, deps: tuple[int, ...]) -> tuple[int, ...]:
+        chained = set(deps)
+        if self.last_uid is not None:
+            chained.add(self.last_uid)
+        if not self.initialized:
+            chained.update(self.deps_if_first)
+        return tuple(sorted(chained))
+
+    def contribute_local(self, b, src_loc: BufLoc, *, deps=(),
+                         channel=0, stage=0, tag="red-local") -> None:
+        """Fold a same-rank partial into the accumulator."""
+        if not self.initialized and src_loc == self.loc:
+            # In-place: the accumulator region already holds this contribution.
+            self.initialized = True
+            return
+        uid = b.copy(
+            self.rank, src_loc, self.loc, self.count,
+            reduce_op=self.op if self.initialized else None,
+            deps=self._deps(tuple(deps)), channel=channel, stage=stage, tag=tag,
+        )
+        self.initialized = True
+        self.last_uid = uid
+
+    def contribute_remote(self, b, src_rank: int, src_loc: BufLoc,
+                          *, level: int, deps=(), channel=0, stage=0,
+                          tag="red-hop") -> None:
+        """Fold a remote partial into the accumulator."""
+        uid = b.send(
+            src_rank, self.rank, src_loc, self.loc, self.count,
+            reduce_op=self.op if self.initialized else None,
+            level=level, deps=self._deps(tuple(deps)),
+            channel=channel, stage=stage, tag=tag,
+        )
+        self.initialized = True
+        self.last_uid = uid
+
+    def final_deps(self) -> tuple[int, ...]:
+        """Dependency handle on the accumulator's last contribution."""
+        return (self.last_uid,) if self.last_uid is not None else ()
+
+
+class RingTreePass:
+    """Expand striping branches into ring-chain and tree-hop rows."""
+
+    name = "ring-tree"
+
+    def run(self, state: LoweringState) -> None:
+        """Replace MCBranch/RedGather nodes with hop rows, in place."""
+        rows = 0
+        for template in state.templates:
+            nodes: list = []
+            for node in template.nodes:
+                if isinstance(node, MCBranch):
+                    expansion: list = []
+                    emit = RowEmitter(template, expansion, node.prim)
+                    self._mc_spread(
+                        state, emit, node.root, node.holder, node.leaves,
+                        node.recv, node.count, deps=node.deps,
+                        channel=node.channel, stage_base=node.stage_base,
+                    )
+                    rows += len(expansion)
+                    nodes.extend(expansion)
+                elif isinstance(node, RedGather):
+                    expansion = []
+                    emit = RowEmitter(template, expansion, node.prim)
+                    acc = Accumulator(node.acc_rank, node.acc_loc,
+                                      node.count, node.op)
+                    self._red_gather(state, emit, acc, node.leaves,
+                                     node.send, node.count,
+                                     channel=node.channel)
+                    if node.assembly is not None:
+                        dst_rank, dst_loc, level, stage = node.assembly
+                        emit.send(
+                            node.acc_rank, dst_rank, acc.loc, dst_loc,
+                            node.count, level=level, deps=acc.final_deps(),
+                            channel=node.channel, stage=stage,
+                            tag="stripe-gather",
+                        )
+                    rows += len(expansion)
+                    nodes.extend(expansion)
+                else:
+                    nodes.append(node)
+            template.nodes = nodes
+        state.summaries.append({
+            "pass": self.name,
+            "rows": rows,
+            "scratch-elements": sum(
+                t.scratch_elements() for t in state.templates
+            ),
+        })
+
+    # ------------------------------------------------------------- multicast
+    def _mc_spread(self, state, emit, root: int, holder: BufLoc, leaves,
+                   recv, count: int, *, deps, channel, stage_base) -> None:
+        """Distribute from ``root`` to ``leaves``: ring at the top, then tree."""
+        if state.plan.uses_ring:
+            self._mc_ring(state, emit, root, holder, leaves, recv, count,
+                          deps=deps, channel=channel, stage_base=stage_base)
+        else:
+            self._mc_tree(state, emit, root, holder, leaves, recv, count,
+                          depth=0, deps=deps, channel=channel,
+                          stage_base=stage_base, stage_override=None)
+
+    def _mc_ring(self, state, emit, root: int, holder: BufLoc, leaves,
+                 recv, count: int, *, deps, channel, stage_base) -> None:
+        topo = state.topo
+        n = topo.factors[0]
+        groups = topo.partition_leaves(leaves, 1)
+        root_block = topo.block_of(root, 1)
+        chain = [blk for blk in ((root_block + t) % n for t in range(1, n))
+                 if blk in groups]
+        intra_stage = stage_base + len(chain)
+        # Root's own group assembles concurrently with the chain.
+        if root_block in groups:
+            self._mc_tree(state, emit, root, holder, groups[root_block], recv,
+                          count, depth=1, deps=deps, channel=channel,
+                          stage_base=stage_base, stage_override=intra_stage)
+        prev_rank, prev_loc, prev_deps = root, holder, deps
+        for idx, blk in enumerate(chain):
+            blk_leaves = groups[blk]
+            rep = state.position_match(prev_rank, blk, 1)
+            if rep in blk_leaves:
+                target = recv.loc()
+            else:
+                # Stage through the position-matched rank's scratch so the
+                # chain stays NIC-aligned even for sparse leaf sets.
+                target = emit.alloc_scratch(rep, count, hint="ring")
+            uid = emit.send(
+                prev_rank, rep, prev_loc, target, count,
+                level=0, channel=channel, stage=stage_base + idx,
+                deps=prev_deps, tag="mc-ring",
+            )
+            self._mc_tree(state, emit, rep, target, blk_leaves, recv, count,
+                          depth=1, deps=(uid,), channel=channel,
+                          stage_base=stage_base, stage_override=intra_stage)
+            prev_rank, prev_loc, prev_deps = rep, target, (uid,)
+
+    def _mc_tree(self, state, emit, root: int, holder: BufLoc, leaves,
+                 recv, count: int, *, depth: int, deps, channel,
+                 stage_base: int, stage_override: int | None) -> None:
+        """Recursive tree multicast within ``root``'s depth-block.
+
+        The root's own placement copy (when the root is a leaf but holds the
+        payload in its send buffer) is emitted once by the striping pass;
+        here a root always either already holds the data in its recv region
+        or is a pure forwarder staging through scratch.
+        """
+        topo = state.topo
+        if depth >= topo.depth:
+            return
+        groups = topo.partition_leaves(leaves, depth + 1)
+        root_block = topo.block_of(root, depth + 1)
+        hop_stage = (stage_override if stage_override is not None
+                     else stage_base + depth)
+        if root_block in groups:
+            self._mc_tree(state, emit, root, holder, groups[root_block], recv,
+                          count, depth=depth + 1, deps=deps, channel=channel,
+                          stage_base=stage_base, stage_override=stage_override)
+        for blk in sorted(groups):
+            if blk == root_block:
+                continue
+            blk_leaves = groups[blk]
+            natural = state.position_match(root, blk, depth + 1)
+            if natural in blk_leaves:
+                rep, target = natural, recv.loc()
+            else:
+                rep = natural
+                target = emit.alloc_scratch(rep, count, hint="mc")
+            uid = emit.send(root, rep, holder, target, count,
+                            level=depth, channel=channel, stage=hop_stage,
+                            deps=deps, tag="mc-hop")
+            self._mc_tree(state, emit, rep, target, blk_leaves, recv, count,
+                          depth=depth + 1, deps=(uid,), channel=channel,
+                          stage_base=stage_base, stage_override=stage_override)
+
+    # ------------------------------------------------------------- reduction
+    def _red_gather(self, state, emit, acc: Accumulator, leaves,
+                    send, count: int, *, channel: int) -> None:
+        if state.plan.uses_ring:
+            self._red_ring(state, emit, acc, leaves, send, count,
+                           channel=channel)
+        else:
+            self._red_tree(state, emit, acc, leaves, send, count, depth=0,
+                           channel=channel)
+
+    def _red_ring(self, state, emit, acc: Accumulator, leaves,
+                  send, count: int, *, channel: int) -> None:
+        """Chain reduction across top-level groups, ending at the accumulator."""
+        topo = state.topo
+        n = topo.factors[0]
+        groups = topo.partition_leaves(leaves, 1)
+        root_block = topo.block_of(acc.rank, 1)
+        # Farthest group first; partials flow toward the root's group.
+        chain = [blk for blk in ((root_block + t) % n
+                                 for t in range(n - 1, 0, -1))
+                 if blk in groups]
+        prev: tuple[int, BufLoc, tuple[int, ...]] | None = None
+        for idx, blk in enumerate(chain):
+            blk_leaves = groups[blk]
+            uploader = state.position_match(acc.rank, blk, 1)
+            if blk_leaves == [uploader] and prev is None:
+                # Single leaf, nothing incoming: its send region is the partial.
+                prev = (uploader, send.loc(), ())
+                continue
+            blk_acc = Accumulator(
+                uploader, emit.alloc_scratch(uploader, count, hint="ringred"),
+                count, acc.op,
+            )
+            self._red_tree(state, emit, blk_acc, blk_leaves, send, count,
+                           depth=1, channel=channel)
+            if prev is not None:
+                prev_rank, prev_loc, prev_deps = prev
+                blk_acc.contribute_remote(
+                    emit, prev_rank, prev_loc, level=0, deps=prev_deps,
+                    channel=channel, stage=topo.depth + idx, tag="red-ring",
+                )
+            prev = (uploader, blk_acc.loc, blk_acc.final_deps())
+        if root_block in groups:
+            self._red_tree(state, emit, acc, groups[root_block], send, count,
+                           depth=1, channel=channel)
+        if prev is not None:
+            prev_rank, prev_loc, prev_deps = prev
+            acc.contribute_remote(
+                emit, prev_rank, prev_loc, level=0, deps=prev_deps,
+                channel=channel, stage=topo.depth + len(chain), tag="red-ring",
+            )
+
+    def _red_tree(self, state, emit, acc: Accumulator, leaves,
+                  send, count: int, *, depth: int, channel: int) -> None:
+        """Reduce ``leaves`` (within the accumulator's depth-block) into ``acc``."""
+        topo = state.topo
+        root = acc.rank
+        if depth >= topo.depth:
+            # Single-rank block: contribute the root's own partial.
+            if leaves:
+                acc.contribute_local(emit, send.loc(), channel=channel,
+                                     stage=0, tag="red-own")
+            return
+        groups = topo.partition_leaves(leaves, depth + 1)
+        root_block = topo.block_of(root, depth + 1)
+        hop_stage = topo.depth - 1 - depth
+        if root_block in groups:
+            self._red_tree(state, emit, acc, groups[root_block], send, count,
+                           depth=depth + 1, channel=channel)
+        for blk in sorted(groups):
+            if blk == root_block:
+                continue
+            blk_leaves = groups[blk]
+            uploader = state.position_match(root, blk, depth + 1)
+            if blk_leaves == [uploader]:
+                # The uploader's own send region is the finished partial.
+                acc.contribute_remote(emit, uploader, send.loc(), level=depth,
+                                      channel=channel, stage=hop_stage)
+                continue
+            blk_acc = Accumulator(
+                uploader, emit.alloc_scratch(uploader, count, hint="red"),
+                count, acc.op,
+            )
+            self._red_tree(state, emit, blk_acc, blk_leaves, send, count,
+                           depth=depth + 1, channel=channel)
+            acc.contribute_remote(
+                emit, uploader, blk_acc.loc, level=depth,
+                deps=blk_acc.final_deps(), channel=channel, stage=hop_stage,
+            )

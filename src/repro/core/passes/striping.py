@@ -1,0 +1,146 @@
+"""NIC striping pass (Section 4.3).
+
+A primitive rooted at rank ``r`` is split into ``s`` branches.  For a
+multicast, the root first scatters chunk ``q`` to its node peer ``r_q``
+(the solid golden stage-0 hops of Figure 6); each branch then multicasts
+its chunk to *all* the original leaves.  For a reduction the pattern
+mirrors: branch ``q`` reduces chunk ``q`` of every leaf into node peer
+``r_q``, which finally forwards the finished chunk to the root (intra-node
+assembly).  Striping is what forms the multi-rail pattern that engages
+every NIC of the root's node.
+
+The pass replaces every :class:`~repro.core.passes.lir.PrimNode` in place
+with its stripe expansion: scatter/placement :class:`Row` records plus one
+:class:`MCBranch`/:class:`RedGather` per branch, which the ring/tree pass
+expands next.  Emission order matches the historical recursive lowering
+exactly (chunk by chunk, scatter hop immediately before its branch).
+"""
+
+from __future__ import annotations
+
+from ..primitives import Multicast
+from .lir import (
+    LoweringState,
+    MCBranch,
+    PrimNode,
+    RedGather,
+    Row,
+    TemplateIR,
+)
+from .pipelining import split_even
+
+
+class StripePass:
+    """Expand each primitive slice into striped branches."""
+
+    name = "striping"
+
+    def run(self, state: LoweringState) -> None:
+        """Replace PrimNodes with scatter rows + branch nodes, in place."""
+        branches = 0
+        for template in state.templates:
+            nodes: list = []
+            for node in template.nodes:
+                if isinstance(node, PrimNode):
+                    expansion = self._expand(state, template, node)
+                    branches += sum(
+                        isinstance(x, (MCBranch, RedGather)) for x in expansion
+                    )
+                    nodes.extend(expansion)
+                else:
+                    nodes.append(node)
+            template.nodes = nodes
+        state.summaries.append({
+            "pass": self.name,
+            "branches": branches,
+            "scratch-elements": sum(
+                t.scratch_elements() for t in state.templates
+            ),
+        })
+
+    def _expand(self, state: LoweringState, template: TemplateIR,
+                node: PrimNode) -> list:
+        if isinstance(node.prim, Multicast):
+            return self._multicast(state, template, node)
+        return self._reduction(state, template, node)
+
+    # ------------------------------------------------------------- multicast
+    @staticmethod
+    def _multicast(state: LoweringState, t: TemplateIR,
+                   node: PrimNode) -> list:
+        mc = node.prim
+        out: list = []
+        if mc.count == 0:
+            return out
+        s = state.effective_stripe(mc.count)
+        chunks = split_even(mc.count, s)
+        peers = state.stripe_peers(mc.root, len(chunks))
+        stage_base = 1 if len(chunks) > 1 else 0
+        for q, (off, cnt) in enumerate(chunks):
+            send = mc.sendbuf.shifted(off)
+            recv = mc.recvbuf.shifted(off)
+            branch_root = peers[q]
+            if branch_root == mc.root:
+                holder = send.loc()
+                deps: tuple[int, ...] = ()
+                if mc.root in mc.leaves and send.loc() != recv.loc():
+                    # Place the root's own copy (the solid self-edge of
+                    # Fig 4); done once here, outside the recursion.
+                    out.append(Row(
+                        t.new_rid(), mc.root, mc.root, send.loc(), recv.loc(),
+                        cnt, None, None, node.channel, stage_base, (),
+                        "mc-place", node.index,
+                    ))
+            else:
+                if branch_root in mc.leaves:
+                    target = recv.loc()
+                else:
+                    target = t.alloc_scratch(branch_root, cnt, hint="stripe")
+                rid = t.new_rid()
+                out.append(Row(
+                    rid, mc.root, branch_root, send.loc(), target, cnt,
+                    None,
+                    state.topo.separating_depth(mc.root, branch_root) - 1,
+                    node.channel, 0, (), "stripe-scatter", node.index,
+                ))
+                holder = target
+                deps = (rid,)
+            out.append(MCBranch(
+                branch_root, holder, list(mc.leaves), recv, cnt, deps,
+                node.channel, stage_base, node.index,
+            ))
+        return out
+
+    # ------------------------------------------------------------- reduction
+    @staticmethod
+    def _reduction(state: LoweringState, t: TemplateIR,
+                   node: PrimNode) -> list:
+        rd = node.prim
+        out: list = []
+        if rd.count == 0:
+            return out
+        s = state.effective_stripe(rd.count)
+        chunks = split_even(rd.count, s)
+        peers = state.stripe_peers(rd.root, len(chunks))
+        assembly_stage = state.topo.depth + (
+            state.topo.factors[0] if state.plan.uses_ring else 0
+        ) + 1
+        for q, (off, cnt) in enumerate(chunks):
+            send = rd.sendbuf.shifted(off)
+            recv = rd.recvbuf.shifted(off)
+            branch_root = peers[q]
+            if branch_root == rd.root:
+                acc_loc = recv.loc()
+                assembly = None
+            else:
+                acc_loc = t.alloc_scratch(branch_root, cnt, hint="stripe")
+                assembly = (
+                    rd.root, recv.loc(),
+                    state.topo.separating_depth(branch_root, rd.root) - 1,
+                    assembly_stage,
+                )
+            out.append(RedGather(
+                branch_root, acc_loc, cnt, rd.op, list(rd.leaves), send,
+                node.channel, assembly, node.index,
+            ))
+        return out

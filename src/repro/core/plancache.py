@@ -18,7 +18,7 @@ content-addressed cache over exactly that tuple:
 
 ``PlanCache``
     A two-layer cache: an in-process LRU (always on) and an optional on-disk
-    layer of versioned pickles under ``~/.cache/repro/plans/`` (or
+    layer of versioned ``.npz`` archives under ``~/.cache/repro/plans/`` (or
     ``$REPRO_PLAN_CACHE_DIR``).  Hit/miss statistics are kept per layer and
     surfaced by ``repro cache`` in the CLI.
 
@@ -32,31 +32,36 @@ processes — the parallel sweep workers in :mod:`repro.bench.parallel` do this
 so a warm sweep prices each distinct configuration exactly once per machine,
 not once per process.
 
-**Trust model**: the disk layer stores pickles, and loading a pickle executes
-code embedded in it.  Only point the cache at directories you control
-(private, not group/world-writable); never at a directory other users can
-write to.  The schema/digest checks guard against *stale* plans, not against
-*malicious* ones.
+**Disk format.**  The schedule's structure-of-arrays columns, the CSR
+dependency arrays, and the timing rows are written as plain numpy arrays
+(``np.savez``); string/structural metadata travels as one JSON document
+inside the archive.  Archives are loaded with ``allow_pickle=False`` — no
+code ever executes from a cache file; a corrupt, stale, or mismatched
+archive is treated as a miss.  Memory accounting is exact: every plan is
+charged its arrays' byte sizes, including dependency and timing storage
+(:func:`plan_nbytes`).
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
-import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from pathlib import Path
 
+import numpy as np
+
 from ..machine.spec import MachineSpec
 from ..transport.profiles import profile
-from .schedule import Schedule
+from .schedule import COLUMNS, Schedule
 
 #: Bump whenever the lowered IR, the pricing model, or the key layout
 #: changes; persisted plans with a different schema are ignored (and swept by
-#: :meth:`PlanCache.clear_disk`).
-SCHEMA_VERSION = 1
+#: :meth:`PlanCache.clear_disk`).  v2: array-form Schedule IR + .npz layout.
+SCHEMA_VERSION = 2
 
 #: Environment knobs for the process-wide default cache.
 ENV_CACHE_MODE = "REPRO_PLAN_CACHE"  # "disk" enables the on-disk layer
@@ -65,12 +70,12 @@ ENV_CACHE_DIR = "REPRO_PLAN_CACHE_DIR"  # overrides the default directory
 #: Default in-process LRU capacity (plans, not bytes).
 DEFAULT_CAPACITY = 256
 
-#: Memory budget of the in-process layer, expressed as total lowered ops
-#: across all cached plans (op count is the dominant size driver: a P2POp
-#: plus its per-op timing rows).  Large sweeps over six-figure-op schedules
-#: evict early instead of pinning gigabytes the pre-cache code released with
-#: each Communicator.
-DEFAULT_MAX_TOTAL_OPS = 2_000_000
+#: Memory budget of the in-process layer in bytes, measured with
+#: :func:`plan_nbytes` (the exact array footprint of each plan's schedule
+#: columns, CSR dependency storage, and timing rows).  Large sweeps over
+#: six-figure-op schedules evict early instead of pinning gigabytes the
+#: pre-cache code released with each Communicator.
+DEFAULT_MAX_TOTAL_BYTES = 256 << 20
 
 
 def default_disk_dir() -> Path:
@@ -135,7 +140,7 @@ class PlanKey:
     parts: tuple
 
     def filename(self) -> str:
-        return f"v{SCHEMA_VERSION}-{self.digest}.pkl"
+        return f"v{SCHEMA_VERSION}-{self.digest}.npz"
 
 
 def plan_key(
@@ -201,6 +206,101 @@ class CachedPlan:
     synthesis_seconds: float
 
 
+def plan_nbytes(plan: CachedPlan) -> int:
+    """Exact array byte footprint of one cached plan.
+
+    Sums the schedule's column and CSR dependency arrays
+    (:meth:`Schedule.nbytes`) plus the timing rows (two float64 values per
+    op: start and completion) and the per-resource occupancy table.  This
+    is the figure the LRU's byte budget charges — the historical
+    ``len(schedule.ops)`` proxy ignored timing rows and dependency storage
+    entirely.
+    """
+    total = 0
+    if plan.schedule is not None:
+        total += plan.schedule.nbytes()
+    timing = plan.timing
+    if timing is not None:
+        total += 16 * len(timing.start_times)  # start + completion, float64
+        total += 16 * len(timing.resource_busy)  # key hash slot + float64
+    return total
+
+
+# ------------------------------------------------------- npz (de)serialization
+def _plan_payload(key: PlanKey, plan: CachedPlan) -> dict[str, np.ndarray]:
+    """Flatten a cached plan into named arrays plus one JSON metadata blob."""
+    schedule = plan.schedule
+    timing = plan.timing
+    meta: dict = {
+        "schema": SCHEMA_VERSION,
+        "key_parts": repr(key.parts),
+        "synthesis_seconds": plan.synthesis_seconds,
+        "has_schedule": schedule is not None,
+        "has_timing": timing is not None,
+    }
+    arrays: dict[str, np.ndarray] = {}
+    if schedule is not None:
+        meta["world_size"] = schedule.world_size
+        meta["num_channels"] = schedule.num_channels
+        meta["buffer_names"] = list(schedule.buffer_names)
+        meta["tag_names"] = list(schedule.tag_names)
+        meta["scratch"] = {
+            name: {str(rank): count for rank, count in sizes.items()}
+            for name, sizes in schedule.scratch.items()
+        }
+        for name, _ in COLUMNS:
+            arrays[f"col_{name}"] = getattr(schedule, name)
+        arrays["dep_indptr"] = schedule.dep_indptr
+        arrays["dep_indices"] = schedule.dep_indices
+    if timing is not None:
+        meta["elapsed"] = timing.elapsed
+        meta["resource_keys"] = [list(k) for k in timing.resource_busy]
+        arrays["start_times"] = np.asarray(timing.start_times, dtype=np.float64)
+        arrays["completion_times"] = np.asarray(
+            timing.completion_times, dtype=np.float64
+        )
+        arrays["resource_busy"] = np.asarray(
+            list(timing.resource_busy.values()), dtype=np.float64
+        )
+    arrays["meta"] = np.asarray(json.dumps(meta))
+    return arrays
+
+
+def _plan_from_payload(payload, key: PlanKey) -> CachedPlan | None:
+    """Rebuild a cached plan from a loaded ``.npz``; None on any mismatch."""
+    if "meta" not in payload:
+        return None
+    meta = json.loads(str(payload["meta"][()]))
+    if (meta.get("schema") != SCHEMA_VERSION
+            or meta.get("key_parts") != repr(key.parts)):
+        return None
+    schedule = None
+    if meta["has_schedule"]:
+        schedule = Schedule.from_arrays(
+            meta["world_size"],
+            {name: payload[f"col_{name}"] for name, _ in COLUMNS},
+            payload["dep_indptr"], payload["dep_indices"],
+            meta["buffer_names"], meta["tag_names"],
+            {
+                name: {int(rank): count for rank, count in sizes.items()}
+                for name, sizes in meta["scratch"].items()
+            },
+            meta["num_channels"],
+        )
+    timing = None
+    if meta["has_timing"]:
+        from ..simulator.engine import TimingResult
+
+        keys = [tuple(k) for k in meta["resource_keys"]]
+        timing = TimingResult(
+            elapsed=meta["elapsed"],
+            start_times=payload["start_times"].tolist(),
+            completion_times=payload["completion_times"].tolist(),
+            resource_busy=dict(zip(keys, payload["resource_busy"].tolist())),
+        )
+    return CachedPlan(schedule, timing, meta["synthesis_seconds"])
+
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting across both layers."""
@@ -239,16 +339,16 @@ class PlanCache:
         self,
         capacity: int = DEFAULT_CAPACITY,
         disk_dir: Path | str | None = None,
-        max_total_ops: int = DEFAULT_MAX_TOTAL_OPS,
+        max_total_bytes: int = DEFAULT_MAX_TOTAL_BYTES,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self.max_total_ops = max_total_ops
+        self.max_total_bytes = max_total_bytes
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.stats = CacheStats()
         self._lru: OrderedDict[str, CachedPlan] = OrderedDict()
-        self._total_ops = 0
+        self._total_bytes = 0
         self._lock = threading.Lock()
 
     # ----------------------------------------------------------------- layers
@@ -262,21 +362,14 @@ class PlanCache:
         if path is None or not path.exists():
             return None
         try:
-            with path.open("rb") as fh:
-                payload = pickle.load(fh)
+            # allow_pickle=False: cache files can never execute code; a
+            # schema or key mismatch (hash collision, stale writer) below is
+            # treated as a miss, never an error.
+            with np.load(path, allow_pickle=False) as payload:
+                return _plan_from_payload(payload, key)
         except Exception:
             self.stats.disk_errors += 1
             return None
-        # Versioned payload: a schema or key mismatch (hash collision, stale
-        # writer) is treated as a miss, never an error.
-        if (
-            not isinstance(payload, dict)
-            or payload.get("schema") != SCHEMA_VERSION
-            or payload.get("parts") != key.parts
-        ):
-            return None
-        plan = payload.get("plan")
-        return plan if isinstance(plan, CachedPlan) else None
 
     def _disk_store(self, key: PlanKey, plan: CachedPlan) -> None:
         path = self._disk_path(key)
@@ -284,12 +377,11 @@ class PlanCache:
             return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            payload = {"schema": SCHEMA_VERSION, "parts": key.parts, "plan": plan}
             tmp = path.with_suffix(f".tmp{os.getpid()}")
             with tmp.open("wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                np.savez(fh, **_plan_payload(key, plan))
             tmp.replace(path)  # atomic on POSIX: concurrent readers never
-            # observe a partial pickle
+            # observe a partial archive
         except Exception:
             self.stats.disk_errors += 1
 
@@ -325,34 +417,29 @@ class PlanCache:
             self._insert(key, plan)
             self._disk_store(key, plan)
 
-    @staticmethod
-    def _plan_ops(plan: CachedPlan) -> int:
-        schedule = plan.schedule
-        return len(schedule.ops) if schedule is not None else 0
-
     def _insert(self, key: PlanKey, plan: CachedPlan) -> None:
         old = self._lru.get(key.digest)
         if old is not None:
-            self._total_ops -= self._plan_ops(old)
+            self._total_bytes -= plan_nbytes(old)
         self._lru[key.digest] = plan
         self._lru.move_to_end(key.digest)
-        self._total_ops += self._plan_ops(plan)
+        self._total_bytes += plan_nbytes(plan)
         # Evict oldest-first past either budget, but always keep the entry
         # just inserted (a single over-budget plan is still worth caching).
         while len(self._lru) > 1 and (
             len(self._lru) > self.capacity
-            or self._total_ops > self.max_total_ops
+            or self._total_bytes > self.max_total_bytes
         ):
             _, evicted = self._lru.popitem(last=False)
-            self._total_ops -= self._plan_ops(evicted)
+            self._total_bytes -= plan_nbytes(evicted)
             self.stats.evictions += 1
 
     def __len__(self) -> int:
         return len(self._lru)
 
-    def total_ops(self) -> int:
-        """Lowered ops held by the in-process layer (its memory proxy)."""
-        return self._total_ops
+    def total_bytes(self) -> int:
+        """Exact array bytes held by the in-process layer."""
+        return self._total_bytes
 
     def set_disk_dir(self, disk_dir: Path | str | None) -> None:
         """(Re)point the persistent layer without touching the warm LRU.
@@ -368,17 +455,18 @@ class PlanCache:
         """Drop the in-process layer (disk entries are kept)."""
         with self._lock:
             self._lru.clear()
-            self._total_ops = 0
+            self._total_bytes = 0
 
     def clear_disk(self) -> int:
         """Delete persisted plans of *any* schema version; returns the count.
 
-        Also sweeps ``*.tmp<pid>`` leftovers from interrupted stores.
+        Also sweeps ``*.tmp<pid>`` leftovers from interrupted stores and
+        legacy ``.pkl`` archives from schema v1.
         """
         if self.disk_dir is None or not self.disk_dir.exists():
             return 0
         removed = 0
-        for pattern in ("v*-*.pkl", "v*-*.tmp*"):
+        for pattern in ("v*-*.npz", "v*-*.pkl", "v*-*.tmp*"):
             for path in self.disk_dir.glob(pattern):
                 try:
                     path.unlink()
@@ -391,7 +479,7 @@ class PlanCache:
         """Persisted plan files of the *current* schema version."""
         if self.disk_dir is None or not self.disk_dir.exists():
             return []
-        return sorted(self.disk_dir.glob(f"v{SCHEMA_VERSION}-*.pkl"))
+        return sorted(self.disk_dir.glob(f"v{SCHEMA_VERSION}-*.npz"))
 
 
 # --------------------------------------------------------- process-wide cache

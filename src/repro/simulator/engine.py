@@ -39,11 +39,13 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.schedule import Schedule
 from ..errors import ExecutionError
 from ..machine.spec import MachineSpec
 from ..transport.library import Library
-from .timing import PricedOp, price_ops
+from .timing import PricedOp, price_schedule
 
 #: Event kinds, ordered so resource-free events at time T are handled before
 #: op-ready events at the same T (freshly freed links are offered to parked
@@ -196,13 +198,16 @@ def _run_graph(
     return start_times, completion, busy, done
 
 
-def _graph_arrays(ops) -> tuple[list[int], list[list[int]]]:
-    """Indegree and dependents arrays of one schedule's op list."""
-    indegree = [len(op.deps) for op in ops]
-    dependents: list[list[int]] = [[] for _ in ops]
-    for op in ops:
-        for dep in op.deps:
-            dependents[dep].append(op.uid)
+def _graph_arrays(schedule: Schedule) -> tuple[list[int], list[list[int]]]:
+    """Indegree and dependents arrays from a schedule's CSR columns."""
+    n = len(schedule)
+    indegree = np.diff(schedule.dep_indptr).tolist()
+    dependents: list[list[int]] = [[] for _ in range(n)]
+    owners = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(schedule.dep_indptr)
+    ).tolist()
+    for dep, owner in zip(schedule.dep_indices.tolist(), owners):
+        dependents[dep].append(owner)
     return indegree, dependents
 
 
@@ -213,18 +218,19 @@ def simulate(
     elem_bytes: int,
 ) -> TimingResult:
     """Simulate ``schedule`` on an idle machine; per-op timing + makespan."""
-    ops = schedule.ops
-    if not ops:
+    n = len(schedule)
+    if not n:
         return TimingResult(0.0, [], [], {})
 
-    priced: list[PricedOp] = price_ops(ops, machine, libraries, elem_bytes)
-    indegree, dependents = _graph_arrays(ops)
+    priced: list[PricedOp] = price_schedule(schedule, machine, libraries,
+                                            elem_bytes)
+    indegree, dependents = _graph_arrays(schedule)
     start_times, completion, busy, done = _run_graph(
-        priced, dependents, indegree, [0.0] * len(ops)
+        priced, dependents, indegree, [0.0] * n
     )
-    if done != len(ops):
+    if done != n:
         raise ExecutionError(
-            f"dependency deadlock: only {done}/{len(ops)} ops executed"
+            f"dependency deadlock: only {done}/{n} ops executed"
         )
 
     return TimingResult(
@@ -360,23 +366,29 @@ def simulate_workload(jobs, machine: MachineSpec) -> WorkloadTimingResult:
                 f"ranks but {machine.name} has {machine.world_size}; embed "
                 "group schedules into machine rank space first"
             )
-        ops = job.schedule.ops
+        sched = job.schedule
+        nops = len(sched)
         entry = push(
             _VIRTUAL_OP, tuple(exit_idx[k] for k in job.after), job.offset
         )
         base = len(priced)
-        job_priced = price_ops(ops, machine, job.libraries, job.elem_bytes)
-        is_sink = [True] * len(ops)
-        for op in ops:
-            for dep in op.deps:
-                is_sink[dep] = False
-            deps = tuple(base + dep for dep in op.deps) or (entry,)
-            push(job_priced[op.uid], deps)
+        job_priced = price_schedule(sched, machine, job.libraries,
+                                    job.elem_bytes)
+        indptr = sched.dep_indptr.tolist()
+        indices = sched.dep_indices.tolist()
+        is_sink = [True] * nops
+        for dep in indices:
+            is_sink[dep] = False
+        for uid in range(nops):
+            deps = tuple(
+                base + d for d in indices[indptr[uid]:indptr[uid + 1]]
+            ) or (entry,)
+            push(job_priced[uid], deps)
         sinks = [base + i for i, s in enumerate(is_sink) if s] or [entry]
         exit_ = push(_VIRTUAL_OP, tuple(sinks))
         entry_idx.append(entry)
         exit_idx.append(exit_)
-        spans.append((base, base + len(ops)))
+        spans.append((base, base + nops))
 
     start, completion, busy, done = _run_graph(priced, dependents, indegree, ready)
     if done != len(priced):

@@ -140,12 +140,14 @@ def price_ops(
     libraries: tuple[Library, ...],
     elem_bytes: int,
 ) -> list[PricedOp]:
-    """Price a whole schedule at once.
+    """Price a list of op records at once.
 
     Bit-identical to mapping :func:`price_op` over ``ops`` (the arithmetic is
     performed in the same order on the same float64 values), but the per-op
-    cost-model evaluation is vectorized with numpy, which is what lets the
-    event engine price six-figure op counts in well under a second.
+    cost-model evaluation is vectorized with numpy.  Prefer
+    :func:`price_schedule` for a :class:`~repro.core.schedule.Schedule` —
+    it reads the schedule's array columns directly instead of materializing
+    per-op objects.
     """
     n = len(ops)
     if n < BATCH_MIN_OPS:
@@ -158,12 +160,59 @@ def price_ops(
         (-1 if op.level is None else op.level for op in ops), np.int64, n
     )
     reduces = np.fromiter((op.reduce_op is not None for op in ops), np.bool_, n)
+    return _price_arrays(ops, src, dst, count, level, reduces,
+                         machine, libraries, elem_bytes)
+
+
+def price_schedule(
+    schedule,
+    machine: MachineSpec,
+    libraries: tuple[Library, ...],
+    elem_bytes: int,
+) -> list[PricedOp]:
+    """Price a whole schedule straight from its array columns.
+
+    Bit-identical to :func:`price_ops` over ``schedule.ops`` (same float64
+    values through the same operations) without materializing any
+    :class:`~repro.core.schedule.P2POp` views; this is what lets the event
+    engine price six-figure op counts in well under a second.
+    """
+    n = len(schedule)
+    if n < BATCH_MIN_OPS:
+        return [price_op(op, machine, libraries, elem_bytes)
+                for op in schedule.ops]
+    src = schedule.src.astype(np.int64)
+    dst = schedule.dst.astype(np.int64)
+    count = schedule.count.astype(np.float64)
+    level = schedule.level.astype(np.int64)
+    reduces = schedule.reduce >= 0
+    return _price_arrays(schedule, src, dst, count, level, reduces,
+                         machine, libraries, elem_bytes)
+
+
+def _price_arrays(
+    source,
+    src: np.ndarray,
+    dst: np.ndarray,
+    count: np.ndarray,
+    level: np.ndarray,
+    reduces: np.ndarray,
+    machine: MachineSpec,
+    libraries: tuple[Library, ...],
+    elem_bytes: int,
+) -> list[PricedOp]:
+    """Shared vectorized pricing core; ``source`` only feeds error paths."""
+    n = src.shape[0]
+
+    def op_at(i: int) -> P2POp:
+        ops = source.ops if hasattr(source, "ops") else source
+        return ops[i]
 
     local = src == dst
     bad_level = ~local & ((level < 0) | (level >= len(libraries)))
     if bad_level.any():
-        i = int(np.argmax(bad_level))
-        raise ValueError(f"op {ops[i].uid} has no valid library level: {ops[i].level}")
+        bad = op_at(int(np.argmax(bad_level)))
+        raise ValueError(f"op {bad.uid} has no valid library level: {bad.level}")
 
     gb = (count * elem_bytes) / 1.0e9  # same order as _gb(count * elem_bytes)
     g = machine.gpus_per_node
@@ -208,8 +257,8 @@ def price_ops(
     flow_bw = min(machine.nic_bandwidth, machine.injection_bandwidth) * eff_inter
     bad_flow = inter & (flow_bw <= 0)
     if bad_flow.any():
-        i = int(np.argmax(bad_flow))
-        price_op(ops[i], machine, libraries, elem_bytes)  # raises the canonical error
+        # Raises the canonical single-op error message.
+        price_op(op_at(int(np.argmax(bad_flow))), machine, libraries, elem_bytes)
     dur_local = gb / machine.copy_bandwidth
     wire = gb / machine.nic_bandwidth
     with np.errstate(divide="ignore"):
@@ -217,8 +266,8 @@ def price_ops(
     intra_bw = level_bw * eff_intra
     bad_intra = intra & (intra_bw <= 0)
     if bad_intra.any():
-        i = int(np.argmax(bad_intra))
-        price_op(ops[i], machine, libraries, elem_bytes)  # raises the canonical error
+        # Raises the canonical single-op error message.
+        price_op(op_at(int(np.argmax(bad_intra))), machine, libraries, elem_bytes)
     dur_intra = gb / np.where(intra_bw > 0, intra_bw, 1.0)
 
     nic_table = np.array(

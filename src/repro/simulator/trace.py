@@ -23,7 +23,7 @@ from ..core.schedule import Schedule
 from ..machine.spec import MachineSpec
 from ..transport.library import Library
 from .engine import TimingResult
-from .timing import price_op
+from .timing import price_schedule
 
 
 @dataclass(frozen=True)
@@ -52,8 +52,8 @@ def build_trace(schedule: Schedule, timing: TimingResult, machine: MachineSpec,
                 ) -> list[TraceEvent]:
     """Join the schedule with the engine's realized times."""
     events = []
-    for op in schedule.ops:
-        priced = price_op(op, machine, libraries, elem_bytes)
+    priced_all = price_schedule(schedule, machine, libraries, elem_bytes)
+    for op, priced in zip(schedule.ops, priced_all):
         events.append(TraceEvent(
             uid=op.uid,
             name=op.tag or ("copy" if op.is_local else "p2p"),

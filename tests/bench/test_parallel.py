@@ -74,7 +74,7 @@ class TestRunSweep:
 
         points = _points()[:2]
         run_sweep(points, jobs=2, cache_dir=tmp_path)
-        persisted = list(tmp_path.glob(f"v{SCHEMA_VERSION}-*.pkl"))
+        persisted = list(tmp_path.glob(f"v{SCHEMA_VERSION}-*.npz"))
         assert len(persisted) == 2  # one plan per distinct config
 
         # A second parallel sweep hits the persistent layer instead of
@@ -82,7 +82,7 @@ class TestRunSweep:
         stamps = {p.name: p.stat().st_mtime_ns for p in persisted}
         run_sweep(points, jobs=2, cache_dir=tmp_path)
         assert {p.name: p.stat().st_mtime_ns
-                for p in tmp_path.glob(f"v{SCHEMA_VERSION}-*.pkl")} == stamps
+                for p in tmp_path.glob(f"v{SCHEMA_VERSION}-*.npz")} == stamps
 
     def test_serial_sweep_honors_cache_dir(self, tmp_path):
         from repro.core import plancache
@@ -90,7 +90,7 @@ class TestRunSweep:
 
         try:
             run_sweep(_points()[:1], jobs=1, cache_dir=tmp_path)
-            assert len(list(tmp_path.glob(f"v{SCHEMA_VERSION}-*.pkl"))) == 1
+            assert len(list(tmp_path.glob(f"v{SCHEMA_VERSION}-*.npz"))) == 1
         finally:
             plancache.reset()
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import pickle
+import json
 
 import numpy as np
 import pytest
@@ -16,6 +16,7 @@ from repro.core.plancache import (
     PlanCache,
     machine_fingerprint,
     plan_key,
+    plan_nbytes,
     program_fingerprint,
 )
 from repro.machine.machines import generic
@@ -153,8 +154,8 @@ class TestHitMissAccounting:
         assert not c2.cache_hit
         assert fresh_cache.stats.lookups == 1  # only the first init looked
 
-    def test_ops_budget_evicts_before_capacity(self):
-        cache = PlanCache(capacity=100, max_total_ops=1)
+    def test_byte_budget_evicts_before_capacity(self):
+        cache = PlanCache(capacity=100, max_total_bytes=1)
         c1 = _communicator()
         _init(c1, use_cache=False)
 
@@ -170,7 +171,19 @@ class TestHitMissAccounting:
         cache.put(key(2), plan)
         assert len(cache) == 1  # ...but a second one evicts the first
         assert cache.stats.evictions == 1
-        assert cache.total_ops() == len(c1.schedule.ops)
+        assert cache.total_bytes() == plan_nbytes(plan)
+
+    def test_plan_nbytes_counts_arrays_deps_and_timing(self):
+        c1 = _communicator()
+        _init(c1, use_cache=False)
+        plan = CachedPlan(c1.schedule, c1._timing, 0.0)
+        expected = c1.schedule.nbytes()
+        expected += 16 * len(c1._timing.start_times)
+        expected += 16 * len(c1._timing.resource_busy)
+        assert plan_nbytes(plan) == expected
+        # The schedule's own figure includes the CSR dependency storage.
+        assert c1.schedule.nbytes() > c1.schedule.dep_indices.nbytes
+        assert plan_nbytes(CachedPlan(None, None, 0.0)) == 0
 
     def test_lru_eviction_accounted(self):
         cache = PlanCache(capacity=1)
@@ -223,7 +236,7 @@ class TestDiskLayer:
         plancache.configure(disk_dir=disk)
         c1 = _init(_communicator())
         assert not c1.cache_hit
-        assert len(list(disk.glob(f"v{SCHEMA_VERSION}-*.pkl"))) == 1
+        assert len(list(disk.glob(f"v{SCHEMA_VERSION}-*.npz"))) == 1
 
         # A brand-new process-wide cache (same disk dir) hits via disk.
         cache2 = plancache.configure(disk_dir=disk)
@@ -243,25 +256,47 @@ class TestDiskLayer:
         _init(_communicator())
         path = cache.disk_entries()[0]
 
-        # Simulate a plan persisted by an older schema: the payload says v0.
-        payload = pickle.loads(path.read_bytes())
-        payload["schema"] = SCHEMA_VERSION - 1
-        path.write_bytes(pickle.dumps(payload))
+        # Simulate a plan persisted by an older schema: the payload says v1.
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        meta = json.loads(str(arrays["meta"][()]))
+        meta["schema"] = SCHEMA_VERSION - 1
+        arrays["meta"] = np.asarray(json.dumps(meta))
+        with path.open("wb") as fh:
+            np.savez(fh, **arrays)
 
         cache2 = plancache.configure(disk_dir=disk)
         c = _init(_communicator())
         assert not c.cache_hit  # stale schema ignored, fresh synthesis
         assert cache2.stats.misses == 1
 
-    def test_corrupt_pickle_is_a_miss_not_an_error(self, tmp_path):
+    def test_corrupt_archive_is_a_miss_not_an_error(self, tmp_path):
         disk = tmp_path / "plans"
         cache = plancache.configure(disk_dir=disk)
         _init(_communicator())
-        cache.disk_entries()[0].write_bytes(b"not a pickle")
+        cache.disk_entries()[0].write_bytes(b"not an archive")
         cache2 = plancache.configure(disk_dir=disk)
         c = _init(_communicator())
         assert not c.cache_hit
         assert cache2.stats.disk_errors == 1
+
+    def test_no_pickles_on_disk(self, tmp_path):
+        """The persistent layer is pickle-free: pure arrays + JSON."""
+        disk = tmp_path / "plans"
+        plancache.configure(disk_dir=disk)
+        c1 = _init(_communicator())
+        assert list(disk.glob("*.pkl")) == []
+        path = plancache.get_cache().disk_entries()[0]
+        with np.load(path, allow_pickle=False) as payload:
+            assert "meta" in payload.files
+            assert "col_src" in payload.files
+            assert "dep_indices" in payload.files
+        # Round-trip through the archive preserves the lowered ops exactly.
+        cache2 = plancache.configure(disk_dir=disk)
+        c2 = _init(_communicator())
+        assert c2.cache_hit
+        assert c2.schedule.ops == c1.schedule.ops
+        assert c2.timing.elapsed == c1.timing.elapsed
 
     def test_clear_disk_removes_all_versions_and_tmp_orphans(self, tmp_path):
         disk = tmp_path / "plans"

@@ -45,6 +45,16 @@ class TestCommMatrix:
                 else:
                     assert cell == "MPI", (src, dst)
 
+    def test_label_matrix_via_level_of(self):
+        """comm_matrix(level_of=...) carries the last op's label per pair."""
+        machine, comm = _fig7_tree_comm()
+        labels = comm.schedule.comm_matrix(level_of=lambda op: op.level)
+        lib = comm.schedule.library_matrix(comm.plan.libraries)
+        for src in range(12):
+            for dst in range(12):
+                if lib[src][dst]:
+                    assert labels[src][dst] is not None
+
     def test_total_volume_conservation(self):
         machine, comm = _fig7_tree_comm()
         vols = comm.schedule.volume_by_kind(machine)

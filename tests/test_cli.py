@@ -56,6 +56,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mpi" in out and "hiccl" in out and "bounds:" in out
 
+    def test_lower_dump(self, capsys):
+        rc = main(["lower", "all_reduce", "--system", "perlmutter",
+                   "--nodes", "2", "--payload", "8M", "--dump"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for pass_name in ("expand-logic", "hierarchy", "pipelining",
+                          "striping", "ring-tree", "channel-binding"):
+            assert pass_name in out
+        assert "stage(s)" in out and "scratch high-water" in out
+
+    def test_lower_with_optimization_passes(self, capsys):
+        rc = main(["lower", "broadcast", "--system", "delta", "--nodes", "2",
+                   "--payload", "1M", "--pipeline", "8", "--dump",
+                   "--fuse", "--dce"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fuse-contiguous" in out and "dead-copy-elim" in out
+
     def test_tune_staged(self, capsys):
         rc = main(["tune", "broadcast", "--system", "perlmutter",
                    "--nodes", "2", "--payload", "8M", "--top", "3",

@@ -88,6 +88,27 @@ def test_readme_workload_quickstart_runs():
     assert result.worst_slowdown >= 1.0
 
 
+def test_readme_inspecting_schedules_quickstart_runs():
+    """The README "Inspecting schedules" snippet executes as written."""
+    readme = CHECKER.parent.parent / "README.md"
+    section = readme.read_text().split("## Inspecting schedules")[1]
+    section = section.split("\n## ")[0]
+    blocks = re.findall(r"```python\n(.*?)```", section, re.S)
+    assert blocks, "inspecting-schedules python block missing"
+    namespace: dict = {}
+    exec(compile(blocks[0], str(readme), "exec"), namespace)  # noqa: S102
+    schedule = namespace["schedule"]
+    lowered = namespace["lowered"]
+    assert len(schedule) > 0
+    assert namespace["stages"] >= 1
+    assert set(namespace["volumes"]) == {"inter-node", "intra-node", "local"}
+    assert namespace["first_op"].uid == 0
+    assert [s["pass"] for s in lowered.summaries] == [
+        "expand-logic", "hierarchy", "pipelining", "striping", "ring-tree",
+        "channel-binding",
+    ]
+
+
 def test_readme_planner_quickstart_runs():
     """The README "Tuning the optimization parameters" snippet executes."""
     readme = CHECKER.parent.parent / "README.md"

@@ -26,6 +26,7 @@ CHECKED_DIRS = (
     "src/repro/simulator",
     "src/repro/planner",
     "src/repro/model",
+    "src/repro/core/passes",
 )
 
 _DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)

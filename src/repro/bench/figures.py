@@ -398,6 +398,166 @@ def render_workloads(machine: MachineSpec, results) -> str:
     return "\n".join(lines)
 
 
+# ------------------------------------------------------- Simulation engines
+def fig9_sweep_curves(machine: MachineSpec, collective: str,
+                      payloads_bytes=None,
+                      depths=FIG9_DEPTHS,
+                      engine: str = "auto") -> dict[int, list[Measurement]]:
+    """One Figure 9 panel priced as a payload *sweep* (one lowering per depth).
+
+    Instead of re-composing and re-lowering the collective at every buffer
+    size like :func:`fig9_curves`, each pipeline depth is lowered once at the
+    largest payload and the rest of the x-axis comes from
+    :func:`repro.simulator.engine.simulate_sweep` — the static pricing and
+    (on the level engine) the leveling are shared across the whole grid.
+    Grid points match :func:`fig9_curves` bit-for-bit whenever the lowered
+    structure is payload-invariant, which holds for the committed Figure 9
+    configurations' power-of-two sizes; ``benchmarks/`` keeps calling
+    :func:`fig9_curves` so the committed baselines are independent of this
+    path.
+    """
+    import numpy as np
+
+    from ..core.composition import compose
+    from ..simulator.engine import simulate_sweep
+
+    if payloads_bytes is None:
+        payloads_bytes = [1 << s for s in range(14, 31, 2)]  # 16 KB .. 1 GB
+    topology = FIG9_CASES[collective]
+    base_pb = max(payloads_bytes)
+    base_count = payload_count(machine, base_pb)
+    scales = tuple(pb / base_pb for pb in payloads_bytes)
+    out: dict[int, list[Measurement]] = {}
+    for m_depth in depths:
+        if topology == "ring":
+            cfg = ring_config(machine, pipeline=m_depth)
+        else:
+            cfg = tree_config(machine, pipeline=m_depth)
+        comm = Communicator(machine, dtype=np.float32, materialize=False)
+        compose(comm, collective, base_count)
+        comm.init(**cfg.init_kwargs())
+        results = simulate_sweep(comm.schedule, machine, comm.plan.libraries,
+                                 4, scales, engine=engine)
+        out[m_depth] = [
+            Measurement(machine.name, collective, f"hiccl-{cfg.name}",
+                        int(round(base_count * scale)) * machine.world_size * 4,
+                        r.elapsed)
+            for scale, r in zip(scales, results)
+        ]
+    return out
+
+
+def pipeline_stage_schedule(machine: MachineSpec, microbatches: int = 4,
+                            count: int = 1 << 20):
+    """Dependency-chained pipeline-parallel traffic (one schedule, no fences
+    crossed by concurrent flows).
+
+    Per microbatch and node, the node's non-leader ranks reduce into the
+    leader over an explicit chain of intra-node sends, and each leader then
+    forwards the accumulated activation to the next node's leader — also
+    chained on the previous stage's forward.  Every shared resource therefore
+    carries at most one flow at a time, which is exactly the schedule class
+    the levelized engine's optimistic certificate accepts; contended
+    collectives (striping, tree fan-out) instead fall back to the event loop.
+    Used by the engine benchmarks and the EXPERIMENTS event-vs-level table.
+    """
+    from ..core.ops import ReduceOp
+    from ..core.schedule import ScheduleBuilder
+
+    g = machine.gpus_per_node
+    nodes = machine.world_size // g
+    b = ScheduleBuilder(machine.world_size)
+    for _mb in range(microbatches):
+        prev_stage = None
+        for node in range(nodes):
+            leader = node * g
+            prev = None
+            for k in range(1, g):
+                deps = (prev,) if prev is not None else ()
+                prev = b.send(leader + k, leader, ("buf", 0), ("acc", 0),
+                              count, deps=deps, level=1, tag="pp-gather",
+                              reduce_op=ReduceOp.SUM)
+            if node + 1 < nodes:
+                deps = (prev,) if prev is not None else ()
+                if prev_stage is not None:
+                    deps = deps + (prev_stage,)
+                prev_stage = b.send(leader, (node + 1) * g, ("acc", 0),
+                                    ("buf", 0), count, deps=deps, level=0,
+                                    tag="pp-fwd")
+        b.end_step()
+    return b.build()
+
+
+@dataclass(frozen=True)
+class EngineComparison:
+    """Event vs level wall-clock on one schedule (one row of the table)."""
+
+    label: str
+    system: str
+    ranks: int
+    ops: int
+    event_wall: float
+    level_wall: float
+    engine_used: str
+    makespan: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        """Event wall-clock over level wall-clock (>1 means level is faster)."""
+        return self.event_wall / max(self.level_wall, 1e-12)
+
+
+def compare_engines(label: str, schedule, machine: MachineSpec, libraries,
+                    elem_bytes: int = 4, repeat: int = 1) -> EngineComparison:
+    """Run one schedule through both engines; best-of-``repeat`` wall times.
+
+    ``engine_used`` reports what the ``engine="level"`` request actually ran
+    (a schedule whose certificate is rejected falls back to ``"event"``), and
+    ``identical`` checks the two per-op timelines bit-for-bit.
+    """
+    import time
+
+    from ..simulator.engine import simulate
+
+    def best(engine):
+        walls, result = [], None
+        for _ in range(max(1, repeat)):
+            t0 = time.perf_counter()
+            result = simulate(schedule, machine, libraries, elem_bytes,
+                              engine=engine)
+            walls.append(time.perf_counter() - t0)
+        return min(walls), result
+
+    event_wall, event_res = best("event")
+    level_wall, level_res = best("level")
+    identical = (
+        event_res.start_times == level_res.start_times
+        and event_res.completion_times == level_res.completion_times
+    )
+    return EngineComparison(
+        label=label, system=machine.name, ranks=machine.world_size,
+        ops=len(schedule), event_wall=event_wall, level_wall=level_wall,
+        engine_used=level_res.engine, makespan=level_res.elapsed,
+        identical=identical,
+    )
+
+
+def sim_engine_table(rows: list[EngineComparison]) -> str:
+    """Text table of event-vs-level comparisons (EXPERIMENTS.md format)."""
+    lines = [
+        f"{'case':28s} {'ranks':>7s} {'ops':>8s} {'event(s)':>9s} "
+        f"{'level(s)':>9s} {'speedup':>8s} {'ran':>6s} {'identical':>9s}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.label:28s} {r.ranks:>7d} {r.ops:>8d} {r.event_wall:>9.3f} "
+            f"{r.level_wall:>9.3f} {r.speedup:>7.1f}x {r.engine_used:>6s} "
+            f"{str(r.identical):>9s}"
+        )
+    return "\n".join(lines)
+
+
 # -------------------------------------------------------------------- Fig 10
 FIG10_DEPTHS = (1, 2, 4, 8, 16, 32)
 

@@ -14,6 +14,8 @@ Entry point: ``python -m repro <command>``::
     python -m repro workloads fsdp_step --system perlmutter --payload 64M
     python -m repro lower all_reduce --system perlmutter --dump  # pass summary
     python -m repro cache                           # plan-cache statistics
+    python -m repro sim pipeline --system frontier-full --engine level
+    python -m repro sim all_reduce --system perlmutter --engine both
 
 Outputs are plain text; the heavy lifting lives in the library so every
 command is also reachable programmatically.
@@ -41,12 +43,15 @@ def _machine(args):
 
 
 def cmd_machines(args) -> int:
-    """List the Table 4 machine models."""
-    from .machine.machines import PAPER_SYSTEMS, by_name
+    """List the Table 4 machine models and the full-system aggregates."""
+    from .machine.machines import AGGREGATE_SYSTEMS, PAPER_SYSTEMS, by_name
 
     print("Paper systems (Table 4):")
     for name in PAPER_SYSTEMS:
         print(" ", by_name(name, nodes=args.nodes).describe())
+    print("Aggregate full systems (deployed scale; --nodes overrides):")
+    for name in AGGREGATE_SYSTEMS:
+        print(" ", by_name(name, nodes=None).describe())
     return 0
 
 
@@ -121,6 +126,7 @@ def cmd_tune(args) -> int:
                 ("--budget", args.budget is not None),
                 ("--top", args.top is not None),
                 ("--no-library-search", args.no_library_search),
+                ("--sweep-rungs", args.sweep_rungs),
             ) if given
         ]
         if ignored:
@@ -152,8 +158,12 @@ def cmd_tune(args) -> int:
     if args.budget is not None and args.budget < 1:
         print("error: --budget must be >= 1")
         return 2
-    budget = (SearchBudget(max_full=args.budget)
-              if args.budget is not None else None)
+    budget = None
+    if args.budget is not None or args.sweep_rungs:
+        budget_kwargs = {"sweep_rungs": args.sweep_rungs}
+        if args.budget is not None:
+            budget_kwargs["max_full"] = args.budget
+        budget = SearchBudget(**budget_kwargs)
     result = plan_collective(
         machine, args.collective, _parse_size(args.payload),
         space=space, budget=budget, strategy=strategy,
@@ -309,6 +319,66 @@ def cmd_lower(args) -> int:
     return 0
 
 
+def cmd_sim(args) -> int:
+    """Simulate one schedule under a chosen engine and report timings."""
+    import time
+
+    from .bench.figures import (
+        compare_engines,
+        pipeline_stage_schedule,
+        sim_engine_table,
+    )
+    from .simulator.engine import simulate
+    from .transport.library import Library
+
+    machine = _machine(args)
+    payload = _parse_size(args.payload)
+    if args.case == "pipeline":
+        count = max(1, payload // 4)
+        schedule = pipeline_stage_schedule(
+            machine, microbatches=args.microbatches, count=count
+        )
+        libraries = (Library.MPI, Library.IPC)
+        label = f"pipeline x{args.microbatches}"
+    else:
+        from .bench.configs import best_config
+        from .bench.runner import payload_count
+        from .core.communicator import Communicator
+        from .core.composition import compose
+        from .core.passes import PassPipeline
+        from .core.plan import OptimizationPlan
+
+        count = payload_count(machine, payload)
+        comm = Communicator(machine, materialize=False)
+        compose(comm, args.case, count)
+        cfg = best_config(machine, args.case)
+        kw = cfg.init_kwargs()
+        plan = OptimizationPlan.create(
+            machine, kw["hierarchy"], kw["library"],
+            stripe=kw["stripe"], ring=kw["ring"], pipeline=kw["pipeline"],
+        )
+        schedule = PassPipeline(plan).run(comm.program).schedule
+        libraries = plan.libraries
+        label = f"{args.case} ({cfg.name})"
+    print(f"simulating {label} on {machine.describe()}")
+    if args.engine == "both":
+        row = compare_engines(label, schedule, machine, libraries,
+                              repeat=args.repeat)
+        print(sim_engine_table([row]))
+        return 0
+    walls = []
+    timing = None
+    for _ in range(max(1, args.repeat)):
+        t0 = time.perf_counter()
+        timing = simulate(schedule, machine, libraries, 4, engine=args.engine)
+        walls.append(time.perf_counter() - t0)
+    print(f"  {len(schedule)} ops, engine requested {args.engine!r}, "
+          f"ran {timing.engine!r}")
+    print(f"  makespan {timing.elapsed * 1e3:.3f} ms, simulator wall "
+          f"{min(walls):.3f} s")
+    return 0
+
+
 def cmd_gantt(args) -> int:
     """Render the pipeline timeline as an ASCII Gantt chart."""
     from .bench.configs import best_config
@@ -384,6 +454,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 1,4,16,32; 1,2,4,8 with --workload)")
     p.add_argument("--no-library-search", action="store_true",
                    help="fix per-level libraries to the Table 5 policy")
+    p.add_argument("--sweep-rungs", action="store_true",
+                   help="price the halving rungs from one full-payload "
+                        "lowering per survivor (payload sweep) instead of "
+                        "re-lowering at each truncated payload")
     p.add_argument("--workload", action="store_true",
                    help="treat the positional argument as a workload "
                         "scenario and tune its groups against the "
@@ -442,6 +516,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dce", action="store_true",
                    help="enable the dead-copy elimination pass")
     p.set_defaults(fn=cmd_lower)
+
+    p = sub.add_parser(
+        "sim",
+        help="simulate one schedule under the event or levelized engine")
+    p.add_argument("case",
+                   help="a collective (e.g. all_reduce) or 'pipeline' for "
+                        "the dependency-chained pipeline-parallel workload")
+    p.add_argument("--system", default="perlmutter",
+                   help="delta|perlmutter|frontier|aurora|"
+                        "frontier-full|aurora-full")
+    p.add_argument("--nodes", type=int, default=None,
+                   help="node count (default: the system's own default — "
+                        "4 for the paper testbeds, deployed scale for the "
+                        "full-system aggregates)")
+    p.add_argument("--payload", default="4M",
+                   help="total payload (collectives) or per-hop buffer "
+                        "(pipeline), e.g. 4M, 1G")
+    p.add_argument("--engine", choices=("auto", "event", "level", "both"),
+                   default="auto",
+                   help="simulation engine; 'both' runs event and level and "
+                        "prints the comparison row")
+    p.add_argument("--microbatches", type=int, default=4,
+                   help="pipeline case only: microbatches per stage chain")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="simulator wall-clock is best-of-N")
+    p.set_defaults(fn=cmd_sim)
 
     p = sub.add_parser("gantt", help="ASCII pipeline timeline (Figure 7)")
     common(p)

@@ -254,6 +254,7 @@ def _plan_payload(key: PlanKey, plan: CachedPlan) -> dict[str, np.ndarray]:
         arrays["dep_indices"] = schedule.dep_indices
     if timing is not None:
         meta["elapsed"] = timing.elapsed
+        meta["engine"] = getattr(timing, "engine", "event")
         meta["resource_keys"] = [list(k) for k in timing.resource_busy]
         arrays["start_times"] = np.asarray(timing.start_times, dtype=np.float64)
         arrays["completion_times"] = np.asarray(
@@ -297,6 +298,7 @@ def _plan_from_payload(payload, key: PlanKey) -> CachedPlan | None:
             start_times=payload["start_times"].tolist(),
             completion_times=payload["completion_times"].tolist(),
             resource_busy=dict(zip(keys, payload["resource_busy"].tolist())),
+            engine=meta.get("engine", "event"),
         )
     return CachedPlan(schedule, timing, meta["synthesis_seconds"])
 

@@ -321,6 +321,32 @@ class Schedule:
             total += getattr(self, name).nbytes
         return total
 
+    def dependents_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Forward (dependents) CSR derived from the stored backward deps.
+
+        Returns ``(indptr, indices)`` where ``indices[indptr[u]:indptr[u+1]]``
+        lists the ops that depend on ``u``, each row sorted ascending.  This
+        is the adjacency direction frontier peeling consumes.
+        """
+        n = len(self)
+        counts = np.bincount(self.dep_indices, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        owners = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.dep_indptr)
+        )
+        order = np.argsort(self.dep_indices, kind="stable")
+        return indptr, owners[order]
+
+    def dep_levels(self, max_depth: int | None = None
+                   ) -> tuple[np.ndarray, int] | None:
+        """Topological level of every op (see :func:`toposort_levels`)."""
+        indptr, indices = self.dependents_csr()
+        return toposort_levels(
+            np.diff(self.dep_indptr), indptr, indices, len(self),
+            max_depth=max_depth,
+        )
+
     # ----------------------------------------------------------------- stats
     @property
     def is_local_mask(self) -> np.ndarray:
@@ -425,6 +451,72 @@ class Schedule:
             for rank, count in sizes.items():
                 per_rank[rank] = per_rank.get(rank, 0) + count
         return max(per_rank.values(), default=0)
+
+
+def _gather_rows(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices of the CSR rows ``[starts[i], starts[i]+counts[i])``.
+
+    The multi-slice gather trick: one ``arange`` over the total output size,
+    rebased per row, replaces a python loop over ``counts.size`` slices.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    excl = np.cumsum(counts) - counts
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(excl, counts)
+        + np.repeat(starts, counts)
+    )
+
+
+def toposort_levels(
+    indegree: np.ndarray,
+    dpt_indptr: np.ndarray,
+    dpt_indices: np.ndarray,
+    num_ops: int,
+    max_depth: int | None = None,
+) -> tuple[np.ndarray, int] | None:
+    """Vectorized Kahn peel: topological level of every node, or ``None``.
+
+    ``indegree`` is each node's dependency count and ``dpt_indptr`` /
+    ``dpt_indices`` the forward (dependents) CSR.  Level 0 is the set of
+    nodes with no dependencies; level ``k+1`` the nodes whose last
+    dependency sits at level ``k``.  Each round gathers the whole current
+    frontier's dependent rows at once and decrements indegrees with one
+    ``bincount``, so the cost is O(edges) numpy work spread over
+    ``depth`` rounds rather than O(nodes) heap operations.
+
+    Returns ``(levels, depth)``, or ``None`` when the peel exceeds
+    ``max_depth`` rounds (schedules that deep serialize anyway, and callers
+    treat ``None`` as "use the event loop") or fails to cover every node
+    (a dependency cycle — the event loop raises the canonical error).
+    """
+    levels = np.zeros(num_ops, dtype=np.int64)
+    indeg = indegree.astype(np.int64, copy=True)
+    dpt_counts = np.diff(dpt_indptr)
+    frontier = np.flatnonzero(indeg == 0)
+    seen = 0
+    depth = 0
+    while frontier.size:
+        if max_depth is not None and depth >= max_depth:
+            return None
+        levels[frontier] = depth
+        seen += frontier.size
+        depth += 1
+        children = dpt_indices[
+            _gather_rows(dpt_indptr[frontier], dpt_counts[frontier])
+        ]
+        if children.size == 0:
+            break
+        # Per-round work must stay O(frontier edges), not O(num_ops): a
+        # full-width bincount per round would make deep graphs quadratic.
+        uniq, dec = np.unique(children, return_counts=True)
+        indeg[uniq] -= dec
+        frontier = uniq[indeg[uniq] == 0]
+    if seen != num_ops:
+        return None  # cycle: let the event loop raise the canonical error
+    return levels, depth
 
 
 class ScheduleBuilder:

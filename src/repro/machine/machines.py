@@ -147,13 +147,53 @@ PAPER_SYSTEMS = {
     "aurora": aurora,
 }
 
+#: Deployed node counts of the two exascale systems, per their published
+#: configurations: Frontier's 9,408 nodes x 8 GCDs = 75,264 ranks and
+#: Aurora's 10,624 nodes x 12 tiles = 127,488 ranks.
+FULL_SYSTEM_NODES = {
+    "frontier": 9408,
+    "aurora": 10624,
+}
 
-def by_name(name: str, nodes: int = 4) -> MachineSpec:
-    """Look up a paper system by name (case-insensitive)."""
-    try:
-        factory = PAPER_SYSTEMS[name.lower()]
-    except KeyError:
+
+def frontier_full(nodes: int = FULL_SYSTEM_NODES["frontier"]) -> MachineSpec:
+    """Aggregate full-system Frontier: 75,264 ranks at the deployed scale.
+
+    Identical per-node architecture (and ``name``, so transport profiles
+    and tuned configs still apply) — only the node count changes.  This is
+    the machine model the levelized engine exists for; the event loop takes
+    whole seconds per simulation at this scale.
+    """
+    return frontier(nodes)
+
+
+def aurora_full(nodes: int = FULL_SYSTEM_NODES["aurora"]) -> MachineSpec:
+    """Aggregate full-system Aurora: 127,488 ranks at the deployed scale."""
+    return aurora(nodes)
+
+
+#: Full-system aggregate models (ROADMAP item 2: 10k-100k rank studies).
+#: Keyed separately from PAPER_SYSTEMS so figure sweeps over the paper's
+#: four testbeds never accidentally pick up a 75k-rank machine.
+AGGREGATE_SYSTEMS = {
+    "frontier-full": frontier_full,
+    "aurora-full": aurora_full,
+}
+
+
+def by_name(name: str, nodes: int | None = 4) -> MachineSpec:
+    """Look up a system by name (case-insensitive), paper or aggregate.
+
+    ``nodes=None`` keeps each factory's own default — the paper testbeds
+    at 4 nodes, the aggregates at their full deployed scale.
+    """
+    key = name.lower()
+    factory = PAPER_SYSTEMS.get(key) or AGGREGATE_SYSTEMS.get(key)
+    if factory is None:
         raise KeyError(
-            f"unknown system {name!r}; available: {sorted(PAPER_SYSTEMS)}"
-        ) from None
+            f"unknown system {name!r}; available: "
+            f"{sorted(PAPER_SYSTEMS) + sorted(AGGREGATE_SYSTEMS)}"
+        )
+    if nodes is None:
+        return factory()
     return factory(nodes)

@@ -335,3 +335,33 @@ def estimate_seconds(
     )
     cost = t_ring if candidate.ring > 1 else t_tree
     return cost(d, params)
+
+
+def critical_path_seconds(schedule, machine: MachineSpec, libraries,
+                          elem_bytes: int = 4) -> float:
+    """Uncontended longest-path time of a *lowered* schedule.
+
+    The levelized engine's optimistic solve without its resource
+    certificate: every op starts the instant its dependencies complete, as
+    if each resource had infinite capacity.  Since the event engine can
+    only ever delay an op beyond its dependency-ready instant (resources
+    add waiting, never remove it), this is a sound lower bound on the
+    simulated makespan of either engine — the property the fuzz harness
+    asserts.  Unlike :func:`lower_bound_seconds` this prices the schedule
+    actually produced by lowering, so it reflects composition and pipeline
+    choices, not just traffic volume.
+    """
+    from ..simulator.level import solve_levels
+    from ..simulator.timing import price_schedule_columns
+
+    n = len(schedule)
+    if n == 0:
+        return 0.0
+    cols = price_schedule_columns(schedule, machine, tuple(libraries),
+                                  elem_bytes)
+    leveling = schedule.dep_levels(max_depth=None)
+    if leveling is None:
+        raise ValueError("schedule dependency graph contains a cycle")
+    _, comp = solve_levels(cols, schedule.dep_indptr, schedule.dep_indices,
+                           *leveling)
+    return float(comp.max())

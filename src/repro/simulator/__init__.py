@@ -1,9 +1,25 @@
-"""Discrete-event + functional simulation substrate."""
+"""Discrete-event + levelized-batch + functional simulation substrate."""
 
-from .engine import TimingResult, simulate
+from .engine import (
+    ENGINES,
+    JobSpec,
+    TimingResult,
+    WorkloadTimingResult,
+    simulate,
+    simulate_sweep,
+    simulate_workload,
+)
 from .executor import critical_path_length, execute, materialize_scratch, random_topological_order
 from .process import MemoryPool
-from .timing import PricedOp, price_op, price_ops
+from .timing import (
+    PricedColumns,
+    PricedOp,
+    price_op,
+    price_ops,
+    price_schedule,
+    price_schedule_columns,
+    price_schedule_sweep,
+)
 from .trace import (
     TraceEvent,
     ascii_gantt,
@@ -14,16 +30,25 @@ from .trace import (
 )
 
 __all__ = [
+    "ENGINES",
+    "JobSpec",
     "MemoryPool",
+    "PricedColumns",
     "PricedOp",
     "TimingResult",
+    "WorkloadTimingResult",
     "critical_path_length",
     "execute",
     "materialize_scratch",
     "price_op",
     "price_ops",
+    "price_schedule",
+    "price_schedule_columns",
+    "price_schedule_sweep",
     "random_topological_order",
     "simulate",
+    "simulate_sweep",
+    "simulate_workload",
     "TraceEvent",
     "ascii_gantt",
     "build_trace",

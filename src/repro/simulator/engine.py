@@ -45,7 +45,23 @@ from ..core.schedule import Schedule
 from ..errors import ExecutionError
 from ..machine.spec import MachineSpec
 from ..transport.library import Library
-from .timing import PricedOp, price_schedule
+from .level import (LEVEL_MIN_OPS, attempt_level, graph_leveling,
+                    schedule_leveling)
+from .timing import (PricedOp, columns_from_priced, price_schedule,
+                     price_schedule_columns, price_schedule_sweep)
+
+#: Engine selectors accepted by :func:`simulate` / :func:`simulate_workload`.
+#: ``auto`` tries the levelized fast path on graphs worth the setup and
+#: falls back transparently; ``level`` always attempts it (still falling
+#: back when the certificate fails); ``event`` never tries.
+ENGINES = ("auto", "event", "level")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ExecutionError(
+            f"unknown engine {engine!r}; choose one of {ENGINES}"
+        )
 
 #: Event kinds, ordered so resource-free events at time T are handled before
 #: op-ready events at the same T (freshly freed links are offered to parked
@@ -72,6 +88,7 @@ class TimingResult:
     start_times: list[float]
     completion_times: list[float]
     resource_busy: dict[tuple, float]  # per-resource total occupancy
+    engine: str = "event"  # which engine produced the numbers
 
     def throughput(self, payload_bytes: float) -> float:
         """GB/s given the collective's payload definition (Section 6.2)."""
@@ -211,16 +228,47 @@ def _graph_arrays(schedule: Schedule) -> tuple[list[int], list[list[int]]]:
     return indegree, dependents
 
 
+def _level_result(cols, dep_indptr, dep_indices, leveling) -> TimingResult | None:
+    """Certified levelized solve packaged as a TimingResult, or ``None``."""
+    solved = attempt_level(cols, dep_indptr, dep_indices, leveling)
+    if solved is None:
+        return None
+    start, comp, busy = solved
+    return TimingResult(
+        elapsed=float(comp.max()),
+        start_times=start.tolist(),
+        completion_times=comp.tolist(),
+        resource_busy=busy,
+        engine="level",
+    )
+
+
 def simulate(
     schedule: Schedule,
     machine: MachineSpec,
     libraries: tuple[Library, ...],
     elem_bytes: int,
+    engine: str = "auto",
 ) -> TimingResult:
-    """Simulate ``schedule`` on an idle machine; per-op timing + makespan."""
+    """Simulate ``schedule`` on an idle machine; per-op timing + makespan.
+
+    ``engine`` selects the implementation, never the answer: the levelized
+    fast path only returns when its no-contention certificate proves the
+    event loop would produce bit-identical times (see
+    :mod:`repro.simulator.level`), so all three selectors yield the same
+    numbers.  Check ``TimingResult.engine`` for which path actually ran.
+    """
+    _check_engine(engine)
     n = len(schedule)
     if not n:
         return TimingResult(0.0, [], [], {})
+
+    if engine == "level" or (engine == "auto" and n >= LEVEL_MIN_OPS):
+        cols = price_schedule_columns(schedule, machine, libraries, elem_bytes)
+        result = _level_result(cols, schedule.dep_indptr,
+                               schedule.dep_indices, schedule_leveling(schedule))
+        if result is not None:
+            return result
 
     priced: list[PricedOp] = price_schedule(schedule, machine, libraries,
                                             elem_bytes)
@@ -239,6 +287,56 @@ def simulate(
         completion_times=completion,
         resource_busy=busy,
     )
+
+
+def simulate_sweep(
+    schedule: Schedule,
+    machine: MachineSpec,
+    libraries: tuple[Library, ...],
+    elem_bytes: int,
+    scales,
+    engine: str = "auto",
+) -> list[TimingResult]:
+    """Simulate one schedule at many payload scales, one leveling shared.
+
+    Prices the whole payload grid through
+    :func:`~repro.simulator.timing.price_schedule_sweep` (static pricing
+    computed once) and levels the dependency graph once; each grid point
+    then costs only a per-level solve plus the certificate.  Grid points
+    whose certificate fails fall back to the event loop individually.
+    Every returned result is bit-identical to ``simulate`` on a schedule
+    carrying the scaled counts whenever the scale is a power of two (see
+    ``price_schedule_sweep``); structure is payload-independent here by
+    construction since all points share one lowering.
+    """
+    _check_engine(engine)
+    n = len(schedule)
+    scales = list(scales)
+    if not n:
+        return [TimingResult(0.0, [], [], {}) for _ in scales]
+
+    cols_grid = price_schedule_sweep(schedule, machine, libraries,
+                                     elem_bytes, scales)
+    leveling = schedule_leveling(schedule) if engine != "event" else None
+    results = []
+    for cols in cols_grid:
+        result = None
+        if leveling is not None:
+            result = _level_result(cols, schedule.dep_indptr,
+                                   schedule.dep_indices, leveling)
+        if result is None:
+            indegree, dependents = _graph_arrays(schedule)
+            start_times, completion, busy, done = _run_graph(
+                cols.to_priced(), dependents, indegree, [0.0] * n
+            )
+            if done != n:
+                raise ExecutionError(
+                    f"dependency deadlock: only {done}/{n} ops executed"
+                )
+            result = TimingResult(max(completion), start_times,
+                                  completion, busy)
+        results.append(result)
+    return results
 
 
 # ------------------------------------------------------- concurrent workloads
@@ -296,6 +394,7 @@ class WorkloadTimingResult:
     makespan: float
     jobs: list[JobTiming]
     resource_busy: dict[tuple, float]
+    engine: str = "event"  # which engine produced the numbers
 
     def utilization(self) -> dict[tuple, float]:
         """Busy fraction of the workload makespan per machine resource."""
@@ -308,7 +407,8 @@ class WorkloadTimingResult:
         return rank_resources(self.resource_busy, n)
 
 
-def simulate_workload(jobs, machine: MachineSpec) -> WorkloadTimingResult:
+def simulate_workload(jobs, machine: MachineSpec,
+                      engine: str = "auto") -> WorkloadTimingResult:
     """Price several schedules against one shared set of resource timelines.
 
     Unlike mapping :func:`simulate` over the jobs — where each schedule
@@ -326,13 +426,17 @@ def simulate_workload(jobs, machine: MachineSpec) -> WorkloadTimingResult:
     keeps the merged graph topologically ordered by construction.
 
     Returns a :class:`WorkloadTimingResult`; per-job contended durations are
-    in its ``jobs`` list, in input order.
+    in its ``jobs`` list, in input order.  ``engine`` follows the
+    :func:`simulate` contract: the levelized path only answers when its
+    certificate proves bit-identity with the event loop.
     """
+    _check_engine(engine)
     jobs = list(jobs)
     if not jobs:
         return WorkloadTimingResult(0.0, [], {})
 
     priced: list[PricedOp] = []
+    dep_rows: list[tuple] = []
     dependents: list[list[int]] = []
     indegree: list[int] = []
     ready: list[float] = []
@@ -340,6 +444,7 @@ def simulate_workload(jobs, machine: MachineSpec) -> WorkloadTimingResult:
     def push(cost: PricedOp, deps, t0: float = 0.0) -> int:
         uid = len(priced)
         priced.append(cost)
+        dep_rows.append(deps)
         dependents.append([])
         indegree.append(len(deps))
         ready.append(t0)
@@ -390,12 +495,29 @@ def simulate_workload(jobs, machine: MachineSpec) -> WorkloadTimingResult:
         exit_idx.append(exit_)
         spans.append((base, base + nops))
 
-    start, completion, busy, done = _run_graph(priced, dependents, indegree, ready)
-    if done != len(priced):
-        raise ExecutionError(
-            f"dependency deadlock: only {done}/{len(priced)} workload nodes "
-            "executed"
+    engine_used = "event"
+    solved = None
+    if engine == "level" or (engine == "auto" and len(priced) >= LEVEL_MIN_OPS):
+        cols = columns_from_priced(priced)
+        if cols is not None:
+            indptr, indices, leveling = graph_leveling(dep_rows, len(priced))
+            if leveling is not None:
+                solved = attempt_level(cols, indptr, indices, leveling,
+                                       ready=np.asarray(ready))
+    if solved is not None:
+        start_a, completion_a, busy = solved
+        start = start_a.tolist()
+        completion = completion_a.tolist()
+        engine_used = "level"
+    else:
+        start, completion, busy, done = _run_graph(
+            priced, dependents, indegree, ready
         )
+        if done != len(priced):
+            raise ExecutionError(
+                f"dependency deadlock: only {done}/{len(priced)} workload "
+                "nodes executed"
+            )
 
     timings = []
     for j, job in enumerate(jobs):
@@ -411,4 +533,5 @@ def simulate_workload(jobs, machine: MachineSpec) -> WorkloadTimingResult:
         makespan=max(t.finish for t in timings),
         jobs=timings,
         resource_busy=busy,
+        engine=engine_used,
     )

@@ -134,6 +134,95 @@ def price_op(
 BATCH_MIN_OPS = 64
 
 
+# --------------------------------------------------- integer resource encoding
+#: Resource-kind codes for the packed int64 resource ids of
+#: :class:`PricedColumns`.  A resource tuple ``(kind, a[, b])`` packs as
+#: ``kind << 42 | a << 21 | b`` — 21 bits each for the rank/node operand and
+#: the NIC/level operand covers machines beyond two million ranks, i.e. well
+#: past the full-system Aurora/Frontier aggregate models.
+_KIND_NAMES = ("copy", "nic_tx", "nic_rx", "inj_tx", "inj_rx",
+               "link_tx", "link_rx")
+_KIND_CODES = {name: code for code, name in enumerate(_KIND_NAMES)}
+#: Operand count after the kind name (1 = ``(kind, a)``, 2 = ``(kind, a, b)``).
+_KIND_ARITY = (1, 2, 2, 1, 1, 2, 2)
+_SHIFT_KIND = 42
+_SHIFT_A = 21
+_MASK_A = (1 << _SHIFT_KIND) - 1
+_MASK_B = (1 << _SHIFT_A) - 1
+
+
+def _encode_resource(kind: int, a: np.ndarray, b=None) -> np.ndarray:
+    """Pack resource tuples ``(kind, a[, b])`` into int64 ids, vectorized."""
+    out = (np.int64(kind) << _SHIFT_KIND) | (a.astype(np.int64) << _SHIFT_A)
+    if b is not None:
+        out = out | b.astype(np.int64)
+    return out
+
+
+def decode_resource(rid: int) -> ResourceKey:
+    """Inverse of the packed encoding: int64 id back to the tuple key."""
+    kind = rid >> _SHIFT_KIND
+    a = (rid & _MASK_A) >> _SHIFT_A
+    if _KIND_ARITY[kind] == 1:
+        return (_KIND_NAMES[kind], a)
+    return (_KIND_NAMES[kind], a, rid & _MASK_B)
+
+
+@dataclass
+class PricedColumns:
+    """Array-form pricing of a whole op graph (the levelized engine's input).
+
+    The value-for-value equivalent of a ``list[PricedOp]`` without the
+    objects: ``alpha``/``gamma`` are per-op scalars, and each op's resource
+    bookings live in up to four slots of ``res_id``/``res_dur`` (id ``-1``
+    and duration ``0.0`` mark unused slots).  Ids are either the packed
+    arithmetic encoding above (schedule pricing) or interned sequential ids
+    with an explicit ``keys`` table (merged workload graphs); use
+    :meth:`resource_key` to translate either kind back to tuple keys.
+    """
+
+    alpha: np.ndarray  # (n,) float64
+    gamma: np.ndarray  # (n,) float64
+    res_id: np.ndarray  # (n, s) int64; -1 marks an unused slot
+    res_dur: np.ndarray  # (n, s) float64; 0.0 in unused slots
+    keys: dict[int, ResourceKey] | None = None
+
+    def __len__(self) -> int:
+        return int(self.alpha.shape[0])
+
+    def resource_key(self, rid: int) -> ResourceKey:
+        """Tuple key of one resource id (interned table or packed decode)."""
+        if self.keys is not None:
+            return self.keys[rid]
+        return decode_resource(rid)
+
+    def overhead(self) -> np.ndarray:
+        """Per-op resource occupancy overhead (``PricedOp.overhead``)."""
+        return self.alpha * RESOURCE_ALPHA_FRACTION
+
+    def transfer_time(self) -> np.ndarray:
+        """Per-op slowest-resource serialization time (the beta term)."""
+        if not len(self):
+            return np.zeros(0)
+        return self.res_dur.max(axis=1)
+
+    def to_priced(self) -> list[PricedOp]:
+        """Materialize the equivalent ``PricedOp`` objects (fallback path)."""
+        out: list[PricedOp] = []
+        ids = self.res_id.tolist()
+        durs = self.res_dur.tolist()
+        alpha = self.alpha.tolist()
+        gamma = self.gamma.tolist()
+        for i in range(len(self)):
+            resources = tuple(
+                (self.resource_key(rid), dur)
+                for rid, dur in zip(ids[i], durs[i])
+                if rid >= 0
+            )
+            out.append(PricedOp(resources, alpha[i], gamma[i]))
+        return out
+
+
 def price_ops(
     ops: list[P2POp],
     machine: MachineSpec,
@@ -190,18 +279,50 @@ def price_schedule(
                          machine, libraries, elem_bytes)
 
 
-def _price_arrays(
+@dataclass
+class _StaticCosts:
+    """Payload-independent pricing columns, reusable across a payload sweep.
+
+    Everything here is a function of op endpoints, levels, and the machine —
+    never of ``count`` — so a payload sweep computes it once and reprices
+    only the :func:`_dynamic_costs` arrays per grid point.
+    """
+
+    local: np.ndarray  # (n,) bool masks, mutually exclusive
+    inter: np.ndarray
+    intra: np.ndarray
+    src_node: np.ndarray
+    dst_node: np.ndarray
+    src_nic: np.ndarray
+    dst_nic: np.ndarray
+    lvl_idx: np.ndarray  # intra-node physical level; -1 off the intra mask
+    alpha: np.ndarray
+    kernel_scale: np.ndarray
+    flow_bw: np.ndarray  # inter-node single-flow rate (already eff-scaled)
+    intra_bw: np.ndarray  # intra-node link rate (already eff-scaled)
+
+
+@dataclass
+class _DynamicCosts:
+    """Payload-dependent pricing columns (everything scaling with ``count``)."""
+
+    gamma: np.ndarray
+    dur_local: np.ndarray
+    wire: np.ndarray
+    endpoint: np.ndarray
+    dur_intra: np.ndarray
+
+
+def _static_costs(
     source,
     src: np.ndarray,
     dst: np.ndarray,
-    count: np.ndarray,
     level: np.ndarray,
-    reduces: np.ndarray,
     machine: MachineSpec,
     libraries: tuple[Library, ...],
     elem_bytes: int,
-) -> list[PricedOp]:
-    """Shared vectorized pricing core; ``source`` only feeds error paths."""
+) -> _StaticCosts:
+    """Payload-independent half of the pricing core (masks, alpha, rates)."""
     n = src.shape[0]
 
     def op_at(i: int) -> P2POp:
@@ -214,7 +335,6 @@ def _price_arrays(
         bad = op_at(int(np.argmax(bad_level)))
         raise ValueError(f"op {bad.uid} has no valid library level: {bad.level}")
 
-    gb = (count * elem_bytes) / 1.0e9  # same order as _gb(count * elem_bytes)
     g = machine.gpus_per_node
     src_node = src // g
     dst_node = dst // g
@@ -228,13 +348,6 @@ def _price_arrays(
     alpha_inter_sw = np.array([p.alpha_inter for p in profs])[lvl_of_op]
     alpha_intra_sw = np.array([p.alpha_intra for p in profs])[lvl_of_op]
     kernel_scale = np.array([p.kernel_scale for p in profs])[lvl_of_op]
-
-    red_time = gb / machine.reduce_bandwidth
-    gamma = np.zeros(n)
-    gamma = np.where(reduces & local, red_time + machine.kernel_latency, gamma)
-    gamma = np.where(
-        reduces & ~local, red_time + machine.kernel_latency * kernel_scale, gamma
-    )
 
     # Physical intra-node level separating each same-node pair (the
     # vectorized equivalent of MachineSpec.intra_level_index).
@@ -259,16 +372,11 @@ def _price_arrays(
     if bad_flow.any():
         # Raises the canonical single-op error message.
         price_op(op_at(int(np.argmax(bad_flow))), machine, libraries, elem_bytes)
-    dur_local = gb / machine.copy_bandwidth
-    wire = gb / machine.nic_bandwidth
-    with np.errstate(divide="ignore"):
-        endpoint = np.where(flow_bw > 0, gb / np.where(flow_bw > 0, flow_bw, 1.0), 0.0)
     intra_bw = level_bw * eff_intra
     bad_intra = intra & (intra_bw <= 0)
     if bad_intra.any():
         # Raises the canonical single-op error message.
         price_op(op_at(int(np.argmax(bad_intra))), machine, libraries, elem_bytes)
-    dur_intra = gb / np.where(intra_bw > 0, intra_bw, 1.0)
 
     nic_table = np.array(
         [nic_of(i, g, machine.nic_count, machine.binding) for i in range(g)]
@@ -276,16 +384,71 @@ def _price_arrays(
     src_nic = nic_table[la]
     dst_nic = nic_table[lb]
 
+    return _StaticCosts(
+        local=local, inter=inter, intra=intra,
+        src_node=src_node, dst_node=dst_node,
+        src_nic=src_nic, dst_nic=dst_nic,
+        lvl_idx=lvl_idx, alpha=alpha, kernel_scale=kernel_scale,
+        flow_bw=flow_bw, intra_bw=intra_bw,
+    )
+
+
+def _dynamic_costs(
+    st: _StaticCosts,
+    count: np.ndarray,
+    reduces: np.ndarray,
+    machine: MachineSpec,
+    elem_bytes: int,
+) -> _DynamicCosts:
+    """Payload-dependent half of the pricing core (durations and gamma)."""
+    n = count.shape[0]
+    gb = (count * elem_bytes) / 1.0e9  # same order as _gb(count * elem_bytes)
+
+    red_time = gb / machine.reduce_bandwidth
+    gamma = np.zeros(n)
+    gamma = np.where(reduces & st.local, red_time + machine.kernel_latency, gamma)
+    gamma = np.where(
+        reduces & ~st.local,
+        red_time + machine.kernel_latency * st.kernel_scale, gamma,
+    )
+
+    dur_local = gb / machine.copy_bandwidth
+    wire = gb / machine.nic_bandwidth
+    with np.errstate(divide="ignore"):
+        endpoint = np.where(
+            st.flow_bw > 0, gb / np.where(st.flow_bw > 0, st.flow_bw, 1.0), 0.0
+        )
+    dur_intra = gb / np.where(st.intra_bw > 0, st.intra_bw, 1.0)
+    return _DynamicCosts(gamma=gamma, dur_local=dur_local, wire=wire,
+                         endpoint=endpoint, dur_intra=dur_intra)
+
+
+def _price_arrays(
+    source,
+    src: np.ndarray,
+    dst: np.ndarray,
+    count: np.ndarray,
+    level: np.ndarray,
+    reduces: np.ndarray,
+    machine: MachineSpec,
+    libraries: tuple[Library, ...],
+    elem_bytes: int,
+) -> list[PricedOp]:
+    """Shared vectorized pricing core; ``source`` only feeds error paths."""
+    n = src.shape[0]
+    st = _static_costs(source, src, dst, level, machine, libraries, elem_bytes)
+    dyn = _dynamic_costs(st, count, reduces, machine, elem_bytes)
+
     # Assemble the PricedOp records from plain python scalars (one .tolist()
     # per array beats a quarter-million numpy scalar __getitem__ calls).
     src_l, dst_l = src.tolist(), dst.tolist()
-    src_node_l, dst_node_l = src_node.tolist(), dst_node.tolist()
-    src_nic_l, dst_nic_l = src_nic.tolist(), dst_nic.tolist()
-    alpha_l, gamma_l = alpha.tolist(), gamma.tolist()
-    dur_local_l, wire_l = dur_local.tolist(), wire.tolist()
-    endpoint_l, dur_intra_l = endpoint.tolist(), dur_intra.tolist()
-    lvl_idx_l = lvl_idx.tolist()
-    local_l, inter_l = local.tolist(), inter.tolist()
+    src_node_l, dst_node_l = st.src_node.tolist(), st.dst_node.tolist()
+    src_nic_l, dst_nic_l = st.src_nic.tolist(), st.dst_nic.tolist()
+    alpha_l, gamma_l = st.alpha.tolist(), dyn.gamma.tolist()
+    dur_local_l, wire_l = dyn.dur_local.tolist(), dyn.wire.tolist()
+    endpoint_l, dur_intra_l = dyn.endpoint.tolist(), dyn.dur_intra.tolist()
+    lvl_idx_l = st.lvl_idx.tolist()
+    local_l, inter_l = st.local.tolist(), st.inter.tolist()
 
     out: list[PricedOp] = []
     for i in range(n):
@@ -307,3 +470,154 @@ def _price_arrays(
             )
         out.append(PricedOp(resources, alpha_l[i], gamma_l[i]))
     return out
+
+
+def _assemble_columns(
+    src: np.ndarray,
+    dst: np.ndarray,
+    st: _StaticCosts,
+    dyn: _DynamicCosts,
+) -> PricedColumns:
+    """Pack static + dynamic pricing into slot-form resource columns.
+
+    Slot layout mirrors the tuple order of :func:`price_op` exactly: local
+    ops book ``copy`` in slot 0; inter-node ops book ``nic_tx``/``nic_rx``/
+    ``inj_tx``/``inj_rx`` in slots 0-3; intra-node ops book ``link_tx``/
+    ``link_rx`` in slots 0-1.
+    """
+    n = src.shape[0]
+    res_id = np.full((n, 4), -1, dtype=np.int64)
+    res_dur = np.zeros((n, 4))
+
+    loc = st.local
+    res_id[loc, 0] = _encode_resource(_KIND_CODES["copy"], src[loc])
+    res_dur[loc, 0] = dyn.dur_local[loc]
+
+    itr = st.inter
+    res_id[itr, 0] = _encode_resource(
+        _KIND_CODES["nic_tx"], st.src_node[itr], st.src_nic[itr])
+    res_id[itr, 1] = _encode_resource(
+        _KIND_CODES["nic_rx"], st.dst_node[itr], st.dst_nic[itr])
+    res_id[itr, 2] = _encode_resource(_KIND_CODES["inj_tx"], src[itr])
+    res_id[itr, 3] = _encode_resource(_KIND_CODES["inj_rx"], dst[itr])
+    res_dur[itr, 0] = dyn.wire[itr]
+    res_dur[itr, 1] = dyn.wire[itr]
+    res_dur[itr, 2] = dyn.endpoint[itr]
+    res_dur[itr, 3] = dyn.endpoint[itr]
+
+    ita = st.intra
+    res_id[ita, 0] = _encode_resource(
+        _KIND_CODES["link_tx"], src[ita], st.lvl_idx[ita])
+    res_id[ita, 1] = _encode_resource(
+        _KIND_CODES["link_rx"], dst[ita], st.lvl_idx[ita])
+    res_dur[ita, 0] = dyn.dur_intra[ita]
+    res_dur[ita, 1] = dyn.dur_intra[ita]
+
+    return PricedColumns(alpha=st.alpha, gamma=dyn.gamma,
+                         res_id=res_id, res_dur=res_dur)
+
+
+def _schedule_pricing_inputs(schedule):
+    """Schedule columns widened to the dtypes the pricing core expects."""
+    return (
+        schedule.src.astype(np.int64),
+        schedule.dst.astype(np.int64),
+        schedule.count.astype(np.float64),
+        schedule.level.astype(np.int64),
+        schedule.reduce >= 0,
+    )
+
+
+def price_schedule_columns(
+    schedule,
+    machine: MachineSpec,
+    libraries: tuple[Library, ...],
+    elem_bytes: int,
+) -> PricedColumns:
+    """Price a schedule into array columns for the levelized engine.
+
+    Same float64 values through the same operations as
+    :func:`price_schedule`, just laid out as arrays instead of
+    :class:`PricedOp` objects — the levelized engine's timing math is
+    bit-identical to the event loop's because both consume these numbers.
+    """
+    n = len(schedule)
+    if n == 0:
+        return PricedColumns(
+            alpha=np.zeros(0), gamma=np.zeros(0),
+            res_id=np.full((0, 4), -1, dtype=np.int64),
+            res_dur=np.zeros((0, 4)),
+        )
+    src, dst, count, level, reduces = _schedule_pricing_inputs(schedule)
+    st = _static_costs(schedule, src, dst, level, machine, libraries, elem_bytes)
+    dyn = _dynamic_costs(st, count, reduces, machine, elem_bytes)
+    return _assemble_columns(src, dst, st, dyn)
+
+
+def price_schedule_sweep(
+    schedule,
+    machine: MachineSpec,
+    libraries: tuple[Library, ...],
+    elem_bytes: int,
+    scales,
+) -> list[PricedColumns]:
+    """Price one schedule at many payload sizes, sharing the static half.
+
+    ``scales`` multiplies each op's element count; masks, resource ids,
+    alpha, and effective rates are computed once and only the durations and
+    gamma are repriced per grid point.  When a scale is an exact power of
+    two, scaling the counts commutes with float64 rounding, so the grid
+    point is bit-identical to pricing a schedule lowered with the scaled
+    counts — provided lowering at that payload would produce the same op
+    structure (fig8/fig9's power-of-two payload grids and the planner's
+    truncation rungs are exactly this case).
+
+    The returned columns share the ``res_id`` array; treat it as read-only.
+    """
+    n = len(schedule)
+    if n == 0:
+        return [price_schedule_columns(schedule, machine, libraries, elem_bytes)
+                for _ in scales]
+    src, dst, count, level, reduces = _schedule_pricing_inputs(schedule)
+    st = _static_costs(schedule, src, dst, level, machine, libraries, elem_bytes)
+    out = []
+    shared_ids: np.ndarray | None = None
+    for scale in scales:
+        dyn = _dynamic_costs(st, count * float(scale), reduces,
+                             machine, elem_bytes)
+        cols = _assemble_columns(src, dst, st, dyn)
+        if shared_ids is None:
+            shared_ids = cols.res_id
+        else:
+            cols.res_id = shared_ids
+        out.append(cols)
+    return out
+
+
+def columns_from_priced(priced: list[PricedOp]) -> PricedColumns | None:
+    """Interned column form of already-priced ops (merged workload graphs).
+
+    Resource keys are interned into sequential ids with an explicit decode
+    table instead of the packed arithmetic encoding, since workload graphs
+    carry virtual gate ops and arbitrary key tuples.  Returns ``None`` when
+    any op books more than the four slots the column form holds.
+    """
+    n = len(priced)
+    alpha = np.fromiter((c.alpha for c in priced), np.float64, n)
+    gamma = np.fromiter((c.gamma for c in priced), np.float64, n)
+    res_id = np.full((n, 4), -1, dtype=np.int64)
+    res_dur = np.zeros((n, 4))
+    ids: dict[ResourceKey, int] = {}
+    keys: dict[int, ResourceKey] = {}
+    for i, cost in enumerate(priced):
+        if len(cost.resources) > 4:
+            return None
+        for j, (key, dur) in enumerate(cost.resources):
+            rid = ids.get(key)
+            if rid is None:
+                rid = ids[key] = len(ids)
+                keys[rid] = key
+            res_id[i, j] = rid
+            res_dur[i, j] = dur
+    return PricedColumns(alpha=alpha, gamma=gamma, res_id=res_id,
+                         res_dur=res_dur, keys=keys)

@@ -153,6 +153,7 @@ class UtilizationReport:
 
     makespan: float
     busy_fraction: dict[tuple, float]
+    engine: str = "event"
 
     def bottlenecks(self, n: int = 5) -> list[tuple[tuple, float]]:
         """The ``n`` busiest resources, highest busy-fraction first."""
@@ -160,7 +161,8 @@ class UtilizationReport:
 
     def render(self, n: int = 10) -> str:
         """Text report: makespan plus the ``n`` busiest resources."""
-        lines = [f"makespan {self.makespan * 1e3:.3f} ms; busiest resources:"]
+        lines = [f"makespan {self.makespan * 1e3:.3f} ms "
+                 f"({self.engine} engine); busiest resources:"]
         for key, frac in self.bottlenecks(n):
             bar = "#" * int(frac * 40)
             lines.append(f"  {str(key):>22s} {frac:6.1%} {bar}")
@@ -168,11 +170,16 @@ class UtilizationReport:
 
 
 def utilization_report(timing: TimingResult) -> UtilizationReport:
-    """Summarize per-resource busy fractions over the makespan."""
+    """Summarize per-resource busy fractions over the makespan.
+
+    The report records which engine (event loop or levelized batch) produced
+    the timing, so traces taken at scale are attributable.
+    """
     makespan = timing.elapsed
     if makespan <= 0:
-        return UtilizationReport(0.0, {})
+        return UtilizationReport(0.0, {}, engine=timing.engine)
     return UtilizationReport(
         makespan,
         {key: busy / makespan for key, busy in timing.resource_busy.items()},
+        engine=timing.engine,
     )

@@ -187,8 +187,15 @@ class Workload:
             )
         return j
 
-    def run(self) -> WorkloadResult:
-        """Price every job on the shared timeline and report slowdowns."""
+    def run(self, engine: str = "auto") -> WorkloadResult:
+        """Price every job on the shared timeline and report slowdowns.
+
+        ``engine`` selects the simulation engine (see
+        :data:`repro.simulator.engine.ENGINES`); the default ``"auto"``
+        lets large merged graphs attempt the levelized batch engine and
+        falls back to the event loop whenever the serialization
+        certificate is rejected, with bit-identical results either way.
+        """
         if not self._entries:
             raise CompositionError("workload has no jobs; add() some first")
         specs = [
@@ -202,7 +209,7 @@ class Workload:
             )
             for comm, name, offset, deps in self._entries
         ]
-        timing = simulate_workload(specs, self.machine)
+        timing = simulate_workload(specs, self.machine, engine=engine)
         reports = []
         for (comm, name, _, _), job in zip(self._entries, timing.jobs):
             isolated = comm.timing.elapsed

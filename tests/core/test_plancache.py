@@ -316,3 +316,92 @@ class TestDiskLayer:
         c2 = _init(_communicator())
         assert c2.cache_hit  # warm memory layer survived the repointing
         assert cache.stats.memory_hits == 1
+
+
+class TestZeroOpPlans:
+    """v2 ``.npz`` round-trip and size accounting on empty-DCE schedules."""
+
+    @staticmethod
+    def _zero_op_plan():
+        """A schedule that dead-copy elimination empties entirely."""
+        from repro.core.passes.opt import DeadCopyEliminationPass
+        from repro.core.schedule import ScheduleBuilder
+        from repro.simulator.engine import simulate
+
+        b = ScheduleBuilder(MACHINE.world_size)
+        loc = b.alloc_scratch(1, 64)
+        b.send(0, 1, ("buf", 0), loc, 64, level=0)  # written, never read
+        swept, info = DeadCopyEliminationPass().run(b.build())
+        assert info["removed"] == 1 and len(swept) == 0
+        timing = simulate(swept, MACHINE, (Library.MPI,), 4)
+        return CachedPlan(swept, timing, 0.01)
+
+    @staticmethod
+    def _key():
+        return plan_key(_communicator().program, MACHINE, (8,),
+                        (Library.MPI,), stripe=1, ring=1, pipeline=1,
+                        elem_bytes=4, dtype_name="float32")
+
+    def test_zero_op_round_trip(self, tmp_path):
+        plan = self._zero_op_plan()
+        key = self._key()
+        c1 = PlanCache(disk_dir=tmp_path)
+        c1.put(key, plan)
+        c2 = PlanCache(disk_dir=tmp_path)
+        back = c2.get(key)
+        assert back is not None and c2.stats.disk_hits == 1
+        assert len(back.schedule) == 0
+        assert back.schedule.scratch == {}
+        assert back.timing.elapsed == 0.0
+        assert back.timing.start_times == []
+        assert back.timing.resource_busy == {}
+        # Empty columns keep their dtypes through the archive.
+        for name in ("src", "count", "dep_indices"):
+            assert (getattr(back.schedule, name).dtype
+                    == getattr(plan.schedule, name).dtype)
+
+    def test_zero_op_size_accounting(self, tmp_path):
+        """``plan_nbytes`` agrees before and after the archive, and the
+        byte ledger in both cache instances matches it exactly."""
+        plan = self._zero_op_plan()
+        key = self._key()
+        c1 = PlanCache(disk_dir=tmp_path)
+        c1.put(key, plan)
+        assert c1.total_bytes() == plan_nbytes(plan)
+        c2 = PlanCache(disk_dir=tmp_path)
+        back = c2.get(key)
+        assert plan_nbytes(back) == plan_nbytes(plan)
+        assert c2.total_bytes() == plan_nbytes(back)
+        # Re-putting the same key must not drift the ledger.
+        c2.put(key, back)
+        assert c2.total_bytes() == plan_nbytes(back)
+
+    def test_engine_field_survives_the_archive(self, tmp_path):
+        """A levelized timing reloads as a levelized timing (the engine
+        of record is part of the persisted metadata)."""
+        from dataclasses import replace
+
+        plan = self._zero_op_plan()
+        plan = CachedPlan(plan.schedule, replace(plan.timing, engine="level"),
+                          plan.synthesis_seconds)
+        key = self._key()
+        PlanCache(disk_dir=tmp_path).put(key, plan)
+        back = PlanCache(disk_dir=tmp_path).get(key)
+        assert back.timing.engine == "level"
+
+    def test_legacy_archive_without_engine_reads_as_event(self, tmp_path):
+        """Archives persisted before the engine field default to 'event'."""
+        plan = self._zero_op_plan()
+        key = self._key()
+        cache = PlanCache(disk_dir=tmp_path)
+        cache.put(key, plan)
+        path = cache.disk_entries()[0]
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        meta = json.loads(str(arrays["meta"][()]))
+        del meta["engine"]
+        arrays["meta"] = np.asarray(json.dumps(meta))
+        with path.open("wb") as fh:
+            np.savez(fh, **arrays)
+        back = PlanCache(disk_dir=tmp_path).get(key)
+        assert back is not None and back.timing.engine == "event"

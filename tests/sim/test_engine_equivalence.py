@@ -1,0 +1,117 @@
+"""Differential harness: event loop vs levelized engine, bit for bit.
+
+The levelized batch engine is only allowed to exist because it is
+observationally identical to the event loop: when its serialization
+certificate accepts, it must reproduce the exact same per-op start/finish
+times and makespans (float-for-float, no tolerance), and when the
+certificate rejects it must fall back to the event loop transparently.
+This module drives every committed collective, all five workload
+scenarios, and both full-system aggregate machine models through both
+engines and asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.configs import best_config
+from repro.bench.figures import pipeline_stage_schedule
+from repro.bench.runner import payload_count
+from repro.core.communicator import Communicator
+from repro.core.composition import FIGURE8_ORDER, compose
+from repro.core.passes import lower_program
+from repro.core.plan import OptimizationPlan
+from repro.machine.machines import by_name
+from repro.simulator.engine import simulate
+from repro.transport.library import Library
+from repro.workloads.scenarios import SCENARIOS, build_scenario
+
+#: Testbeds of the committed fig8/workload baselines, at a reduced node
+#: count so the full collective x machine matrix stays test-suite friendly.
+SYSTEMS = ("delta", "perlmutter")
+NODES = 2
+PAYLOAD_BYTES = 1 << 22
+
+
+def _lowered(machine, collective):
+    comm = Communicator(machine, materialize=False)
+    compose(comm, collective, payload_count(machine, PAYLOAD_BYTES))
+    cfg = best_config(machine, collective)
+    kw = cfg.init_kwargs()
+    plan = OptimizationPlan.create(
+        machine, kw["hierarchy"], kw["library"],
+        stripe=kw["stripe"], ring=kw["ring"], pipeline=kw["pipeline"],
+    )
+    return lower_program(comm.program, plan), plan
+
+
+def assert_identical(schedule, machine, libraries, elem_bytes=4):
+    """Both engines agree float-for-float; returns the level-path result."""
+    event = simulate(schedule, machine, libraries, elem_bytes,
+                     engine="event")
+    level = simulate(schedule, machine, libraries, elem_bytes,
+                     engine="level")
+    assert event.engine == "event"
+    assert level.start_times == event.start_times
+    assert level.completion_times == event.completion_times
+    assert level.elapsed == event.elapsed
+    assert level.resource_busy == event.resource_busy
+    return level
+
+
+class TestCollectives:
+    """Every committed collective x both baseline testbeds, both engines."""
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    @pytest.mark.parametrize("collective", FIGURE8_ORDER)
+    def test_best_config_identical(self, system, collective):
+        machine = by_name(system, nodes=NODES)
+        schedule, plan = _lowered(machine, collective)
+        assert_identical(schedule, machine, plan.libraries)
+
+    def test_contended_collective_falls_back(self):
+        """Bandwidth-saturating composed collectives share NICs by design,
+        so the optimistic certificate is rejected and the event loop stays
+        the engine of record."""
+        machine = by_name("perlmutter", nodes=NODES)
+        schedule, plan = _lowered(machine, "all_reduce")
+        level = simulate(schedule, machine, plan.libraries, 4,
+                         engine="level")
+        assert level.engine == "event"
+
+
+class TestScenarios:
+    """All five workload scenarios, both engines, on the shared timeline."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_identical(self, name):
+        machine = by_name("perlmutter", nodes=4)
+        workload = build_scenario(name, machine, 1 << 22)
+        event = workload.run(engine="event")
+        level = workload.run(engine="level")
+        assert event.makespan == level.makespan
+        for a, b in zip(event.jobs, level.jobs):
+            assert (a.name, a.start, a.finish) == (b.name, b.start, b.finish)
+        assert event.utilization == level.utilization
+
+
+class TestAggregateMachines:
+    """Both full-system aggregate models, on a schedule the level engine
+    genuinely accepts (dependency-chained pipeline parallelism)."""
+
+    @pytest.mark.parametrize("system,nodes", [
+        ("frontier-full", 8),
+        ("aurora-full", 8),
+    ])
+    def test_chained_pipeline_runs_levelized(self, system, nodes):
+        machine = by_name(system, nodes=nodes)
+        schedule = pipeline_stage_schedule(machine, microbatches=2,
+                                           count=1 << 16)
+        level = assert_identical(schedule, machine,
+                                 (Library.MPI, Library.IPC))
+        assert level.engine == "level"
+
+    def test_aggregate_default_scale(self):
+        """The aggregates default to their deployed node counts."""
+        assert by_name("frontier-full", nodes=None).world_size == 9408 * 8
+        assert by_name("aurora-full", nodes=None).world_size == 10624 * 12

@@ -1,0 +1,153 @@
+"""Seeded property/fuzz tests: engine equivalence + timeline invariants.
+
+Random small schedules — random DAG shapes, payload sizes, channel and
+level choices — are pushed through both simulation engines.  Three
+properties are asserted on every example:
+
+* **equivalence** — requesting the levelized engine returns the exact
+  event-loop timeline (bit-identical floats), whether the certificate
+  accepted or the engine fell back;
+* **serial-resource exclusivity** — reconstructing every resource booking
+  from the realized start times, no two occupancy windows on the same
+  serial NIC/link/copy timeline overlap;
+* **lower bound** — the makespan never beats the analytic dependency-chain
+  bound (:func:`repro.planner.score.critical_path_seconds`).
+
+``derandomize=True`` keeps the examples seeded and reproducible in CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ops import ReduceOp
+from repro.core.schedule import ScheduleBuilder
+from repro.machine.machines import generic
+from repro.planner.score import critical_path_seconds
+from repro.simulator.engine import simulate
+from repro.simulator.level import _bookings
+from repro.simulator.timing import price_schedule_columns
+from repro.transport.library import Library
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MACHINE = generic(2, 4, 2, name="fuzz")
+LIBS = (Library.MPI, Library.IPC)
+REGION = 1 << 16
+
+
+@st.composite
+def random_dag_schedule(draw):
+    """Random valid schedule: random endpoints, payloads, channels, deps.
+
+    Writes land in disjoint per-op regions of a shared buffer so the
+    builder's race detection never fires; dependencies point backward.
+    """
+    n_ops = draw(st.integers(1, 25))
+    b = ScheduleBuilder(MACHINE.world_size)
+    uids: list[int] = []
+    for i in range(n_ops):
+        src = draw(st.integers(0, MACHINE.world_size - 1))
+        dst = draw(st.integers(0, MACHINE.world_size - 1))
+        count = draw(st.sampled_from([1, 7, 1024, 1 << 16]))
+        channel = draw(st.integers(0, 2))
+        n_deps = draw(st.integers(0, min(3, len(uids))))
+        deps = tuple(sorted(set(
+            draw(st.sampled_from(uids)) for _ in range(n_deps)
+        ))) if uids else ()
+        region = i * REGION
+        if src == dst:
+            uid = b.copy(src, ("src", region), ("dst", region), count,
+                         deps=deps, channel=channel)
+        else:
+            same_node = src // MACHINE.gpus_per_node == dst // MACHINE.gpus_per_node
+            uid = b.send(src, dst, ("src", region), ("dst", region), count,
+                         level=1 if same_node else 0, channel=channel,
+                         deps=deps)
+        uids.append(uid)
+    return b.build()
+
+
+@st.composite
+def chained_schedule(draw):
+    """A pure dependency chain — the class the certificate always accepts."""
+    n_ops = draw(st.integers(1, 20))
+    count = draw(st.sampled_from([64, 1024, 1 << 12]))
+    b = ScheduleBuilder(MACHINE.world_size)
+    prev = None
+    for i in range(n_ops):
+        src = draw(st.integers(0, MACHINE.world_size - 1))
+        dst = draw(st.integers(0, MACHINE.world_size - 1))
+        deps = (prev,) if prev is not None else ()
+        region = i * REGION
+        reduce_op = draw(st.sampled_from([None, ReduceOp.SUM]))
+        if src == dst:
+            prev = b.copy(src, ("src", region), ("dst", region), count,
+                          deps=deps)
+        else:
+            same_node = src // MACHINE.gpus_per_node == dst // MACHINE.gpus_per_node
+            prev = b.send(src, dst, ("src", region), ("dst", region), count,
+                          level=1 if same_node else 0, deps=deps,
+                          reduce_op=reduce_op)
+    return b.build()
+
+
+def _assert_no_overlap(sched, timing):
+    """Reconstructed bookings on each serial resource never overlap."""
+    cols = price_schedule_columns(sched, MACHINE, LIBS, 4)
+    rid, starts, occ = _bookings(cols, np.asarray(timing.start_times))
+    ends = starts + occ
+    same = rid[1:] == rid[:-1]
+    gap_ok = starts[1:] >= ends[:-1]
+    assert bool((gap_ok | ~same).all()), "overlapping bookings on a serial resource"
+
+
+class TestRandomDags:
+    @settings(**SETTINGS)
+    @given(sched=random_dag_schedule())
+    def test_engines_equivalent(self, sched):
+        """engine='level' is observationally the event loop, always."""
+        event = simulate(sched, MACHINE, LIBS, 4, engine="event")
+        level = simulate(sched, MACHINE, LIBS, 4, engine="level")
+        assert level.start_times == event.start_times
+        assert level.completion_times == event.completion_times
+        assert level.elapsed == event.elapsed
+        assert level.resource_busy == event.resource_busy
+
+    @settings(**SETTINGS)
+    @given(sched=random_dag_schedule())
+    def test_no_resource_overlap(self, sched):
+        timing = simulate(sched, MACHINE, LIBS, 4, engine="level")
+        _assert_no_overlap(sched, timing)
+
+    @settings(**SETTINGS)
+    @given(sched=random_dag_schedule())
+    def test_makespan_at_least_critical_path(self, sched):
+        """Resources only ever delay; the dep-chain bound is sound for
+        both engines."""
+        timing = simulate(sched, MACHINE, LIBS, 4, engine="level")
+        bound = critical_path_seconds(sched, MACHINE, LIBS)
+        assert timing.elapsed >= bound - 1e-12
+
+
+class TestChains:
+    @settings(**SETTINGS)
+    @given(sched=chained_schedule())
+    def test_chains_certify_and_match(self, sched):
+        """A pure dependency chain always passes the certificate, and the
+        levelized result is still bit-identical to the event loop."""
+        event = simulate(sched, MACHINE, LIBS, 4, engine="event")
+        level = simulate(sched, MACHINE, LIBS, 4, engine="level")
+        assert level.engine == "level"
+        assert level.start_times == event.start_times
+        assert level.completion_times == event.completion_times
+        assert level.elapsed == event.elapsed
+        assert level.resource_busy == event.resource_busy
+        _assert_no_overlap(sched, level)

@@ -185,3 +185,64 @@ class TestCommands:
     def test_unknown_system_errors(self):
         with pytest.raises(KeyError):
             main(["bounds", "--system", "summit"])
+
+    def test_machines_lists_aggregates(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "Aggregate full systems" in out
+        assert "9408 nodes" in out and "10624 nodes" in out
+
+    def test_sim_collective_event(self, capsys):
+        rc = main(["sim", "broadcast", "--system", "perlmutter",
+                   "--nodes", "2", "--payload", "4M", "--engine", "event"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ops, engine requested 'event', ran 'event'" in out
+        assert "makespan" in out and "simulator wall" in out
+
+    def test_sim_contended_collective_falls_back(self, capsys):
+        rc = main(["sim", "all_reduce", "--system", "perlmutter",
+                   "--nodes", "2", "--payload", "4M", "--engine", "level"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine requested 'level', ran 'event'" in out
+
+    def test_sim_pipeline_runs_levelized(self, capsys):
+        rc = main(["sim", "pipeline", "--system", "frontier", "--nodes", "8",
+                   "--payload", "1M", "--engine", "level",
+                   "--microbatches", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine requested 'level', ran 'level'" in out
+
+    def test_sim_engine_both_prints_comparison(self, capsys):
+        rc = main(["sim", "pipeline", "--system", "frontier", "--nodes", "4",
+                   "--payload", "1M", "--engine", "both",
+                   "--microbatches", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "identical" in out and "True" in out
+
+    def test_sim_auto_engages_level_on_aggregate_system(self, capsys):
+        rc = main(["sim", "pipeline", "--system", "aurora-full",
+                   "--nodes", "6", "--payload", "256K", "--engine", "auto"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aurora" in out and "ran 'level'" in out
+
+    def test_tune_sweep_rungs(self, capsys):
+        rc = main(["tune", "broadcast", "--system", "perlmutter",
+                   "--nodes", "2", "--payload", "8M", "--sweep-rungs",
+                   "--pipelines", "1,8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "truncated-payload evals" in out and "best:" in out
+
+    def test_tune_workload_rejects_sweep_rungs(self, capsys):
+        rc = main(["tune", "disjoint_halves", "--workload",
+                   "--system", "perlmutter", "--nodes", "2",
+                   "--sweep-rungs"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "--sweep-rungs" in out
+        assert "not applicable with --workload" in out

@@ -40,6 +40,7 @@ MODULES = [
     "repro.simulator",
     "repro.simulator.engine",
     "repro.simulator.executor",
+    "repro.simulator.level",
     "repro.simulator.process",
     "repro.simulator.timing",
     "repro.simulator.trace",

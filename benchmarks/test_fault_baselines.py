@@ -1,0 +1,83 @@
+"""Degraded-topology acceptance suite: committed fault baselines.
+
+Regenerates ``benchmarks/output/faults_{perlmutter,delta}.txt``: a seeded
+fault replan (healthy baseline, replayed-on-degraded time, and the degraded
+search winner) plus an elastic shrink (drop the last node, re-plan on the
+survivors) per committed machine model.  The probes are deterministic
+functions of (machine shape, seed, payload) and the renders exclude
+wall-clock times, so regeneration must be byte-identical to the committed
+files.
+
+The same probes back the fault layer's operational contract:
+
+* the degraded-search winner is never worse than replaying the healthy
+  schedule on the degraded machine (the healthy plan is merged into the
+  degraded ranking, so "do nothing" is always on the table);
+* replaying a healthy plan under monotone derates never *gains* time over
+  the healthy baseline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.degraded import degraded_probe
+
+SYSTEMS = ("perlmutter", "delta")
+
+
+@pytest.fixture(scope="module")
+def probes():
+    """Replan + shrink measurements per system (computed once)."""
+    return {system: degraded_probe(system) for system in SYSTEMS}
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_faults_baseline(system, probes, record_output):
+    text = probes[system].render()
+    record_output(f"faults_{system}", text)
+    assert "replan under FaultSet.random" in text
+    assert "elastic shrink" in text
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_replan_never_worse_than_replay(system, probes):
+    """The degraded winner beats or matches replaying the healthy plan."""
+    rep = probes[system].replan_report
+    assert rep.replanned_seconds <= rep.replay_seconds * (1 + 1e-12)
+    assert rep.replan_gain >= 1.0 - 1e-12
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_replay_never_gains_under_derates(system, probes):
+    """Monotone derates: the degraded replay of the healthy schedule is no
+    faster than the healthy baseline.  (No such bound holds for the elastic
+    shrink — the shrunk machine gets a *different* plan, and a flat node
+    tier on 3 nodes can beat a binary tree on 4; see EXPERIMENTS.md.)"""
+    rep = probes[system].replan_report
+    assert rep.replay_seconds >= rep.healthy_seconds * (1 - 1e-12)
+    assert rep.slowdown_vs_healthy >= 1.0 - 1e-12
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_shrink_shape(system, probes):
+    """The shrink probe drops exactly one node and keeps the payload."""
+    rep = probes[system].shrink_report
+    assert rep.nodes_after == rep.nodes_before - 1
+    assert len(rep.rank_map) == rep.nodes_after * (
+        len(rep.rank_map) // rep.nodes_after
+    )
+    assert rep.shrunk_seconds > 0.0
+    assert rep.replan_wall_seconds > 0.0
+
+
+def test_committed_baselines_are_current(probes, output_dir: Path):
+    """Regeneration is byte-identical to the committed baseline files."""
+    for system in SYSTEMS:
+        committed = (output_dir / f"faults_{system}.txt").read_text()
+        assert committed == probes[system].render() + "\n", (
+            f"faults_{system}.txt is stale; rerun "
+            "`pytest benchmarks/test_fault_baselines.py -q -s` and commit"
+        )

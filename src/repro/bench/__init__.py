@@ -10,6 +10,7 @@ from .configs import (
     striped_config,
     tree_config,
 )
+from .degraded import DegradedProbe, degraded_probe, replan_probe, shrink_probe
 from .parallel import SweepPoint, hiccl_grid, run_sweep
 from .report import SpeedupReport, geomean, render_throughput_table, speedups
 from .runner import (
@@ -24,11 +25,13 @@ from .runner import (
 
 __all__ = [
     "DEFAULT_PAYLOAD_BYTES",
+    "DegradedProbe",
     "HicclConfig",
     "Measurement",
     "SpeedupReport",
     "SweepPoint",
     "best_config",
+    "degraded_probe",
     "direct_config",
     "geomean",
     "hiccl_grid",
@@ -37,10 +40,12 @@ __all__ = [
     "peak_throughput",
     "pipelined_config",
     "render_throughput_table",
+    "replan_probe",
     "ring_config",
     "run_baseline",
     "run_hiccl",
     "run_sweep",
+    "shrink_probe",
     "speedups",
     "striped_config",
     "tree_config",

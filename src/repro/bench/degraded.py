@@ -1,0 +1,102 @@
+"""Degraded-scenario probes: seeded replan + elastic shrink, rendered.
+
+Backs the committed ``benchmarks/output/faults_{system}.txt`` baselines and
+``tools/bench_faults.py``.  Every probe is a deterministic function of
+``(machine shape, seed, payload)`` — the fault sets come from
+:meth:`repro.machine.faults.FaultSet.random`, the searches are
+deterministic, and the renders exclude wall-clock times — so regeneration
+is byte-identical run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.communicator import Communicator
+from ..core.composition import compose
+from ..machine.faults import FaultSet
+from ..machine.machines import by_name
+from ..planner.replan import ReplanReport, replan
+from ..workloads.elastic import ElasticShrinkReport, elastic_shrink
+from .configs import best_config
+
+#: Probe payload (Section 6.2 convention): 64 MiB total.
+PAYLOAD_BYTES = 1 << 26
+
+#: Seed of the random fault set applied to the replan probe.
+SEED = 7
+
+#: Node count of the replan probe.  Two nodes keep the degraded plan search
+#: affordable in the committed-baseline regeneration (the same trade
+#: ``benchmarks/test_planner.py`` makes); the machine *models* are still the
+#: committed Delta/Perlmutter specs.
+REPLAN_NODES = 2
+
+#: The elastic-shrink probe drops the last node of a 4-node machine.
+SHRINK_NODES = 4
+
+
+@dataclass(frozen=True)
+class DegradedProbe:
+    """One system's degraded-scenario measurements."""
+
+    system: str
+    replan_report: ReplanReport
+    shrink_report: ElasticShrinkReport
+
+    def render(self) -> str:
+        """Deterministic baseline text (no wall-clock values)."""
+        lines = [
+            f"Degraded-topology probes ({self.system}): seeded fault replan "
+            f"at {PAYLOAD_BYTES >> 20} MiB on {REPLAN_NODES} nodes, elastic "
+            f"shrink {SHRINK_NODES} -> {SHRINK_NODES - 1} nodes",
+            "",
+            f"-- replan under FaultSet.random(seed={SEED}) --",
+            self.replan_report.render(),
+            "",
+            "-- elastic shrink (all_reduce, drained last node) --",
+            self.shrink_report.render(),
+        ]
+        return "\n".join(lines)
+
+
+def replan_probe(system: str, *, payload_bytes: int = PAYLOAD_BYTES,
+                 seed: int = SEED, nodes: int = REPLAN_NODES,
+                 collective: str = "all_reduce") -> ReplanReport:
+    """Plan one collective healthy, then replan it under a seeded fault set."""
+    machine = by_name(system, nodes=nodes)
+    comm = Communicator(machine, materialize=False)
+    count = max(1, payload_bytes // (machine.world_size * comm.dtype.itemsize))
+    compose(comm, collective, count)
+    comm.init(**best_config(machine, collective).init_kwargs())
+    return replan(comm, FaultSet.random(machine, seed))
+
+
+def shrink_probe(system: str, *, payload_bytes: int = PAYLOAD_BYTES,
+                 nodes: int = SHRINK_NODES,
+                 collective: str = "all_reduce") -> ElasticShrinkReport:
+    """Elastic-shrink probe: drop the machine's last node and re-plan."""
+    machine = by_name(system, nodes=nodes)
+    return elastic_shrink(machine, collective, payload_bytes,
+                          (machine.nodes - 1,))
+
+
+def degraded_probe(system: str) -> DegradedProbe:
+    """Both committed probes of one system (the baseline-file content)."""
+    return DegradedProbe(
+        system=system,
+        replan_report=replan_probe(system),
+        shrink_report=shrink_probe(system),
+    )
+
+
+__all__ = [
+    "PAYLOAD_BYTES",
+    "REPLAN_NODES",
+    "SEED",
+    "SHRINK_NODES",
+    "DegradedProbe",
+    "degraded_probe",
+    "replan_probe",
+    "shrink_probe",
+]

@@ -16,6 +16,9 @@ Entry point: ``python -m repro <command>``::
     python -m repro cache                           # plan-cache statistics
     python -m repro sim pipeline --system frontier-full --engine level
     python -m repro sim all_reduce --system perlmutter --engine both
+    python -m repro faults all_reduce --system delta --seed 7   # replan
+    python -m repro faults all_reduce --down-nic 1:0 --straggler 5:0.5
+    python -m repro faults all_reduce --shrink 1    # drop a node, re-plan
 
 Outputs are plain text; the heavy lifting lives in the library so every
 command is also reachable programmatically.
@@ -379,6 +382,73 @@ def cmd_sim(args) -> int:
     return 0
 
 
+def _parse_faults(args, machine):
+    """Build the FaultSet: explicit flags if any were given, else seeded."""
+    from .machine.faults import FaultSet
+
+    def _pair(text, flag):
+        parts = text.split(":")
+        if len(parts) != 2:
+            raise SystemExit(f"error: {flag} wants A:B, got {text!r}")
+        return int(parts[0]), int(parts[1])
+
+    explicit = args.down_nic or args.straggler or args.derate_link
+    if not explicit:
+        return FaultSet.random(machine, args.seed)
+    down_nics = tuple(_pair(t, "--down-nic") for t in args.down_nic)
+    stragglers = []
+    for text in args.straggler:
+        rank, _, scale = text.partition(":")
+        stragglers.append((int(rank), float(scale)))
+    link_derate = []
+    for text in args.derate_link:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise SystemExit(
+                f"error: --derate-link wants RANK:LEVEL:SCALE, got {text!r}")
+        link_derate.append((int(parts[0]), int(parts[1]), float(parts[2])))
+    return FaultSet(down_nics=down_nics, stragglers=tuple(stragglers),
+                    link_derate=tuple(link_derate))
+
+
+def cmd_faults(args) -> int:
+    """Degrade the machine and price the recovery: replan or elastic shrink."""
+    from .bench.configs import best_config
+    from .bench.runner import payload_count
+    from .core.communicator import Communicator
+    from .core.composition import compose
+    from .errors import FaultError
+    from .planner.replan import replan
+    from .workloads.elastic import elastic_shrink
+
+    machine = _machine(args)
+    payload = _parse_size(args.payload)
+    try:
+        if args.shrink:
+            k = args.shrink
+            if not 1 <= k < machine.nodes:
+                print(f"error: --shrink {k} must drop between 1 and "
+                      f"{machine.nodes - 1} of {machine.nodes} node(s)")
+                return 2
+            drained = tuple(range(machine.nodes - k, machine.nodes))
+            report = elastic_shrink(machine, args.collective, payload, drained)
+            print(report.render())
+            print(f"rank map: {list(report.rank_map)}")
+            print(f"shrink re-plan wall: {report.replan_wall_seconds:.3f} s")
+            return 0
+        faults = _parse_faults(args, machine)
+        comm = Communicator(machine, materialize=False)
+        compose(comm, args.collective, payload_count(machine, payload))
+        comm.init(**best_config(machine, args.collective).init_kwargs())
+        report = replan(comm, faults)
+        print(report.render())
+        print(f"re-plan wall: {report.replan_wall_seconds:.3f} s")
+        return 0
+    except FaultError as exc:
+        print(f"error: {exc}")
+        return 2
+
+
 def cmd_gantt(args) -> int:
     """Render the pipeline timeline as an ASCII Gantt chart."""
     from .bench.configs import best_config
@@ -542,6 +612,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=1,
                    help="simulator wall-clock is best-of-N")
     p.set_defaults(fn=cmd_sim)
+
+    p = sub.add_parser(
+        "faults",
+        help="degrade the machine and price the recovery (replan / shrink)")
+    common(p)
+    p.add_argument("--seed", type=int, default=7,
+                   help="seed for FaultSet.random when no explicit fault "
+                        "flags are given (default 7)")
+    p.add_argument("--down-nic", action="append", default=[],
+                   metavar="NODE:NIC",
+                   help="fail one NIC (repeatable), e.g. --down-nic 1:0")
+    p.add_argument("--straggler", action="append", default=[],
+                   metavar="RANK:SCALE",
+                   help="slow one GPU to SCALE of its healthy rates "
+                        "(repeatable), e.g. --straggler 5:0.5")
+    p.add_argument("--derate-link", action="append", default=[],
+                   metavar="RANK:LEVEL:SCALE",
+                   help="derate one intra-node link (repeatable), "
+                        "e.g. --derate-link 4:0:0.6")
+    p.add_argument("--shrink", type=int, default=0, metavar="K",
+                   help="instead of replanning in place, drain the last K "
+                        "nodes and re-plan on the survivors")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("gantt", help="ASCII pipeline timeline (Figure 7)")
     common(p)

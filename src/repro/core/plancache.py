@@ -98,6 +98,10 @@ def machine_fingerprint(machine: MachineSpec) -> tuple:
             value = tuple(
                 (lv.name, lv.extent, lv.bandwidth, lv.latency) for lv in value
             )
+        elif f.name == "faults":
+            # Degraded machines must never alias healthy cache entries: the
+            # fault set's content tuple joins the fingerprint verbatim.
+            value = value.fingerprint() if value is not None else None
         parts.append((f.name, value))
     return tuple(parts)
 

@@ -45,6 +45,19 @@ class LibraryAssignmentError(InitializationError):
     """
 
 
+class FaultError(InitializationError):
+    """A fault set is invalid for the machine, or a schedule touches a
+    drained node.
+
+    Raised when fault declarations reference resources the machine does not
+    have (NIC/link/node indices out of range, derate scales outside
+    ``(0, 1]``), when a drained-node shrink is handed an invalid survivor
+    rank map, and when pricing encounters an op whose endpoint lives on a
+    drained node (drained nodes carry no traffic; re-plan on the shrunk
+    machine instead).
+    """
+
+
 class ExecutionError(HicclError):
     """Schedule execution failed (engine or functional executor)."""
 

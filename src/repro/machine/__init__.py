@@ -1,5 +1,6 @@
 """Machine substrate: physical system models, NIC bindings, hierarchy math."""
 
+from .faults import DOWN_SCALE, FaultRates, FaultSet, rates_for, resource_rate
 from .machines import PAPER_SYSTEMS, aurora, by_name, delta, frontier, generic, perlmutter
 from .nic import Binding, binding_table, nic_loads, nic_of, utilization
 from .rankmap import RankMap, misplacement_penalty, permute_endpoints
@@ -8,6 +9,9 @@ from .topology import TreeTopology, validate_hierarchy
 
 __all__ = [
     "Binding",
+    "DOWN_SCALE",
+    "FaultRates",
+    "FaultSet",
     "INTER_NODE",
     "INTRA_NODE",
     "SAME_GPU",
@@ -28,6 +32,8 @@ __all__ = [
     "nic_of",
     "permute_endpoints",
     "perlmutter",
+    "rates_for",
+    "resource_rate",
     "utilization",
     "validate_hierarchy",
 ]

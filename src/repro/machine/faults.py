@@ -1,0 +1,374 @@
+"""Fault & degraded-topology layer: declarative health state for a machine.
+
+Real clusters never run the healthy topology the cost model assumes: links
+flap, NICs fail, nodes get drained mid-job, and stragglers inject slower
+than their peers.  A :class:`FaultSet` declares such a health state and
+applies it to any committed :class:`~repro.machine.spec.MachineSpec`,
+producing a *degraded* spec whose machine fingerprint differs from the
+healthy one — so degraded plans get their own plan-cache entries and never
+alias healthy ones.
+
+Semantics (see DESIGN.md Section 11 for the full contract):
+
+* **Down ≠ removed.**  A down NIC or link is modeled as a severe derate to
+  :data:`DOWN_SCALE` of its rated bandwidth (a residual maintenance path),
+  not as a topology change.  The degraded machine therefore books exactly
+  the same resource timelines as the healthy one — only the per-resource
+  *rates* differ — which keeps every simulated time finite and the
+  levelized engine's certificate contract untouched.
+* **Stragglers slow communication, not compute.**  A straggler scale
+  applies to the rank's injection endpoints and intra-node link endpoints;
+  local copies and reduction kernels are unchanged.
+* **Monotonicity.**  Every fault only *lowers* a rate (scales are
+  validated into ``(0, 1]``), so degrading a machine never decreases any
+  op's priced duration; the metamorphic suite in ``tests/sim`` asserts the
+  resulting makespan never decreases either.
+* **Drained nodes carry no traffic.**  Pricing an op whose endpoint lives
+  on a drained node raises :class:`~repro.errors.FaultError`; jobs shrink
+  onto the survivors via :mod:`repro.workloads.elastic` instead.
+
+An *empty* fault set is a strict identity: ``FaultSet().apply(m)`` returns
+``m`` itself (same object, same fingerprint, byte-identical timelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import FaultError
+from .spec import MachineSpec
+
+#: Residual bandwidth fraction of a *down* NIC or link: the maintenance
+#: path a drained-but-cabled resource still offers.  Modeling "down" as a
+#: severe derate (rather than removing the resource) keeps the degraded
+#: machine's resource set identical to the healthy one's, so both engines
+#: and the certificate work unchanged and every fault stays monotone.
+DOWN_SCALE = 0.05
+
+
+def _scale_ok(scale: float) -> bool:
+    return 0.0 < scale <= 1.0
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """Declarative health state applied to a machine spec.
+
+    Every entry names a physical resource by the same indices the
+    simulator's resource keys use: NICs as ``(node, nic)``, intra-node
+    links as ``(rank, level)`` (level indexes ``machine.levels``), and
+    stragglers/drains by rank or node.  Derate scales are bandwidth
+    multipliers in ``(0, 1]``; *down* entries force the resource to
+    :data:`DOWN_SCALE`.  Instances are frozen, hashable, and
+    shape-agnostic — validation against a concrete machine happens in
+    :meth:`apply`.
+    """
+
+    down_nics: tuple[tuple[int, int], ...] = ()  # (node, nic)
+    down_links: tuple[tuple[int, int], ...] = ()  # (rank, level)
+    drained_nodes: tuple[int, ...] = ()
+    nic_derate: tuple[tuple[int, int, float], ...] = ()  # (node, nic, scale)
+    link_derate: tuple[tuple[int, int, float], ...] = ()  # (rank, lvl, scale)
+    stragglers: tuple[tuple[int, float], ...] = ()  # (rank, scale)
+
+    def __post_init__(self) -> None:
+        # Coerce any iterable input into canonical nested tuples so equal
+        # fault sets hash equally and repr deterministically.
+        object.__setattr__(self, "down_nics", tuple(
+            (int(n), int(i)) for n, i in self.down_nics))
+        object.__setattr__(self, "down_links", tuple(
+            (int(r), int(l)) for r, l in self.down_links))
+        object.__setattr__(self, "drained_nodes", tuple(
+            int(n) for n in self.drained_nodes))
+        object.__setattr__(self, "nic_derate", tuple(
+            (int(n), int(i), float(s)) for n, i, s in self.nic_derate))
+        object.__setattr__(self, "link_derate", tuple(
+            (int(r), int(l), float(s)) for r, l, s in self.link_derate))
+        object.__setattr__(self, "stragglers", tuple(
+            (int(r), float(s)) for r, s in self.stragglers))
+        for kind, entries in (("nic_derate", self.nic_derate),
+                              ("link_derate", self.link_derate)):
+            for entry in entries:
+                if not _scale_ok(entry[-1]):
+                    raise FaultError(
+                        f"{kind} entry {entry}: scale must be in (0, 1]"
+                    )
+        for rank, scale in self.stragglers:
+            if not _scale_ok(scale):
+                raise FaultError(
+                    f"straggler entry ({rank}, {scale}): scale must be "
+                    "in (0, 1]"
+                )
+
+    def is_empty(self) -> bool:
+        """True when this fault set declares nothing (the identity)."""
+        return not (self.down_nics or self.down_links or self.drained_nodes
+                    or self.nic_derate or self.link_derate or self.stragglers)
+
+    def fingerprint(self) -> tuple:
+        """Stable value tuple; feeds the degraded machine fingerprint.
+
+        Depends only on the declared *content* (sorted), never on how the
+        set was produced — two seeds of :meth:`random` that happen to draw
+        the same faults fingerprint identically.
+        """
+        return (
+            ("down_nics", tuple(sorted(self.down_nics))),
+            ("down_links", tuple(sorted(self.down_links))),
+            ("drained_nodes", tuple(sorted(self.drained_nodes))),
+            ("nic_derate", tuple(sorted(self.nic_derate))),
+            ("link_derate", tuple(sorted(self.link_derate))),
+            ("stragglers", tuple(sorted(self.stragglers))),
+        )
+
+    def describe(self) -> str:
+        """Compact deterministic one-line summary."""
+        parts = []
+        if self.down_nics:
+            parts.append("down-nics=" + ",".join(
+                f"{n}:{i}" for n, i in sorted(self.down_nics)))
+        if self.down_links:
+            parts.append("down-links=" + ",".join(
+                f"{r}:{l}" for r, l in sorted(self.down_links)))
+        if self.drained_nodes:
+            parts.append("drained=" + ",".join(
+                str(n) for n in sorted(self.drained_nodes)))
+        if self.nic_derate:
+            parts.append("nic-derate=" + ",".join(
+                f"{n}:{i}@{s:g}" for n, i, s in sorted(self.nic_derate)))
+        if self.link_derate:
+            parts.append("link-derate=" + ",".join(
+                f"{r}:{l}@{s:g}" for r, l, s in sorted(self.link_derate)))
+        if self.stragglers:
+            parts.append("stragglers=" + ",".join(
+                f"{r}@{s:g}" for r, s in sorted(self.stragglers)))
+        return " ".join(parts) if parts else "healthy"
+
+    def validate(self, machine: MachineSpec) -> None:
+        """Check every declared index against ``machine``'s shape."""
+        nodes, k = machine.nodes, machine.nic_count
+        world, nlv = machine.world_size, len(machine.levels)
+        for node, nic in list(self.down_nics) + [
+                (n, i) for n, i, _ in self.nic_derate]:
+            if not 0 <= node < nodes:
+                raise FaultError(
+                    f"NIC fault names node {node}, but {machine.name} has "
+                    f"{nodes} node(s)"
+                )
+            if not 0 <= nic < k:
+                raise FaultError(
+                    f"NIC fault names NIC {nic} on node {node}, but "
+                    f"{machine.name} has {k} NIC(s) per node"
+                )
+        for rank, lvl in list(self.down_links) + [
+                (r, l) for r, l, _ in self.link_derate]:
+            if not 0 <= rank < world:
+                raise FaultError(
+                    f"link fault names rank {rank}, but {machine.name} has "
+                    f"{world} rank(s)"
+                )
+            if not 0 <= lvl < nlv:
+                raise FaultError(
+                    f"link fault names intra-node level {lvl}, but "
+                    f"{machine.name} has {nlv} level(s)"
+                )
+        for node in self.drained_nodes:
+            if not 0 <= node < nodes:
+                raise FaultError(
+                    f"drained node {node} out of range for {machine.name} "
+                    f"with {nodes} node(s)"
+                )
+        if len(set(self.drained_nodes)) >= nodes:
+            raise FaultError(
+                f"cannot drain all {nodes} node(s) of {machine.name}"
+            )
+        for rank, _scale in self.stragglers:
+            if not 0 <= rank < world:
+                raise FaultError(
+                    f"straggler rank {rank} out of range for "
+                    f"{machine.name} with {world} rank(s)"
+                )
+
+    def apply(self, machine: MachineSpec) -> MachineSpec:
+        """The degraded spec: ``machine`` with this health state attached.
+
+        The empty fault set is a strict identity — ``machine`` itself is
+        returned, so spec, fingerprint, and timelines are byte-identical
+        by construction.  Otherwise the entries are validated against the
+        machine's shape and a new spec is returned whose ``faults`` field
+        (and hence machine fingerprint and plan keys) reflects them.
+        Applying on an already-degraded spec replaces its fault set.
+        """
+        if self.is_empty():
+            return machine if machine.faults is None else replace(
+                machine, faults=None)
+        base = machine if machine.faults is None else replace(
+            machine, faults=None)
+        self.validate(base)
+        return replace(base, faults=self)
+
+    @classmethod
+    def random(
+        cls,
+        machine: MachineSpec,
+        seed: int,
+        *,
+        down_nics: int = 1,
+        link_derates: int = 2,
+        stragglers: int = 2,
+        scale_range: tuple[float, float] = (0.5, 0.95),
+        drained: int = 0,
+    ) -> "FaultSet":
+        """A seeded random fault set shaped to ``machine``.
+
+        Draws ``down_nics`` down NICs, ``link_derates`` intra-node link
+        derates, and ``stragglers`` straggler ranks (derate scales uniform
+        in ``scale_range``), plus optionally ``drained`` drained nodes —
+        all from ``np.random.default_rng(seed)``, so a given ``(machine
+        shape, seed)`` always produces the same set.  The seed is *not*
+        stored: fingerprints depend only on the drawn content.
+        """
+        rng = np.random.default_rng(seed)
+        lo, hi = scale_range
+        if not (_scale_ok(lo) and _scale_ok(hi) and lo <= hi):
+            raise FaultError(
+                f"scale_range {scale_range!r} must satisfy 0 < lo <= hi <= 1"
+            )
+        nics = [(n, i) for n in range(machine.nodes)
+                for i in range(machine.nic_count)]
+        down = [
+            nics[j] for j in sorted(
+                rng.choice(len(nics), size=min(down_nics, len(nics)),
+                           replace=False).tolist())
+        ] if down_nics > 0 else []
+        links = []
+        for _ in range(link_derates):
+            links.append((
+                int(rng.integers(machine.world_size)),
+                int(rng.integers(len(machine.levels))),
+                float(rng.uniform(lo, hi)),
+            ))
+        slow = []
+        if stragglers > 0:
+            picks = rng.choice(machine.world_size,
+                               size=min(stragglers, machine.world_size),
+                               replace=False)
+            slow = [(int(r), float(rng.uniform(lo, hi)))
+                    for r in sorted(picks.tolist())]
+        drain: list[int] = []
+        if drained > 0:
+            if drained >= machine.nodes:
+                raise FaultError(
+                    f"cannot drain {drained} of {machine.nodes} node(s)"
+                )
+            drain = sorted(rng.choice(
+                machine.nodes, size=drained, replace=False).tolist())
+        return cls(
+            down_nics=tuple(down),
+            link_derate=tuple(links),
+            stragglers=tuple(slow),
+            drained_nodes=tuple(drain),
+        )
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Compiled per-resource bandwidth scales of one degraded machine.
+
+    The pricing core's view of a :class:`FaultSet`: plain arrays indexed
+    exactly like the simulator's resource keys.  All scales are in
+    ``(0, 1]``; drained nodes are a boolean rank mask (their scales are
+    irrelevant — pricing refuses their traffic outright).
+    """
+
+    nic_scale: np.ndarray  # (nodes, nic_count) float64
+    link_scale: np.ndarray  # (world, levels) float64
+    inj_scale: np.ndarray  # (world,) float64
+    drained: np.ndarray  # (world,) bool
+
+
+@lru_cache(maxsize=256)
+def _compile(faults: FaultSet, nodes: int, gpus_per_node: int,
+             nic_count: int, num_levels: int) -> FaultRates:
+    """Turn a fault set into rate arrays for one machine shape (memoized)."""
+    world = nodes * gpus_per_node
+    nic_scale = np.ones((nodes, nic_count))
+    link_scale = np.ones((world, num_levels))
+    inj_scale = np.ones(world)
+    drained = np.zeros(world, dtype=bool)
+    # Downs first (absolute), then derates (multiplicative), then straggler
+    # jitter (multiplicative on the rank's endpoints) — a deterministic
+    # composition order, so equal fault sets compile to equal rates.
+    for node, nic in faults.down_nics:
+        nic_scale[node, nic] = DOWN_SCALE
+    for rank, lvl in faults.down_links:
+        link_scale[rank, lvl] = DOWN_SCALE
+    for node, nic, scale in faults.nic_derate:
+        nic_scale[node, nic] *= scale
+    for rank, lvl, scale in faults.link_derate:
+        link_scale[rank, lvl] *= scale
+    for rank, scale in faults.stragglers:
+        inj_scale[rank] *= scale
+        link_scale[rank, :] *= scale
+    for node in faults.drained_nodes:
+        drained[node * gpus_per_node:(node + 1) * gpus_per_node] = True
+    nic_scale.setflags(write=False)
+    link_scale.setflags(write=False)
+    inj_scale.setflags(write=False)
+    drained.setflags(write=False)
+    return FaultRates(nic_scale=nic_scale, link_scale=link_scale,
+                      inj_scale=inj_scale, drained=drained)
+
+
+def rates_for(machine: MachineSpec) -> FaultRates | None:
+    """Compiled rate arrays of ``machine``'s fault set (``None`` = healthy).
+
+    The healthy fast path: pricing branches on this returning ``None`` and
+    then runs the exact code (and float expressions) it always has, so
+    healthy machines stay byte-identical to the pre-fault-layer engine.
+    """
+    if machine.faults is None:
+        return None
+    return _compile(machine.faults, machine.nodes, machine.gpus_per_node,
+                    machine.nic_count, len(machine.levels))
+
+
+def resource_rate(machine: MachineSpec, key: tuple) -> float:
+    """Rated bandwidth (GB/s) of one resource timeline, honoring derates.
+
+    Maps a simulator resource key — ``("nic_tx", node, nic)``,
+    ``("inj_rx", rank)``, ``("link_tx", rank, lvl)``, ``("copy", rank)``,
+    and their mirrors — to the (possibly derated/straggler-scaled) rate the
+    pricing core books transfers at.  This is what workload summaries use
+    so per-resource busy totals are interpreted at each resource's *own*
+    rate rather than assuming the uniform healthy bandwidth.
+    """
+    rates = rates_for(machine)
+    kind = key[0]
+    if kind == "copy":
+        return machine.copy_bandwidth
+    if kind in ("nic_tx", "nic_rx"):
+        node, nic = key[1], key[2]
+        scale = 1.0 if rates is None else float(rates.nic_scale[node, nic])
+        return machine.nic_bandwidth * scale
+    if kind in ("inj_tx", "inj_rx"):
+        rank = key[1]
+        scale = 1.0 if rates is None else float(rates.inj_scale[rank])
+        return machine.injection_bandwidth * scale
+    if kind in ("link_tx", "link_rx"):
+        rank, lvl = key[1], key[2]
+        scale = 1.0 if rates is None else float(rates.link_scale[rank, lvl])
+        return machine.levels[lvl].bandwidth * scale
+    raise FaultError(f"unknown resource kind in key {key!r}")
+
+
+__all__ = [
+    "DOWN_SCALE",
+    "FaultRates",
+    "FaultSet",
+    "rates_for",
+    "resource_rate",
+]

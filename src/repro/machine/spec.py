@@ -84,6 +84,12 @@ class MachineSpec:
     #: (Delta) one process cannot quite saturate the NIC, which is why
     #: striping still helps there (Section 6.3.3's 1.29x).
     gpu_injection_bandwidth: float | None = None
+    #: Health state of the machine (a :class:`~repro.machine.faults.FaultSet`
+    #: or ``None`` when healthy).  Set via ``FaultSet.apply(machine)``, never
+    #: directly — ``apply`` validates the declared indices against this
+    #: machine's shape.  A non-``None`` value changes the machine fingerprint,
+    #: so degraded plans get their own plan-cache entries.
+    faults: object | None = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -179,8 +185,13 @@ class MachineSpec:
             )
 
     def with_nodes(self, nodes: int) -> "MachineSpec":
-        """Same node architecture scaled to a different node count."""
-        return MachineSpec(
+        """Same node architecture scaled to a different node count.
+
+        A fault set carried by this spec is re-applied to the scaled spec,
+        which re-validates every declared index against the new shape — a
+        fault set naming node 7 cannot silently survive a shrink to 4 nodes.
+        """
+        scaled = MachineSpec(
             name=self.name,
             nodes=nodes,
             levels=self.levels,
@@ -194,15 +205,21 @@ class MachineSpec:
             kernel_latency=self.kernel_latency,
             gpu_injection_bandwidth=self.gpu_injection_bandwidth,
         )
+        if self.faults is not None:
+            scaled = self.faults.apply(scaled)
+        return scaled
 
     def describe(self) -> str:
         """Human-readable one-line summary (Table 4 row)."""
         shape = "x".join(str(level.extent) for level in self.levels)
-        return (
+        line = (
             f"{self.name}: {self.nodes} nodes x {self.gpus_per_node} GPUs ({shape}), "
             f"{self.nic_count} NIC(s) @ {self.nic_bandwidth:g} GB/s "
             f"({self.node_bandwidth:g} GB/s/node, binding={self.binding.value})"
         )
+        if self.faults is not None:
+            line += f" [faults: {self.faults.describe()}]"
+        return line
 
 
 # Re-export for convenience.

@@ -27,6 +27,7 @@ from .score import (
     estimate_seconds,
     lower_bound_seconds,
 )
+from .replan import ReplanReport, replan
 from .search import (
     CollectiveBuilder,
     Evaluated,
@@ -58,6 +59,7 @@ __all__ = [
     "GroupChoice",
     "PlanCandidate",
     "PlanResult",
+    "ReplanReport",
     "SearchBudget",
     "SearchSpace",
     "SearchStats",
@@ -74,5 +76,6 @@ __all__ = [
     "plan_collective",
     "plan_workload",
     "policy_libraries",
+    "replan",
     "search_program",
 ]

@@ -1,0 +1,162 @@
+"""Re-planning against a degraded topology.
+
+When faults land mid-job there are two moves, and :func:`replan` prices
+both:
+
+* **replay** — keep the healthy schedule and eat the derated rates.  The
+  healthy plan's op graph is unchanged; only the per-resource durations
+  grow, so this is one simulation, no search.
+* **re-plan** — run the staged planner (:func:`repro.planner.search.
+  search_program`) against the degraded machine, which may pick a different
+  hierarchy/library/striping now that, say, one NIC is down and the
+  multi-NIC striping assumption no longer pays.
+
+The report carries both simulated times plus the re-plan wall-clock latency
+— the operational cost of reacting to the fault — and guarantees the
+re-planned winner is never worse than the replay: the healthy plan itself
+is merged into the candidate ranking, so "keep the old schedule" is always
+on the table.
+
+Drained nodes are deliberately rejected here: a schedule that talks to a
+drained node cannot run at all (pricing raises
+:class:`~repro.errors.FaultError`), so shrinking the job is a *workload*
+decision — see :func:`repro.workloads.elastic.elastic_shrink`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import FaultError, InitializationError
+from ..machine.faults import FaultSet
+from ..simulator.engine import simulate
+from .search import Evaluated, PlanResult, search_program
+from .space import PlanCandidate
+
+
+@dataclass(frozen=True)
+class ReplanReport:
+    """Outcome of re-planning one communicator against a fault set."""
+
+    system: str  # degraded machine description
+    faults: FaultSet
+    healthy_candidate: PlanCandidate
+    healthy_seconds: float  # healthy plan on the healthy machine
+    replay_seconds: float  # healthy plan replayed on the degraded machine
+    result: PlanResult  # full degraded search (healthy plan merged in)
+    replan_wall_seconds: float  # wall-clock latency of the degraded search
+
+    @property
+    def best(self) -> Evaluated:
+        """The degraded-topology winner (never worse than the replay)."""
+        return self.result.best
+
+    @property
+    def replanned_seconds(self) -> float:
+        """Simulated time of the degraded-topology winner."""
+        return self.best.seconds
+
+    @property
+    def slowdown_vs_healthy(self) -> float:
+        """Degraded winner's time over the healthy baseline (>= 1.0-ish)."""
+        return self.replanned_seconds / self.healthy_seconds
+
+    @property
+    def replay_slowdown(self) -> float:
+        """Cost of doing nothing: replayed healthy plan over the baseline."""
+        return self.replay_seconds / self.healthy_seconds
+
+    @property
+    def replan_gain(self) -> float:
+        """Replay time over the re-planned winner (1.0 = replan won nothing)."""
+        return self.replay_seconds / self.replanned_seconds
+
+    def render(self) -> str:
+        """Deterministic text summary (wall-clock latency excluded)."""
+        lines = [
+            f"system: {self.system}",
+            f"faults: {self.faults.describe()}",
+            f"healthy:   {self.healthy_candidate.describe()}: "
+            f"{self.healthy_seconds * 1e3:.3f} ms",
+            f"replay:    {self.replay_seconds * 1e3:.3f} ms "
+            f"({self.replay_slowdown:.3f}x vs healthy)",
+            f"replanned: {self.best.candidate.describe()}: "
+            f"{self.replanned_seconds * 1e3:.3f} ms "
+            f"({self.slowdown_vs_healthy:.3f}x vs healthy, "
+            f"{self.replan_gain:.3f}x over replay)",
+        ]
+        return "\n".join(lines)
+
+
+def replan(
+    comm,
+    faults: FaultSet,
+    *,
+    space=None,
+    budget=None,
+    strategy: str = "staged",
+    jobs: int = 1,
+    cache_dir=None,
+) -> ReplanReport:
+    """Re-plan an initialized communicator's program on a degraded machine.
+
+    ``comm`` must have been ``init()``-ed (its plan and timing are the
+    healthy baseline).  ``faults`` is applied to ``comm.machine``; the
+    communicator itself is left untouched.  The degraded search is memoized
+    through the plan cache under the degraded machine's own fingerprint, so
+    repeating a replan is warm while never colliding with healthy entries.
+    """
+    if comm.schedule is None or comm.plan is None:
+        raise InitializationError(
+            "replan needs an initialized communicator (call init() first)"
+        )
+    if faults.drained_nodes:
+        raise FaultError(
+            "replan keeps the job's rank set; drained nodes need an elastic "
+            "shrink (repro.workloads.elastic.elastic_shrink)"
+        )
+    degraded = faults.apply(comm.machine)
+    healthy_cand = PlanCandidate(
+        hierarchy=tuple(int(f) for f in comm.plan.topology.factors),
+        libraries=tuple(comm.plan.libraries),
+        stripe=comm.plan.stripe,
+        ring=comm.plan.ring,
+        pipeline=comm.plan.pipeline,
+    )
+    healthy_seconds = comm.timing.elapsed
+    replay = simulate(
+        comm.schedule, degraded, comm.plan.libraries, comm.dtype.itemsize
+    )
+
+    t0 = time.perf_counter()
+    result = search_program(
+        comm.program, degraded, dtype=comm.dtype, space=space, budget=budget,
+        strategy=strategy, jobs=jobs, cache_dir=cache_dir,
+    )
+    wall = time.perf_counter() - t0
+
+    # Merge the replayed healthy plan into the ranking (keeping the better
+    # time when the search priced the same candidate), so the winner is
+    # never worse than doing nothing.
+    by_cand = {e.candidate: e.seconds for e in result.evaluated}
+    prior = by_cand.get(healthy_cand)
+    if prior is None or replay.elapsed < prior:
+        by_cand[healthy_cand] = replay.elapsed
+    merged = sorted(by_cand.items(), key=lambda cs: (cs[1], cs[0].sort_key()))
+    result = PlanResult(
+        evaluated=[Evaluated(c, s) for c, s in merged],
+        stats=result.stats,
+    )
+    return ReplanReport(
+        system=degraded.describe(),
+        faults=faults,
+        healthy_candidate=healthy_cand,
+        healthy_seconds=healthy_seconds,
+        replay_seconds=replay.elapsed,
+        result=result,
+        replan_wall_seconds=wall,
+    )
+
+
+__all__ = ["ReplanReport", "replan"]

@@ -30,6 +30,13 @@ lowering (:mod:`repro.core.factorize`) and the cost model
    :func:`repro.model.bounds.theoretical_bound` (the bound-soundness tests
    pin this invariant), so its reciprocal is a valid floor.
 
+On a degraded machine (``machine.faults`` set) the chain-traffic floor
+divides by the *sum of the derated per-NIC rates* instead of ``k * wire`` —
+aggregate node egress in time T never exceeds T times that sum, so the bound
+stays sound when per-NIC bandwidths differ.  The remaining ingredients keep
+their healthy rates, which only loosens them (derated rates are never
+faster), so they stay sound by the same argument.
+
 :func:`estimate_seconds` is the *model-guided* companion: Equations (1)-(2)
 of the paper (:mod:`repro.model.perf_model`) predict each candidate's time
 under its topology, libraries, striping, and pipeline depth.  The estimate
@@ -42,6 +49,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass
 
+from ..machine.faults import rates_for
 from ..machine.spec import MachineSpec
 from ..model.bounds import theoretical_bound
 from ..model.perf_model import ModelParams, t_ring, t_tree
@@ -264,14 +272,26 @@ def lower_bound_seconds(
                 if inter_alphas else 0.0)
     m = candidate.pipeline
     floors = traffic.node_floors(candidate.hierarchy, candidate.ring)
+    rates = rates_for(machine)
     bound = 0.0
     for x in range(machine.nodes):
         tx_msgs = sum(min(m, c) for c in floors.tx_counts[x])
         rx_msgs = sum(min(m, c) for c in floors.rx_counts[x])
+        if rates is None:
+            node_rate = k * wire
+        else:
+            # A node's aggregate egress in time T is at most T times the
+            # *sum* of its (derated) per-NIC rates — still a sound floor
+            # when the NICs are no longer interchangeable.  The per-message
+            # overhead term keeps dividing by k: a down NIC still carries
+            # messages, just slowly.
+            node_rate = float(
+                (machine.nic_bandwidth * rates.nic_scale[x]).sum()
+            ) * 1.0e9
         bound = max(
             bound,
-            floors.tx_bytes[x] / (k * wire) + tx_msgs / k * overhead,
-            floors.rx_bytes[x] / (k * wire) + rx_msgs / k * overhead,
+            floors.tx_bytes[x] / node_rate + tx_msgs / k * overhead,
+            floors.rx_bytes[x] / node_rate + rx_msgs / k * overhead,
         )
     # Per-rank endpoint floor: the fastest conceivable egress/ingress is the
     # sum of every resource the rank owns, each at the candidate's best

@@ -5,6 +5,7 @@ from .engine import (
     JobSpec,
     TimingResult,
     WorkloadTimingResult,
+    busy_gigabytes,
     simulate,
     simulate_sweep,
     simulate_workload,
@@ -37,6 +38,7 @@ __all__ = [
     "PricedOp",
     "TimingResult",
     "WorkloadTimingResult",
+    "busy_gigabytes",
     "critical_path_length",
     "execute",
     "materialize_scratch",

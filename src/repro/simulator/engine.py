@@ -43,6 +43,7 @@ import numpy as np
 
 from ..core.schedule import Schedule
 from ..errors import ExecutionError
+from ..machine.faults import resource_rate
 from ..machine.spec import MachineSpec
 from ..transport.library import Library
 from .level import (LEVEL_MIN_OPS, attempt_level, graph_leveling,
@@ -80,6 +81,27 @@ def rank_resources(by_resource: dict[tuple, float], n: int) -> list[tuple[tuple,
     return sorted(by_resource.items(), key=lambda kv: (-kv[1], str(kv[0])))[:n]
 
 
+def busy_gigabytes(resource_busy: dict[tuple, float],
+                   machine: MachineSpec) -> dict[tuple, float]:
+    """Convert per-resource busy totals (seconds) into serialized GB.
+
+    Each busy total converts at that resource's *own* rated bandwidth via
+    :func:`repro.machine.faults.resource_rate` — never at the machine's
+    uniform healthy NIC rate.  On a degraded machine a derated NIC is busy
+    *longer* for the same traffic, so pricing its timeline at the uniform
+    rate would overstate its throughput by exactly the derate factor; with
+    the per-resource rate the wire portion of the traffic summarizes
+    identically on healthy and degraded machines.  Busy totals also include
+    the per-message alpha occupancy (which converts at the — possibly
+    derated — rate), so the figure slightly overstates pure payload bytes
+    for latency-bound resources.
+    """
+    return {
+        key: busy * resource_rate(machine, key)
+        for key, busy in resource_busy.items()
+    }
+
+
 @dataclass
 class TimingResult:
     """Outcome of simulating one schedule."""
@@ -99,6 +121,10 @@ class TimingResult:
     def busiest_resources(self, n: int = 8) -> list[tuple[tuple, float]]:
         """The ``n`` resources with the highest total occupancy, busiest first."""
         return rank_resources(self.resource_busy, n)
+
+    def moved_gigabytes(self, machine: MachineSpec) -> dict[tuple, float]:
+        """Serialized GB per resource at its own (possibly derated) rate."""
+        return busy_gigabytes(self.resource_busy, machine)
 
 
 def compute_upward_ranks(priced: list[PricedOp], dependents: list[list[int]]) -> list[float]:
@@ -405,6 +431,10 @@ class WorkloadTimingResult:
     def busiest_resources(self, n: int = 8) -> list[tuple[tuple, float]]:
         """The ``n`` resources with the highest total occupancy, busiest first."""
         return rank_resources(self.resource_busy, n)
+
+    def moved_gigabytes(self, machine: MachineSpec) -> dict[tuple, float]:
+        """Serialized GB per resource at its own (possibly derated) rate."""
+        return busy_gigabytes(self.resource_busy, machine)
 
 
 def simulate_workload(jobs, machine: MachineSpec,

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.schedule import P2POp
+from ..errors import FaultError
+from ..machine.faults import rates_for
 from ..machine.nic import nic_of
 from ..machine.spec import INTER_NODE, MachineSpec
 from ..transport.library import Library
@@ -73,9 +75,23 @@ def price_op(
     libraries: tuple[Library, ...],
     elem_bytes: int,
 ) -> PricedOp:
-    """Price one op for the event engine."""
+    """Price one op for the event engine.
+
+    On a degraded machine (``machine.faults`` set) each endpoint's resources
+    are booked at their own derated rates, so tx and rx sides of one transfer
+    may occupy their timelines for different durations.  Healthy machines
+    take the exact pre-fault-layer code path, so their prices stay
+    byte-identical.
+    """
     nbytes = op.count * elem_bytes
     path = machine.path(op.src, op.dst)
+
+    rates = rates_for(machine)
+    if rates is not None and (rates.drained[op.src] or rates.drained[op.dst]):
+        raise FaultError(
+            f"op {op.uid}: endpoint on a drained node ({op.src} -> {op.dst}); "
+            "drained nodes carry no traffic — re-plan on the shrunk machine"
+        )
 
     if op.is_local:
         gamma = 0.0
@@ -105,25 +121,45 @@ def price_op(
                 f"({op.src} -> {op.dst}); was a node-local library scheduled "
                 "across nodes (e.g. by a permuted placement)?"
             )
-        wire = _gb(nbytes) / machine.nic_bandwidth
-        endpoint = _gb(nbytes) / flow_bw
         src_node, dst_node = machine.node_of(op.src), machine.node_of(op.dst)
+        src_nic, dst_nic = machine.nic_of(op.src), machine.nic_of(op.dst)
+        if rates is None:
+            wire = _gb(nbytes) / machine.nic_bandwidth
+            endpoint = _gb(nbytes) / flow_bw
+            wire_rx, endpoint_rx = wire, endpoint
+        else:
+            # Each side serializes at its own derated NIC/injection rate.
+            tx_rate = machine.nic_bandwidth * rates.nic_scale[src_node, src_nic]
+            rx_rate = machine.nic_bandwidth * rates.nic_scale[dst_node, dst_nic]
+            inj_tx = machine.injection_bandwidth * rates.inj_scale[op.src]
+            inj_rx = machine.injection_bandwidth * rates.inj_scale[op.dst]
+            wire = _gb(nbytes) / tx_rate
+            wire_rx = _gb(nbytes) / rx_rate
+            endpoint = _gb(nbytes) / (min(tx_rate, inj_tx) * prof.eff_inter)
+            endpoint_rx = _gb(nbytes) / (min(rx_rate, inj_rx) * prof.eff_inter)
         resources = (
-            (("nic_tx", src_node, machine.nic_of(op.src)), wire),
-            (("nic_rx", dst_node, machine.nic_of(op.dst)), wire),
+            (("nic_tx", src_node, src_nic), wire),
+            (("nic_rx", dst_node, dst_nic), wire_rx),
             (("inj_tx", op.src), endpoint),
-            (("inj_rx", op.dst), endpoint),
+            (("inj_rx", op.dst), endpoint_rx),
         )
         alpha = path.latency + prof.alpha_inter
         return PricedOp(resources, alpha, gamma)
 
     # Intra-node link at some physical level.
-    bw = path.bandwidth * prof.eff_intra
-    duration = _gb(nbytes) / bw
     lvl = path.level_index
+    if rates is None:
+        bw = path.bandwidth * prof.eff_intra
+        duration = _gb(nbytes) / bw
+        dur_tx, dur_rx = duration, duration
+    else:
+        bw_tx = (path.bandwidth * rates.link_scale[op.src, lvl]) * prof.eff_intra
+        bw_rx = (path.bandwidth * rates.link_scale[op.dst, lvl]) * prof.eff_intra
+        dur_tx = _gb(nbytes) / bw_tx
+        dur_rx = _gb(nbytes) / bw_rx
     resources = (
-        (("link_tx", op.src, lvl), duration),
-        (("link_rx", op.dst, lvl), duration),
+        (("link_tx", op.src, lvl), dur_tx),
+        (("link_rx", op.dst, lvl), dur_rx),
     )
     alpha = path.latency + prof.alpha_intra
     return PricedOp(resources, alpha, gamma)
@@ -300,6 +336,13 @@ class _StaticCosts:
     kernel_scale: np.ndarray
     flow_bw: np.ndarray  # inter-node single-flow rate (already eff-scaled)
     intra_bw: np.ndarray  # intra-node link rate (already eff-scaled)
+    # Degraded machines book each endpoint at its own rate; ``None`` on a
+    # healthy machine (where tx == rx and the fields above are the only
+    # rates).  When set, ``flow_bw``/``intra_bw`` hold the tx side.
+    wire_bw_tx: np.ndarray | None = None  # per-op derated src-NIC rate
+    wire_bw_rx: np.ndarray | None = None  # per-op derated dst-NIC rate
+    flow_bw_rx: np.ndarray | None = None
+    intra_bw_rx: np.ndarray | None = None
 
 
 @dataclass
@@ -311,6 +354,10 @@ class _DynamicCosts:
     wire: np.ndarray
     endpoint: np.ndarray
     dur_intra: np.ndarray
+    # rx-side durations on a degraded machine; ``None`` (== tx) when healthy.
+    wire_rx: np.ndarray | None = None
+    endpoint_rx: np.ndarray | None = None
+    dur_intra_rx: np.ndarray | None = None
 
 
 def _static_costs(
@@ -330,6 +377,16 @@ def _static_costs(
         return ops[i]
 
     local = src == dst
+    rates = rates_for(machine)
+    if rates is not None:
+        bad_drained = rates.drained[src] | rates.drained[dst]
+        if bad_drained.any():
+            bad = op_at(int(np.argmax(bad_drained)))
+            raise FaultError(
+                f"op {bad.uid}: endpoint on a drained node "
+                f"({bad.src} -> {bad.dst}); drained nodes carry no traffic "
+                "— re-plan on the shrunk machine"
+            )
     bad_level = ~local & ((level < 0) | (level >= len(libraries)))
     if bad_level.any():
         bad = op_at(int(np.argmax(bad_level)))
@@ -367,22 +424,39 @@ def _static_costs(
     alpha[inter] = machine.nic_latency + alpha_inter_sw[inter]
     alpha[intra] = (level_lat + alpha_intra_sw)[intra]
 
-    flow_bw = min(machine.nic_bandwidth, machine.injection_bandwidth) * eff_inter
-    bad_flow = inter & (flow_bw <= 0)
-    if bad_flow.any():
-        # Raises the canonical single-op error message.
-        price_op(op_at(int(np.argmax(bad_flow))), machine, libraries, elem_bytes)
-    intra_bw = level_bw * eff_intra
-    bad_intra = intra & (intra_bw <= 0)
-    if bad_intra.any():
-        # Raises the canonical single-op error message.
-        price_op(op_at(int(np.argmax(bad_intra))), machine, libraries, elem_bytes)
-
     nic_table = np.array(
         [nic_of(i, g, machine.nic_count, machine.binding) for i in range(g)]
     )
     src_nic = nic_table[la]
     dst_nic = nic_table[lb]
+
+    wire_bw_tx = wire_bw_rx = flow_bw_rx = intra_bw_rx = None
+    if rates is None:
+        flow_bw = min(machine.nic_bandwidth, machine.injection_bandwidth) * eff_inter
+        intra_bw = level_bw * eff_intra
+    else:
+        # Element-wise the same float expressions as the degraded branch of
+        # price_op, so scalar and batch pricing stay bit-identical.
+        nic_rate = machine.nic_bandwidth * rates.nic_scale
+        inj_rate = machine.injection_bandwidth * rates.inj_scale
+        wire_bw_tx = nic_rate[src_node, src_nic]
+        wire_bw_rx = nic_rate[dst_node, dst_nic]
+        flow_bw = np.minimum(wire_bw_tx, inj_rate[src]) * eff_inter
+        flow_bw_rx = np.minimum(wire_bw_rx, inj_rate[dst]) * eff_inter
+        intra_bw = (level_bw * rates.link_scale[src, lvl_safe]) * eff_intra
+        intra_bw_rx = (level_bw * rates.link_scale[dst, lvl_safe]) * eff_intra
+    bad_flow = inter & (flow_bw <= 0)
+    if rates is not None:
+        bad_flow |= inter & (flow_bw_rx <= 0)
+    if bad_flow.any():
+        # Raises the canonical single-op error message.
+        price_op(op_at(int(np.argmax(bad_flow))), machine, libraries, elem_bytes)
+    bad_intra = intra & (intra_bw <= 0)
+    if rates is not None:
+        bad_intra |= intra & (intra_bw_rx <= 0)
+    if bad_intra.any():
+        # Raises the canonical single-op error message.
+        price_op(op_at(int(np.argmax(bad_intra))), machine, libraries, elem_bytes)
 
     return _StaticCosts(
         local=local, inter=inter, intra=intra,
@@ -390,6 +464,8 @@ def _static_costs(
         src_nic=src_nic, dst_nic=dst_nic,
         lvl_idx=lvl_idx, alpha=alpha, kernel_scale=kernel_scale,
         flow_bw=flow_bw, intra_bw=intra_bw,
+        wire_bw_tx=wire_bw_tx, wire_bw_rx=wire_bw_rx,
+        flow_bw_rx=flow_bw_rx, intra_bw_rx=intra_bw_rx,
     )
 
 
@@ -413,14 +489,27 @@ def _dynamic_costs(
     )
 
     dur_local = gb / machine.copy_bandwidth
-    wire = gb / machine.nic_bandwidth
-    with np.errstate(divide="ignore"):
-        endpoint = np.where(
-            st.flow_bw > 0, gb / np.where(st.flow_bw > 0, st.flow_bw, 1.0), 0.0
-        )
+    if st.wire_bw_tx is None:
+        wire = gb / machine.nic_bandwidth
+        with np.errstate(divide="ignore"):
+            endpoint = np.where(
+                st.flow_bw > 0, gb / np.where(st.flow_bw > 0, st.flow_bw, 1.0), 0.0
+            )
+        dur_intra = gb / np.where(st.intra_bw > 0, st.intra_bw, 1.0)
+        return _DynamicCosts(gamma=gamma, dur_local=dur_local, wire=wire,
+                             endpoint=endpoint, dur_intra=dur_intra)
+
+    # Degraded machine: tx and rx sides priced at their own rates.
+    wire = gb / st.wire_bw_tx
+    wire_rx = gb / st.wire_bw_rx
+    endpoint = gb / np.where(st.flow_bw > 0, st.flow_bw, 1.0)
+    endpoint_rx = gb / np.where(st.flow_bw_rx > 0, st.flow_bw_rx, 1.0)
     dur_intra = gb / np.where(st.intra_bw > 0, st.intra_bw, 1.0)
+    dur_intra_rx = gb / np.where(st.intra_bw_rx > 0, st.intra_bw_rx, 1.0)
     return _DynamicCosts(gamma=gamma, dur_local=dur_local, wire=wire,
-                         endpoint=endpoint, dur_intra=dur_intra)
+                         endpoint=endpoint, dur_intra=dur_intra,
+                         wire_rx=wire_rx, endpoint_rx=endpoint_rx,
+                         dur_intra_rx=dur_intra_rx)
 
 
 def _price_arrays(
@@ -447,6 +536,11 @@ def _price_arrays(
     alpha_l, gamma_l = st.alpha.tolist(), dyn.gamma.tolist()
     dur_local_l, wire_l = dyn.dur_local.tolist(), dyn.wire.tolist()
     endpoint_l, dur_intra_l = dyn.endpoint.tolist(), dyn.dur_intra.tolist()
+    wire_rx_l = wire_l if dyn.wire_rx is None else dyn.wire_rx.tolist()
+    endpoint_rx_l = (endpoint_l if dyn.endpoint_rx is None
+                     else dyn.endpoint_rx.tolist())
+    dur_intra_rx_l = (dur_intra_l if dyn.dur_intra_rx is None
+                      else dyn.dur_intra_rx.tolist())
     lvl_idx_l = st.lvl_idx.tolist()
     local_l, inter_l = st.local.tolist(), st.inter.tolist()
 
@@ -455,18 +549,17 @@ def _price_arrays(
         if local_l[i]:
             resources: tuple = ((("copy", src_l[i]), dur_local_l[i]),)
         elif inter_l[i]:
-            w, e = wire_l[i], endpoint_l[i]
             resources = (
-                (("nic_tx", src_node_l[i], src_nic_l[i]), w),
-                (("nic_rx", dst_node_l[i], dst_nic_l[i]), w),
-                (("inj_tx", src_l[i]), e),
-                (("inj_rx", dst_l[i]), e),
+                (("nic_tx", src_node_l[i], src_nic_l[i]), wire_l[i]),
+                (("nic_rx", dst_node_l[i], dst_nic_l[i]), wire_rx_l[i]),
+                (("inj_tx", src_l[i]), endpoint_l[i]),
+                (("inj_rx", dst_l[i]), endpoint_rx_l[i]),
             )
         else:
-            d, li = dur_intra_l[i], lvl_idx_l[i]
+            li = lvl_idx_l[i]
             resources = (
-                (("link_tx", src_l[i], li), d),
-                (("link_rx", dst_l[i], li), d),
+                (("link_tx", src_l[i], li), dur_intra_l[i]),
+                (("link_rx", dst_l[i], li), dur_intra_rx_l[i]),
             )
         out.append(PricedOp(resources, alpha_l[i], gamma_l[i]))
     return out
@@ -493,6 +586,11 @@ def _assemble_columns(
     res_id[loc, 0] = _encode_resource(_KIND_CODES["copy"], src[loc])
     res_dur[loc, 0] = dyn.dur_local[loc]
 
+    wire_rx = dyn.wire if dyn.wire_rx is None else dyn.wire_rx
+    endpoint_rx = dyn.endpoint if dyn.endpoint_rx is None else dyn.endpoint_rx
+    dur_intra_rx = (dyn.dur_intra if dyn.dur_intra_rx is None
+                    else dyn.dur_intra_rx)
+
     itr = st.inter
     res_id[itr, 0] = _encode_resource(
         _KIND_CODES["nic_tx"], st.src_node[itr], st.src_nic[itr])
@@ -501,9 +599,9 @@ def _assemble_columns(
     res_id[itr, 2] = _encode_resource(_KIND_CODES["inj_tx"], src[itr])
     res_id[itr, 3] = _encode_resource(_KIND_CODES["inj_rx"], dst[itr])
     res_dur[itr, 0] = dyn.wire[itr]
-    res_dur[itr, 1] = dyn.wire[itr]
+    res_dur[itr, 1] = wire_rx[itr]
     res_dur[itr, 2] = dyn.endpoint[itr]
-    res_dur[itr, 3] = dyn.endpoint[itr]
+    res_dur[itr, 3] = endpoint_rx[itr]
 
     ita = st.intra
     res_id[ita, 0] = _encode_resource(
@@ -511,7 +609,7 @@ def _assemble_columns(
     res_id[ita, 1] = _encode_resource(
         _KIND_CODES["link_rx"], dst[ita], st.lvl_idx[ita])
     res_dur[ita, 0] = dyn.dur_intra[ita]
-    res_dur[ita, 1] = dyn.dur_intra[ita]
+    res_dur[ita, 1] = dur_intra_rx[ita]
 
     return PricedColumns(alpha=st.alpha, gamma=dyn.gamma,
                          res_id=res_id, res_dur=res_dur)

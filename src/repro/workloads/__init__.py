@@ -13,6 +13,12 @@ See DESIGN.md Section 7 for the layer contract and EXPERIMENTS.md for the
 committed scenario baselines.
 """
 
+from .elastic import (
+    ElasticShrinkReport,
+    elastic_shrink,
+    shrink_rank_map,
+    survivor_ranks,
+)
 from .groups import (
     data_parallel_groups,
     pipeline_pair_groups,
@@ -33,6 +39,7 @@ from .workload import JobReport, Workload, WorkloadResult
 
 __all__ = [
     "DEFAULT_PAYLOAD_BYTES",
+    "ElasticShrinkReport",
     "JobReport",
     "SCENARIOS",
     "Scenario",
@@ -41,10 +48,13 @@ __all__ = [
     "applicable_scenarios",
     "build_scenario",
     "data_parallel_groups",
+    "elastic_shrink",
     "pipeline_pair_groups",
     "pipeline_stage_groups",
     "run_scenario",
     "run_scenarios",
+    "shrink_rank_map",
+    "survivor_ranks",
     "tensor_parallel_groups",
     "tune_scenario",
 ]

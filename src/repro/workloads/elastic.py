@@ -1,0 +1,243 @@
+"""Elastic shrink: drop drained nodes and re-plan on the survivors.
+
+A schedule that names a drained node cannot run at all — pricing raises
+:class:`~repro.errors.FaultError` the moment an op touches one — so the
+recovery for drained nodes is not a re-plan on the same rank set (see
+:func:`repro.planner.replan.replan` for that) but a *shrink*: the job drops
+from ``N`` to ``N - k`` nodes, re-synthesizes its collective for the
+smaller world, and carries the same total payload on fewer ranks.
+
+:func:`shrink_rank_map` decides which surviving physical rank hosts each
+rank of the shrunk job.  The default is survivor order; a caller-supplied
+map (e.g. to preserve NIC bindings of a half-drained switch group) is
+validated entry by entry — wrong length, out-of-range ranks, duplicates,
+and ranks on drained nodes each raise a :class:`~repro.errors.FaultError`
+that names the offending entry, never a bare numpy index error.
+
+:func:`elastic_shrink` prices the whole maneuver: the healthy baseline on
+``N`` nodes, the re-planned collective on the ``N - k`` survivors, and the
+wall-clock latency of the shrink re-plan (synthesis + simulation of the
+shrunk schedule).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..bench.configs import (
+    INTER_LIBRARY,
+    RING_PIPELINE,
+    TREE_PIPELINE,
+    HicclConfig,
+    best_config,
+)
+from ..core.communicator import Communicator
+from ..core.composition import compose
+from ..errors import FaultError, InitializationError
+from ..machine.spec import MachineSpec
+from ..transport.library import Library
+
+#: Element size used by elastic-shrink communicators (float32).
+ELEM_BYTES = 4
+
+
+def _normalize_drained(machine: MachineSpec, drained_nodes) -> tuple[int, ...]:
+    drained = tuple(int(n) for n in drained_nodes)
+    if not drained:
+        raise FaultError("elastic shrink needs at least one drained node")
+    if len(set(drained)) != len(drained):
+        raise FaultError(f"duplicate drained nodes: {sorted(drained)}")
+    for node in drained:
+        if not 0 <= node < machine.nodes:
+            raise FaultError(
+                f"drained node {node} out of range for {machine.name} "
+                f"with {machine.nodes} node(s)"
+            )
+    if len(drained) >= machine.nodes:
+        raise FaultError(
+            f"cannot drain all {machine.nodes} node(s) of {machine.name}"
+        )
+    return tuple(sorted(drained))
+
+
+def survivor_ranks(machine: MachineSpec, drained_nodes) -> tuple[int, ...]:
+    """Global ranks that survive draining ``drained_nodes``, in rank order."""
+    drained = set(_normalize_drained(machine, drained_nodes))
+    g = machine.gpus_per_node
+    return tuple(
+        rank for rank in range(machine.world_size)
+        if rank // g not in drained
+    )
+
+
+def shrink_rank_map(
+    machine: MachineSpec,
+    drained_nodes,
+    survivors=None,
+) -> tuple[int, ...]:
+    """Map each shrunk-job rank to the surviving global rank hosting it.
+
+    Entry ``i`` is the old global rank that hosts rank ``i`` of the shrunk
+    job.  With ``survivors=None`` the map is simply the surviving ranks in
+    order.  A caller-supplied ``survivors`` sequence is validated — length
+    ``(N - k) * gpus_per_node``, every entry a real rank, no duplicates,
+    nothing on a drained node — and every violation raises
+    :class:`~repro.errors.FaultError` naming the offending entry.
+    """
+    keep = survivor_ranks(machine, drained_nodes)
+    if survivors is None:
+        return keep
+    try:
+        supplied = tuple(int(r) for r in survivors)
+    except (TypeError, ValueError) as exc:
+        raise FaultError(f"survivor map is not a rank sequence: {exc}") from exc
+    if len(supplied) != len(keep):
+        raise FaultError(
+            f"survivor map has {len(supplied)} entries; the shrunk job needs "
+            f"exactly {len(keep)} (one per surviving GPU)"
+        )
+    drained = set(_normalize_drained(machine, drained_nodes))
+    g = machine.gpus_per_node
+    seen: set[int] = set()
+    for i, rank in enumerate(supplied):
+        if not 0 <= rank < machine.world_size:
+            raise FaultError(
+                f"survivor map entry {i} names rank {rank}, out of range "
+                f"for {machine.name} with {machine.world_size} GPUs"
+            )
+        if rank // g in drained:
+            raise FaultError(
+                f"survivor map entry {i} names rank {rank} on drained "
+                f"node {rank // g}"
+            )
+        if rank in seen:
+            raise FaultError(
+                f"survivor map entry {i} repeats rank {rank}"
+            )
+        seen.add(rank)
+    return supplied
+
+
+@dataclass(frozen=True)
+class ElasticShrinkReport:
+    """Outcome of shrinking one collective from ``N`` to ``N - k`` nodes."""
+
+    system: str  # healthy machine description
+    collective: str
+    payload_bytes: int
+    nodes_before: int
+    nodes_after: int
+    drained_nodes: tuple[int, ...]
+    rank_map: tuple[int, ...]  # shrunk rank -> surviving global rank
+    healthy_seconds: float  # collective on the full healthy machine
+    shrunk_seconds: float  # re-planned collective on the survivors
+    replan_wall_seconds: float  # wall latency of the shrink re-plan
+
+    @property
+    def slowdown(self) -> float:
+        """Shrunk time over the healthy baseline (same total payload)."""
+        return self.shrunk_seconds / self.healthy_seconds
+
+    def render(self) -> str:
+        """Deterministic text summary (wall-clock latency excluded)."""
+        drained = ",".join(str(n) for n in self.drained_nodes)
+        return "\n".join([
+            f"system: {self.system}",
+            f"collective: {self.collective} "
+            f"({self.payload_bytes} bytes total)",
+            f"shrink: {self.nodes_before} -> {self.nodes_after} nodes "
+            f"(drained: {drained})",
+            f"healthy: {self.healthy_seconds * 1e3:.3f} ms",
+            f"shrunk:  {self.shrunk_seconds * 1e3:.3f} ms "
+            f"({self.slowdown:.3f}x vs healthy)",
+        ])
+
+
+def _count(payload_bytes: int, world_size: int) -> int:
+    return max(1, payload_bytes // (world_size * ELEM_BYTES))
+
+
+def shrink_config(machine: MachineSpec, collective: str) -> HicclConfig:
+    """Table 5 config for ``machine``, valid at *any* node count.
+
+    :func:`repro.bench.configs.best_config` tiles the nodes with a binary
+    tree and therefore needs a power-of-two node count — which a shrunk
+    machine (``N - k`` nodes) usually is not.  The fallback keeps the Table
+    5 per-level libraries and striping but makes the node tier a single
+    factor (a ring for the ring-topology collectives, a flat tree
+    otherwise), which the lowering accepts for every node count.
+    """
+    try:
+        return best_config(machine, collective)
+    except InitializationError:
+        inter = INTER_LIBRARY.get(machine.name, Library.MPI)
+        intra = [level.extent for level in machine.levels]
+        ringy = collective in ("broadcast", "reduce") and machine.nodes >= 2
+        shallow = collective in ("gather", "scatter", "all_to_all")
+        return HicclConfig(
+            name="shrink",
+            hierarchy=tuple([machine.nodes] + intra),
+            libraries=tuple([inter] + [Library.IPC] * len(intra)),
+            stripe=machine.gpus_per_node,
+            ring=machine.nodes if ringy else 1,
+            pipeline=RING_PIPELINE if ringy else (4 if shallow
+                                                  else TREE_PIPELINE),
+        )
+
+
+def _priced_collective(machine: MachineSpec, collective: str,
+                       payload_bytes: int) -> Communicator:
+    comm = Communicator(machine, materialize=False)
+    compose(comm, collective, _count(payload_bytes, machine.world_size))
+    comm.init(**shrink_config(machine, collective).init_kwargs())
+    return comm
+
+
+def elastic_shrink(
+    machine: MachineSpec,
+    collective: str,
+    payload_bytes: int,
+    drained_nodes,
+    survivors=None,
+) -> ElasticShrinkReport:
+    """Price one collective before and after dropping drained nodes.
+
+    The healthy baseline runs ``collective`` on the full machine; the shrunk
+    job re-synthesizes it on ``machine.with_nodes(N - k)`` (same node
+    architecture, fewer nodes — any non-drain fault set on ``machine`` is
+    re-validated against the smaller shape) carrying the *same total
+    payload* on fewer ranks.  ``replan_wall_seconds`` is the wall-clock cost
+    of the shrink re-plan: composing, lowering, and simulating the shrunk
+    schedule.
+    """
+    rank_map = shrink_rank_map(machine, drained_nodes, survivors)
+    drained = _normalize_drained(machine, drained_nodes)
+
+    healthy = _priced_collective(machine, collective, payload_bytes)
+
+    t0 = time.perf_counter()
+    shrunk_machine = machine.with_nodes(machine.nodes - len(drained))
+    shrunk = _priced_collective(shrunk_machine, collective, payload_bytes)
+    wall = time.perf_counter() - t0
+
+    return ElasticShrinkReport(
+        system=machine.describe(),
+        collective=collective,
+        payload_bytes=payload_bytes,
+        nodes_before=machine.nodes,
+        nodes_after=shrunk_machine.nodes,
+        drained_nodes=drained,
+        rank_map=rank_map,
+        healthy_seconds=healthy.timing.elapsed,
+        shrunk_seconds=shrunk.timing.elapsed,
+        replan_wall_seconds=wall,
+    )
+
+
+__all__ = [
+    "ElasticShrinkReport",
+    "elastic_shrink",
+    "shrink_rank_map",
+    "survivor_ranks",
+]

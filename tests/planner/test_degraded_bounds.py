@@ -1,0 +1,125 @@
+"""Bound soundness and re-plan contracts on degraded (asymmetric) machines.
+
+The healthy bound-soundness suite (``tests/model/test_bound_soundness.py``)
+is the planner's license to prune; this file extends it to machines whose
+per-resource rates are *asymmetric* — seeded random fault sets (a down NIC,
+derated links, stragglers) on both committed machine models:
+
+* :func:`repro.planner.lower_bound_seconds` stays a true lower bound on
+  the simulated time for every candidate in the space.  On a degraded
+  machine the node floor divides by the *sum of the derated per-NIC
+  rates* (egress in time T is at most T times that sum — sound without
+  any monotonicity argument), while the endpoint/Table-3 floors keep the
+  healthy rates, which only lowers them further;
+* :func:`repro.planner.replan` never returns a winner worse than
+  replaying the healthy schedule on the degraded machine (the healthy
+  candidate is merged into the degraded ranking), and the degraded
+  search's own ranking is internally consistent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.configs import best_config
+from repro.bench.runner import payload_count
+from repro.core.communicator import Communicator
+from repro.core.composition import compose
+from repro.errors import FaultError, HicclError
+from repro.machine.faults import FaultSet
+from repro.machine.machines import by_name
+from repro.planner import SearchSpace, analyze_program, lower_bound_seconds
+from repro.planner.replan import replan
+
+PAYLOAD_BYTES = 1 << 22
+SYSTEMS = ("perlmutter", "delta")
+SEEDS = (0, 7)
+RTOL = 1e-9
+
+
+def _simulated(machine, program, candidate) -> float | None:
+    comm = Communicator(machine, materialize=False)
+    comm.program = program
+    try:
+        comm.init(**candidate.init_kwargs())
+    except HicclError:
+        return None
+    return comm.timing.elapsed
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("collective", ("all_reduce", "broadcast"))
+def test_bound_stays_sound_on_degraded_machines(system, seed, collective):
+    healthy = by_name(system, nodes=2)
+    machine = FaultSet.random(healthy, seed).apply(healthy)
+    space = SearchSpace.build(machine, pipelines=(1, 8))
+    count = max(1, PAYLOAD_BYTES // (machine.world_size * 4))
+    payload = count * machine.world_size * 4
+    base = Communicator(machine, materialize=False)
+    compose(base, collective, count)
+    traffic = analyze_program(base.program, machine, 4)
+    checked = 0
+    for candidate in space.candidates():
+        seconds = _simulated(machine, base.program, candidate)
+        if seconds is None:
+            continue
+        checked += 1
+        score = lower_bound_seconds(
+            traffic, machine, candidate,
+            collective=collective, payload_bytes=payload,
+        )
+        assert score <= seconds * (1 + RTOL), (
+            f"{candidate.describe()} on {machine.describe()}: pruning "
+            f"score {score * 1e3:.4f} ms exceeds simulated "
+            f"{seconds * 1e3:.4f} ms — degraded pruning would be unsound"
+        )
+    assert checked >= 20
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_degraded_bound_never_exceeds_healthy_bound(system):
+    """Dropping rates can only *lower* the analytic floor terms that keep
+    healthy rates, and the node floor uses the true derated sum — so the
+    degraded score must stay a lower bound of the healthy score plus the
+    degraded node term.  Cheap sanity: the score stays positive and finite
+    for every candidate on a machine with a down NIC."""
+    healthy = by_name(system, nodes=2)
+    machine = FaultSet(down_nics=((0, 0),)).apply(healthy)
+    space = SearchSpace.build(machine, pipelines=(1, 8))
+    base = Communicator(machine, materialize=False)
+    compose(base, "all_reduce", 1 << 10)
+    traffic = analyze_program(base.program, machine, 4)
+    for candidate in space.candidates():
+        score = lower_bound_seconds(traffic, machine, candidate)
+        assert 0 < score < float("inf")
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_replan_winner_never_worse_than_replay(system, seed):
+    machine = by_name(system, nodes=2)
+    faults = FaultSet.random(machine, seed)
+    comm = Communicator(machine, materialize=False)
+    compose(comm, "all_reduce", payload_count(machine, PAYLOAD_BYTES))
+    comm.init(**best_config(machine, "all_reduce").init_kwargs())
+    report = replan(comm, faults)
+    assert report.replanned_seconds <= report.replay_seconds * (1 + RTOL)
+    assert report.replay_seconds >= report.healthy_seconds * (1 - RTOL)
+    # The merged ranking is sorted and contains the healthy candidate.
+    seconds = [e.seconds for e in report.result.evaluated]
+    assert seconds == sorted(seconds)
+    assert any(e.candidate == report.healthy_candidate
+               for e in report.result.evaluated)
+    # The original communicator is untouched by the replan.
+    assert comm.machine.faults is None
+    assert comm.timing.elapsed == report.healthy_seconds
+
+
+def test_replan_rejects_drained_nodes():
+    machine = by_name("delta", nodes=2)
+    comm = Communicator(machine, materialize=False)
+    compose(comm, "all_reduce", 1 << 10)
+    comm.init(**best_config(machine, "all_reduce").init_kwargs())
+    with pytest.raises(FaultError, match="elastic shrink"):
+        replan(comm, FaultSet(drained_nodes=(1,)))

@@ -109,6 +109,25 @@ def test_readme_inspecting_schedules_quickstart_runs():
     ]
 
 
+def test_readme_fault_quickstart_runs():
+    """The README "Surviving faults" snippet executes as written."""
+    readme = CHECKER.parent.parent / "README.md"
+    section = readme.read_text().split("## Surviving faults")[1]
+    section = section.split("\n## ")[0]
+    blocks = re.findall(r"```python\n(.*?)```", section, re.S)
+    assert blocks, "fault python block missing"
+    namespace: dict = {}
+    exec(compile(blocks[0], str(readme), "exec"), namespace)  # noqa: S102
+    report = namespace["report"]
+    assert report.replay_seconds >= report.healthy_seconds
+    assert report.replanned_seconds <= report.replay_seconds
+    shrink = namespace["shrink"]
+    assert shrink.nodes_after == 3
+    assert shrink.rank_map == tuple(range(12))
+    # The replanned communicator itself stays healthy.
+    assert namespace["comm"].machine.faults is None
+
+
 def test_readme_planner_quickstart_runs():
     """The README "Tuning the optimization parameters" snippet executes."""
     readme = CHECKER.parent.parent / "README.md"

@@ -1,0 +1,73 @@
+"""Elastic-shrink workload: N -> N-k re-planning on drained nodes.
+
+The heavyweight committed baselines live in ``benchmarks/test_fault_baselines.py``;
+this file locks down the fast contracts: report shape, deterministic
+rendering, drained-node pricing rejection, and the non-power-of-two
+fallback configuration the shrunk machine needs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.configs import best_config
+from repro.errors import FaultError, InitializationError
+from repro.machine.faults import FaultSet
+from repro.machine.machines import by_name
+from repro.simulator.engine import simulate
+from repro.workloads.elastic import elastic_shrink, shrink_config
+
+PAYLOAD_BYTES = 1 << 20
+
+
+def test_shrink_report_shape_and_determinism():
+    machine = by_name("delta", nodes=4)
+    report = elastic_shrink(machine, "all_reduce", PAYLOAD_BYTES, (3,))
+    assert report.nodes_before == 4
+    assert report.nodes_after == 3
+    assert report.drained_nodes == (3,)
+    assert report.rank_map == tuple(range(12))
+    assert report.healthy_seconds > 0
+    assert report.shrunk_seconds > 0
+    assert report.replan_wall_seconds > 0
+    # The render is a pure function of the simulated quantities (no wall).
+    again = elastic_shrink(machine, "all_reduce", PAYLOAD_BYTES, (3,))
+    assert again.render() == report.render()
+    assert "shrink: 4 -> 3 nodes" in report.render()
+
+
+def test_shrink_accepts_custom_survivor_map():
+    machine = by_name("perlmutter", nodes=4)
+    survivors = tuple(range(4)) + tuple(range(12, 16))
+    report = elastic_shrink(machine, "broadcast", PAYLOAD_BYTES, (1, 2),
+                            survivors=survivors)
+    assert report.rank_map == survivors
+    assert report.nodes_after == 2
+
+
+def test_shrink_config_handles_non_power_of_two_nodes():
+    """best_config needs power-of-two nodes; the fallback must not."""
+    machine = by_name("delta", nodes=3)
+    with pytest.raises(InitializationError):
+        best_config(machine, "all_reduce")
+    cfg = shrink_config(machine, "all_reduce")
+    assert cfg.hierarchy[0] == 3
+    # And on power-of-two nodes the fallback defers to Table 5.
+    machine4 = by_name("delta", nodes=4)
+    assert shrink_config(machine4, "all_reduce") == best_config(
+        machine4, "all_reduce")
+
+
+def test_drained_node_pricing_is_rejected_not_mispriced():
+    """A healthy schedule replayed against drained nodes must raise a
+    FaultError naming the drained endpoint — never price it as traffic."""
+    machine = by_name("delta", nodes=2)
+    from repro.core.communicator import Communicator
+    from repro.core.composition import compose
+
+    comm = Communicator(machine, materialize=False)
+    compose(comm, "all_reduce", 1 << 10)
+    comm.init(**best_config(machine, "all_reduce").init_kwargs())
+    drained = FaultSet(drained_nodes=(1,)).apply(machine)
+    with pytest.raises(FaultError, match="drained"):
+        simulate(comm.schedule, drained, comm.plan.libraries, 4)

@@ -28,7 +28,12 @@ worker pool.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass
 
 from ..machine.spec import MachineSpec
@@ -154,6 +159,69 @@ def run_tasks(
             index, result = fut.result()
             results[index] = result
     return results
+
+
+def _run_task(task):
+    return task.run()
+
+
+class TaskPool:
+    """Persistent worker pool running ``.run()`` tasks with async completion.
+
+    :func:`run_tasks` is a batch API: it blocks until the whole grid is
+    priced.  Long-running callers — the plan service's batcher
+    (:mod:`repro.service.batcher`) foremost — instead need to *submit* work
+    as it arrives and react per task; this class wraps the same worker
+    semantics (picklable ``.run()`` tasks, per-worker plan caches, optional
+    shared ``cache_dir`` disk layer) behind ``submit() -> Future``.
+
+    ``jobs <= 1`` degrades to a single *thread* rather than a process: the
+    task runs in-process (sharing this process's plan cache) but completion
+    stays asynchronous, so callers never block on submission.  The pool is
+    lazy — workers start on first submit — and reusable across submissions;
+    call :meth:`shutdown` (or use it as a context manager) when done.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> None:
+        if jobs == 0:
+            jobs = default_jobs()
+        self.jobs = jobs
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self._executor = None
+
+    def _ensure(self):
+        if self._executor is None:
+            if self.jobs <= 1:
+                self._executor = ThreadPoolExecutor(max_workers=1)
+                _worker_init(self.cache_dir)
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_worker_init, initargs=(self.cache_dir,),
+                )
+        return self._executor
+
+    def submit(self, task) -> Future:
+        """Schedule one ``.run()`` task; the future resolves to its result."""
+        return self._ensure().submit(_run_task, task)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers (idempotent); pending tasks finish when ``wait``."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    def __enter__(self) -> "TaskPool":
+        """Context-manager entry: the pool itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: shut the workers down."""
+        self.shutdown()
 
 
 def run_sweep(

@@ -19,6 +19,9 @@ Entry point: ``python -m repro <command>``::
     python -m repro faults all_reduce --system delta --seed 7   # replan
     python -m repro faults all_reduce --down-nic 1:0 --straggler 5:0.5
     python -m repro faults all_reduce --shrink 1    # drop a node, re-plan
+    python -m repro serve --socket /tmp/plan.sock   # planning daemon
+    python -m repro request all_reduce --system delta --socket /tmp/plan.sock
+    python -m repro cache --json --socket /tmp/plan.sock  # daemon shards
 
 Outputs are plain text; the heavy lifting lives in the library so every
 command is also reachable programmatically.
@@ -225,7 +228,15 @@ def cmd_bench(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    """Show (or clear) the plan cache: in-process stats + persisted plans."""
+    """Show (or clear) the plan cache: in-process stats + persisted plans.
+
+    With ``--socket`` the statistics come from a running plan daemon
+    instead: service counters, coalescing counters, and the per-shard
+    hit/miss/eviction/byte counters of its sharded response cache.
+    ``--json`` emits either report machine-readably.
+    """
+    import json as _json
+
     from .core.plancache import (
         SCHEMA_VERSION,
         PlanCache,
@@ -233,7 +244,68 @@ def cmd_cache(args) -> int:
         get_cache,
     )
 
+    if args.socket:
+        from .service.client import PlanClient
+
+        try:
+            with PlanClient(args.socket) as client:
+                stats = client.stats()
+        except OSError as exc:
+            print(f"error: cannot reach plan service at {args.socket}: {exc}")
+            return 2
+        if args.json:
+            print(_json.dumps(
+                {k: stats[k] for k in ("service", "batcher", "cache")},
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        svc, batch = stats["service"], stats["batcher"]
+        print(f"plan service at {args.socket}")
+        print(f"  requests={svc['requests']} hits={svc['hits']} "
+              f"planned={svc['planned']} coalesced={svc['coalesced']} "
+              f"warm-started={svc['warm_started']} errors={svc['errors']}")
+        print(f"  batcher: planned={batch['planned']} "
+              f"coalesced={batch['coalesced']} inflight={batch['inflight']}")
+        for i, shard in enumerate(stats["cache"]["shards"]):
+            print(f"  shard {i}: lookups={shard['lookups']} "
+                  f"hits={shard['hits']} misses={shard['misses']} "
+                  f"stores={shard['stores']} evictions={shard['evictions']} "
+                  f"admission-rejected={shard['admission_rejected']} "
+                  f"entries={shard['entries']} bytes={shard['bytes']}")
+        total = stats["cache"]["total"]
+        print(f"  total: entries={total['entries']} bytes={total['bytes']} "
+              f"hit-rate={total['hit_rate']:.0%}")
+        return 0
+
     cache = get_cache()
+    if args.json:
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "in_process": {
+                "entries": len(cache),
+                "capacity": cache.capacity,
+                "bytes": cache.total_bytes(),
+                "max_bytes": cache.max_total_bytes,
+                "lookups": cache.stats.lookups,
+                "memory_hits": cache.stats.memory_hits,
+                "disk_hits": cache.stats.disk_hits,
+                "misses": cache.stats.misses,
+                "stores": cache.stats.stores,
+                "evictions": cache.stats.evictions,
+                "seconds_saved": cache.stats.seconds_saved,
+            },
+        }
+        disk_dir = cache.disk_dir if cache.disk_dir is not None else default_disk_dir()
+        entries = (sorted(disk_dir.glob("v*-*.npz")) if disk_dir.exists()
+                   else [])
+        doc["disk"] = {
+            "dir": str(disk_dir),
+            "active": cache.disk_dir is not None,
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+        }
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     print(f"plan cache (schema v{SCHEMA_VERSION})")
     print(f"  in-process: {len(cache)} plan(s), capacity {cache.capacity}, "
           f"{cache.total_bytes() / 1e6:.2f} MB of plan arrays held "
@@ -449,6 +521,90 @@ def cmd_faults(args) -> int:
         return 2
 
 
+def cmd_serve(args) -> int:
+    """Run the planning daemon in the foreground until a shutdown frame."""
+    from .service.server import PlanService, PlanServer, default_socket_path
+
+    path = args.socket or default_socket_path()
+    service = PlanService(
+        jobs=args.jobs,
+        num_shards=args.shards,
+        shard_capacity=args.shard_capacity,
+        shard_bytes=_parse_size(args.shard_bytes),
+        warm_start=not args.no_warm_start,
+        admission=not args.no_admission,
+        cache_dir=args.cache_dir,
+    )
+    with PlanServer(path, service) as server:
+        print(f"plan service listening on {server.socket_path} "
+              f"(jobs={args.jobs}, shards={args.shards}, "
+              f"warm-start={'off' if args.no_warm_start else 'on'}, "
+              f"admission={'off' if args.no_admission else 'on'})")
+        print("stop with: repro request --shutdown, or Ctrl-C")
+        try:
+            server.serve_forever(poll_interval=0.05)
+        except KeyboardInterrupt:
+            pass
+    print("plan service stopped")
+    return 0
+
+
+def cmd_request(args) -> int:
+    """Send one plan request (or control frame) to a running daemon."""
+    import json as _json
+
+    from .errors import HicclError
+    from .service.client import PlanClient
+    from .service.server import default_socket_path
+
+    path = args.socket or default_socket_path()
+    try:
+        client = PlanClient(path)
+    except OSError as exc:
+        print(f"error: cannot reach plan service at {path}: {exc}")
+        return 2
+    with client:
+        if args.shutdown:
+            client.shutdown()
+            print(f"plan service at {path} asked to stop")
+            return 0
+        if not args.collective:
+            print("error: a collective is required unless --shutdown is given")
+            return 2
+        machine = _machine(args)
+        options = {}
+        if args.pipelines:
+            options["pipelines"] = [
+                int(x) for x in args.pipelines.split(",")
+            ]
+        if args.search_libraries:
+            options["search_libraries"] = True
+        try:
+            response = client.plan(
+                machine, args.collective, _parse_size(args.payload),
+                options=options or None,
+            )
+        except HicclError as exc:
+            print(f"error: {type(exc).__name__}: {exc}")
+            return 2
+        if args.json:
+            print(_json.dumps(response, indent=2, sort_keys=True))
+            return 0
+        winner = response["winner"]
+        libs = ",".join(winner["libraries"])
+        print(f"{args.collective} on {machine.describe()}")
+        print(f"  source: {response['source']}  "
+              f"request wall {response['seconds'] * 1e3:.2f} ms")
+        print(f"  winner: {winner['hierarchy']} [{libs}] "
+              f"stripe({winner['stripe']}) ring({winner['ring']}) "
+              f"pipeline({winner['pipeline']})")
+        print(f"  simulated {response['plan_seconds'] * 1e3:.3f} ms, "
+              f"planned in {response['plan_wall_seconds']:.2f} s"
+              + (f" ({response['warm_seeds']} warm seed(s))"
+                 if response.get("warm_seeds") else ""))
+    return 0
+
+
 def cmd_gantt(args) -> int:
     """Render the pipeline timeline as an ASCII Gantt chart."""
     from .bench.configs import best_config
@@ -572,6 +728,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cache", help="plan-cache statistics and maintenance")
     p.add_argument("--clear", action="store_true",
                    help="also delete the persisted plans on disk")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="report a running plan daemon's sharded cache "
+                        "instead of this process's plan cache")
     p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser(
@@ -635,6 +796,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="instead of replanning in place, drain the last K "
                         "nodes and re-plan on the survivors")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the concurrent planning daemon on a local socket")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="Unix socket path (default: "
+                        "$REPRO_SERVICE_SOCKET or "
+                        "~/.cache/repro/plan-service.sock)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="planning workers (0 = all cores; 1 = in-process "
+                        "thread sharing this process's plan cache)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="response-cache shards (partitioned by machine "
+                        "fingerprint)")
+    p.add_argument("--shard-capacity", type=int, default=512,
+                   help="response entries per shard")
+    p.add_argument("--shard-bytes", default="8M",
+                   help="byte budget per shard, e.g. 8M")
+    p.add_argument("--no-warm-start", action="store_true",
+                   help="disable nearest-machine warm-started planning")
+    p.add_argument("--no-admission", action="store_true",
+                   help="disable frequency-sketch admission (plain LRU)")
+    p.add_argument("--cache-dir", default=None,
+                   help="shared on-disk plan cache for the workers")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "request",
+        help="ask a running plan daemon for one collective's plan")
+    p.add_argument("collective", nargs="?", default=None,
+                   help="e.g. all_reduce, broadcast")
+    p.add_argument("--system", default="perlmutter",
+                   help="delta|perlmutter|frontier|aurora")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--payload", default="256M",
+                   help="total payload, e.g. 64M, 1G")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="daemon socket path (default: "
+                        "$REPRO_SERVICE_SOCKET or "
+                        "~/.cache/repro/plan-service.sock)")
+    p.add_argument("--pipelines", default=None,
+                   help="comma-separated pipeline depths to search "
+                        "(default: the service's 1,4)")
+    p.add_argument("--search-libraries", action="store_true",
+                   help="search per-level library choice too")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw response frame")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the daemon to stop instead of planning")
+    p.set_defaults(fn=cmd_request)
 
     p = sub.add_parser("gantt", help="ASCII pipeline timeline (Figure 7)")
     common(p)

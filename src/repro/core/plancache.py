@@ -45,6 +45,7 @@ charged its arrays' byte sizes, including dependency and timing storage
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import threading
@@ -338,8 +339,92 @@ class CacheStats:
         )
 
 
+class ByteBudgetLRU:
+    """Entry- and byte-budgeted LRU map: the eviction core of the cache.
+
+    Shared between :class:`PlanCache` (values are :class:`CachedPlan`,
+    charged their exact array footprint) and the plan service's sharded
+    cache (:mod:`repro.service.shards`, values are JSON-sized response
+    bodies).  Every value is stored with its byte charge; inserting past
+    either budget evicts oldest-first, but the entry just inserted always
+    survives (a single over-budget value is still worth caching).
+
+    Not thread-safe on its own — callers wrap access in their own lock,
+    which lets them update their statistics atomically with the mutation.
+    """
+
+    def __init__(self, capacity: int, max_total_bytes: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.max_total_bytes = max_total_bytes
+        self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
+        self._total_bytes = 0
+
+    def get(self, key: str):
+        """The value under ``key`` (promoted to most-recent), else ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def peek_oldest(self) -> tuple[str, object] | None:
+        """The eviction candidate (least-recently used), without promotion."""
+        if not self._entries:
+            return None
+        key = next(iter(self._entries))
+        return key, self._entries[key][0]
+
+    def put(self, key: str, value, nbytes: int) -> list[tuple[str, object]]:
+        """Insert ``value`` charged ``nbytes``; returns the evicted pairs."""
+        old = self._entries.get(key)
+        if old is not None:
+            self._total_bytes -= old[1]
+        self._entries[key] = (value, nbytes)
+        self._entries.move_to_end(key)
+        self._total_bytes += nbytes
+        evicted: list[tuple[str, object]] = []
+        while len(self._entries) > 1 and (
+            len(self._entries) > self.capacity
+            or self._total_bytes > self.max_total_bytes
+        ):
+            victim_key, (victim, victim_bytes) = self._entries.popitem(
+                last=False)
+            self._total_bytes -= victim_bytes
+            evicted.append((victim_key, victim))
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def total_bytes(self) -> int:
+        """Sum of the byte charges of every held entry."""
+        return self._total_bytes
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+        self._total_bytes = 0
+
+
+#: Distinguishes concurrent in-process writers of one disk entry: the pid
+#: alone is not enough once several threads (or several PlanCache instances
+#: sharing a directory, as the service shards and sweep workers do) store
+#: the same key at once — a shared temp name interleaves two ``np.savez``
+#: streams into one corrupt archive.
+_tmp_counter = itertools.count()
+
+
 class PlanCache:
-    """Two-layer (LRU memory + optional disk) cache of synthesized plans."""
+    """Two-layer (LRU memory + optional disk) cache of synthesized plans.
+
+    Thread-safe: the in-process layer and its statistics mutate only under
+    an internal lock, and disk stores write to a uniquely named temp file
+    (pid + thread + counter) before an atomic rename, so concurrent writers
+    — threads of this process or unrelated processes sharing the directory
+    — never expose a partial archive to readers.
+    """
 
     def __init__(
         self,
@@ -347,15 +432,20 @@ class PlanCache:
         disk_dir: Path | str | None = None,
         max_total_bytes: int = DEFAULT_MAX_TOTAL_BYTES,
     ) -> None:
-        if capacity < 1:
-            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        self.max_total_bytes = max_total_bytes
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.stats = CacheStats()
-        self._lru: OrderedDict[str, CachedPlan] = OrderedDict()
-        self._total_bytes = 0
+        self._lru = ByteBudgetLRU(capacity, max_total_bytes)
         self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        """Entry budget of the in-process layer."""
+        return self._lru.capacity
+
+    @property
+    def max_total_bytes(self) -> int:
+        """Byte budget of the in-process layer."""
+        return self._lru.max_total_bytes
 
     # ----------------------------------------------------------------- layers
     def _disk_path(self, key: PlanKey) -> Path | None:
@@ -383,7 +473,10 @@ class PlanCache:
             return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp = path.with_suffix(
+                f".tmp{os.getpid()}-{threading.get_native_id()}"
+                f"-{next(_tmp_counter)}"
+            )
             with tmp.open("wb") as fh:
                 np.savez(fh, **_plan_payload(key, plan))
             tmp.replace(path)  # atomic on POSIX: concurrent readers never
@@ -398,7 +491,6 @@ class PlanCache:
             self.stats.lookups += 1
             plan = self._lru.get(key.digest)
             if plan is not None:
-                self._lru.move_to_end(key.digest)
                 self.stats.memory_hits += 1
                 self.stats.seconds_saved += plan.synthesis_seconds
                 # Write-back: a plan warmed before the disk layer was
@@ -424,28 +516,17 @@ class PlanCache:
             self._disk_store(key, plan)
 
     def _insert(self, key: PlanKey, plan: CachedPlan) -> None:
-        old = self._lru.get(key.digest)
-        if old is not None:
-            self._total_bytes -= plan_nbytes(old)
-        self._lru[key.digest] = plan
-        self._lru.move_to_end(key.digest)
-        self._total_bytes += plan_nbytes(plan)
-        # Evict oldest-first past either budget, but always keep the entry
-        # just inserted (a single over-budget plan is still worth caching).
-        while len(self._lru) > 1 and (
-            len(self._lru) > self.capacity
-            or self._total_bytes > self.max_total_bytes
-        ):
-            _, evicted = self._lru.popitem(last=False)
-            self._total_bytes -= plan_nbytes(evicted)
-            self.stats.evictions += 1
+        evicted = self._lru.put(key.digest, plan, plan_nbytes(plan))
+        self.stats.evictions += len(evicted)
 
     def __len__(self) -> int:
-        return len(self._lru)
+        with self._lock:
+            return len(self._lru)
 
     def total_bytes(self) -> int:
         """Exact array bytes held by the in-process layer."""
-        return self._total_bytes
+        with self._lock:
+            return self._lru.total_bytes()
 
     def set_disk_dir(self, disk_dir: Path | str | None) -> None:
         """(Re)point the persistent layer without touching the warm LRU.
@@ -461,7 +542,6 @@ class PlanCache:
         """Drop the in-process layer (disk entries are kept)."""
         with self._lock:
             self._lru.clear()
-            self._total_bytes = 0
 
     def clear_disk(self) -> int:
         """Delete persisted plans of *any* schema version; returns the count.
@@ -472,13 +552,17 @@ class PlanCache:
         if self.disk_dir is None or not self.disk_dir.exists():
             return 0
         removed = 0
+        errors = 0
         for pattern in ("v*-*.npz", "v*-*.pkl", "v*-*.tmp*"):
             for path in self.disk_dir.glob(pattern):
                 try:
                     path.unlink()
                     removed += 1
                 except OSError:
-                    self.stats.disk_errors += 1
+                    errors += 1
+        if errors:
+            with self._lock:
+                self.stats.disk_errors += errors
         return removed
 
     def disk_entries(self) -> list[Path]:

@@ -92,16 +92,20 @@ class SearchStats:
     truncated_evals: int = 0
     full_evals: int = 0
     rung_sizes: tuple[int, ...] = ()
+    warm_seeds: int = 0
 
     def render(self) -> str:
-        """One-line counter summary."""
+        """One-line counter summary (warm seeds shown only when present)."""
         rungs = "/".join(str(n) for n in self.rung_sizes) or "-"
-        return (
+        line = (
             f"{self.generated} candidates generated "
             f"(legacy grid: {self.grid_size}), {self.pruned} pruned "
             f"analytically, {self.truncated_evals} truncated-payload "
             f"evals (rungs {rungs}), {self.full_evals} full-payload evals"
         )
+        if self.warm_seeds:
+            line += f", {self.warm_seeds} warm seed(s)"
+        return line
 
 
 @dataclass(frozen=True)
@@ -293,6 +297,7 @@ def search_program(
     cache_dir=None,
     collective: str | None = None,
     payload_bytes: float | None = None,
+    warm_start: tuple = (),
 ) -> PlanResult:
     """Search the optimization space for the best plan of one program.
 
@@ -305,6 +310,16 @@ def search_program(
     reference the equivalence tests compare against.  ``collective`` and
     ``payload_bytes`` (optional) let the pruning score add the Table 3
     floor.  Results are deterministic for any ``jobs``.
+
+    ``warm_start`` is an optional tuple of :class:`PlanCandidate`\\ s (e.g.
+    winners translated from a *similar* machine by the plan service's
+    nearest-fingerprint index) priced fully **alongside** the policy seeds.
+    Warm seeds only ever add fully priced candidates — they tighten the
+    pruning incumbent but never displace a policy seed, and they do not
+    count against the full-evaluation cap (the finalist list is as long as
+    a cold search's) — so the warm-started winner can never be worse than
+    the cold winner on the same space.  Candidates outside the space are
+    silently dropped; the grid strategy ignores ``warm_start`` entirely.
     """
     dtype = np.dtype(dtype)
     if space is None:
@@ -357,6 +372,14 @@ def search_program(
         priced_seeds = run_full(fallback)
     if not priced_seeds:
         raise InitializationError("no valid configuration found")
+    candidate_set = set(candidates)
+    warm = []
+    for cand in warm_start:
+        if cand in candidate_set and cand not in attempted:
+            attempted.add(cand)
+            warm.append(cand)
+    stats.warm_seeds = len(warm)
+    priced_seeds += run_full(warm)
     incumbent = min(sec for _, sec in priced_seeds)
 
     rest = [c for c in ordered if c not in attempted]
@@ -421,8 +444,11 @@ def search_program(
             runners_up.append(cand)
     survivors = first_of_depth + runners_up
 
+    # Warm seeds are *extra* priced candidates: excluding them from the cap
+    # keeps the finalist list exactly as long as a cold search's, which is
+    # what makes warm-starting sound (never-worse winner).
     cap = budget.full_cap(stats.grid_size)
-    finalists = survivors[: max(0, cap - stats.full_evals)]
+    finalists = survivors[: max(0, cap + stats.warm_seeds - stats.full_evals)]
     priced = priced_seeds + run_full(finalists)
     return PlanResult(
         evaluated=[Evaluated(c, s) for c, s in _ranked(priced)],
@@ -441,13 +467,15 @@ def plan_collective(
     strategy: str = "staged",
     jobs: int = 1,
     cache_dir=None,
+    warm_start: tuple = (),
 ) -> PlanResult:
     """Plan one named Table 2 collective at a total payload of ``p * d``.
 
     The per-chunk element count follows the Section 6.2 convention
     (``payload_bytes / (p * elem_bytes)``); truncation rungs recompose the
     collective at smaller counts, and the pruning score includes the Table 3
-    floor for ``collective``.
+    floor for ``collective``.  ``warm_start`` seeds the staged search with
+    fully priced extra candidates (see :func:`search_program`).
     """
     dtype = np.dtype(dtype)
     count = max(1, int(payload_bytes) // (machine.world_size * dtype.itemsize))
@@ -457,4 +485,5 @@ def plan_collective(
         strategy=strategy, jobs=jobs, cache_dir=cache_dir,
         collective=collective,
         payload_bytes=count * machine.world_size * dtype.itemsize,
+        warm_start=warm_start,
     )

@@ -1,0 +1,60 @@
+"""Concurrent plan service: a batched, sharded, warm-starting daemon.
+
+The planner (:mod:`repro.planner`) and plan cache (:mod:`repro.core.plancache`)
+are library calls inside one process; this package turns them into a
+long-running local service so a fleet's ``init_tuned()`` becomes a
+cache-or-plan RPC:
+
+* :mod:`~repro.service.protocol` — line-delimited JSON frames, machine
+  descriptions by value, content-addressed request keys;
+* :mod:`~repro.service.batcher` — in-flight coalescing (identical keys plan
+  once) over the async :class:`~repro.bench.parallel.TaskPool`;
+* :mod:`~repro.service.shards` — machine-fingerprint-sharded response cache
+  (per-shard LRU + byte budget + frequency-sketch admission);
+* :mod:`~repro.service.similarity` — nearest-machine index whose winners
+  warm-start the planner's successive-halving search;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the daemon
+  (``repro serve``) and its client (``repro request``);
+* :mod:`~repro.service.traffic` — deterministic Zipf-skewed synthetic fleet
+  traffic for the benchmark (``tools/bench_planservice.py``).
+"""
+
+from .batcher import PlanBatcher
+from .client import PlanClient
+from .jobs import PlanTask
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    machine_digest,
+    machine_from_dict,
+    machine_to_dict,
+    request_key,
+)
+from .server import PlanServer, PlanService, default_socket_path, serve
+from .shards import FrequencySketch, ShardedPlanCache
+from .similarity import MachineIndex, machine_distance, translate_candidate
+from .traffic import TrafficRequest, synthetic_traffic, traffic_universe
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FrequencySketch",
+    "MachineIndex",
+    "PlanBatcher",
+    "PlanClient",
+    "PlanServer",
+    "PlanService",
+    "PlanTask",
+    "ProtocolError",
+    "ShardedPlanCache",
+    "TrafficRequest",
+    "default_socket_path",
+    "machine_digest",
+    "machine_distance",
+    "machine_from_dict",
+    "machine_to_dict",
+    "request_key",
+    "serve",
+    "synthetic_traffic",
+    "traffic_universe",
+    "translate_candidate",
+]

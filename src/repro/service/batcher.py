@@ -1,0 +1,81 @@
+"""Request coalescing and batching onto the shared worker pool.
+
+Fleet traffic is bursty *and* redundant: when a 512-node job launches, all
+of its ranks' launchers ask for the same plan within milliseconds.  The
+batcher guarantees that burst costs exactly one synthesis:
+
+* **Coalescing** — ``submit(key, make_task)`` keeps one in-flight future
+  per request key; a duplicate key joins the existing future instead of
+  spawning a second planning task (counted, so tests can *prove* the plan
+  ran once).
+* **Batching** — distinct keys go straight onto a
+  :class:`~repro.bench.parallel.TaskPool` with async completion: the
+  server's request threads never block each other on submission, and with
+  ``jobs > 1`` distinct plans price concurrently in pool workers.
+
+``make_task`` is a zero-argument callable building the picklable task —
+deferred so the (possibly expensive) task construction only happens for
+the first requester of a key.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+from ..bench.parallel import TaskPool
+
+
+class PlanBatcher:
+    """Keyed, coalescing front of a :class:`~repro.bench.parallel.TaskPool`.
+
+    Thread-safe; the counters (``planned``, ``coalesced``) mutate under the
+    same lock as the in-flight table, so a stats snapshot is consistent.
+    """
+
+    def __init__(self, pool: TaskPool) -> None:
+        self.pool = pool
+        self.planned = 0
+        self.coalesced = 0
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+
+    def submit(self, key: str, make_task) -> tuple[Future, bool]:
+        """The in-flight future for ``key`` plus whether this call made it.
+
+        Duplicate keys return the *same* future object (created ``False``);
+        its result is shared by every waiter.  The key is retired from the
+        in-flight table when the future resolves (success or failure), so a
+        later request for the same key — e.g. after an eviction — plans
+        afresh.
+        """
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.coalesced += 1
+                return existing, False
+            self.planned += 1
+            task = make_task()
+            future = self.pool.submit(task)
+            self._inflight[key] = future
+
+        def _retire(_fut, *, key=key):
+            with self._lock:
+                self._inflight.pop(key, None)
+
+        future.add_done_callback(_retire)
+        return future, True
+
+    def inflight(self) -> int:
+        """Number of distinct keys currently being planned."""
+        with self._lock:
+            return len(self._inflight)
+
+    def snapshot(self) -> dict:
+        """Consistent counter snapshot for the stats frame."""
+        with self._lock:
+            return {
+                "planned": self.planned,
+                "coalesced": self.coalesced,
+                "inflight": len(self._inflight),
+            }

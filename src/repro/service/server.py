@@ -1,0 +1,350 @@
+"""The planning daemon: service engine + Unix-socket frame server.
+
+:class:`PlanService` is the transport-free engine — it owns the sharded
+response cache, the coalescing batcher, the nearest-machine warm-start
+index, and the service counters, and exposes ``handle(frame) -> frame``.
+:class:`PlanServer` wraps it in a threaded Unix-domain-socket server
+speaking the line-delimited JSON protocol (:mod:`repro.service.protocol`);
+``repro serve`` runs one in the foreground, and tests drive one in-process
+on a temp-dir socket.
+
+Request flow for ``type: "plan"``:
+
+1. decode + rebuild the machine (drained-node machines are rejected with a
+   ``FaultError`` frame up front, mirroring the replanner's contract — the
+   planner cannot price traffic through a drained node);
+2. shard-cache lookup by request key → ``source: "hit"``;
+3. miss → look up the nearest *other* machine fingerprint that already has
+   a winner for this collective and seed the planner with its translated
+   candidates (``source: "warm"``), else plan cold (``source: "cold"``);
+4. identical concurrent keys coalesce onto one in-flight planning future
+   (``source: "coalesced"`` for the joiners), and the outcome is stored
+   back in the shard and the warm-start index.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..bench.parallel import TaskPool
+from ..errors import FaultError, HicclError
+from .batcher import PlanBatcher
+from .jobs import SERVICE_PIPELINES, PlanTask, candidate_from_dict
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    machine_digest,
+    machine_from_dict,
+    request_key,
+)
+from .shards import (
+    DEFAULT_SHARD_BYTES,
+    DEFAULT_SHARD_CAPACITY,
+    DEFAULT_SHARDS,
+    ShardedPlanCache,
+)
+from .similarity import MachineIndex
+
+#: Environment override for the default socket path.
+ENV_SOCKET = "REPRO_SERVICE_SOCKET"
+
+#: How many nearest machines donate warm-start candidates per cold plan.
+WARM_NEIGHBORS = 2
+
+
+def default_socket_path() -> Path:
+    """Default Unix socket path (honors ``REPRO_SERVICE_SOCKET``)."""
+    env = os.environ.get(ENV_SOCKET)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "plan-service.sock"
+
+
+@dataclass
+class ServiceStats:
+    """Top-level request counters of one daemon."""
+
+    requests: int = 0
+    hits: int = 0
+    planned: int = 0
+    coalesced: int = 0
+    warm_started: int = 0
+    errors: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-shaped snapshot."""
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "planned": self.planned,
+            "coalesced": self.coalesced,
+            "warm_started": self.warm_started,
+            "errors": self.errors,
+        }
+
+
+class PlanService:
+    """Transport-free planning engine: cache, batcher, warm-start index."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        num_shards: int = DEFAULT_SHARDS,
+        shard_capacity: int = DEFAULT_SHARD_CAPACITY,
+        shard_bytes: int = DEFAULT_SHARD_BYTES,
+        warm_start: bool = True,
+        admission: bool = True,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> None:
+        self.cache = ShardedPlanCache(
+            num_shards=num_shards,
+            capacity=shard_capacity,
+            max_bytes=shard_bytes,
+            admission=admission,
+        )
+        self.pool = TaskPool(jobs=jobs, cache_dir=cache_dir)
+        self.batcher = PlanBatcher(self.pool)
+        self.warm_start = bool(warm_start)
+        self.stats = ServiceStats()
+        self._lock = threading.Lock()
+        self._index = MachineIndex()
+        # digest -> {collective: winner candidate dict}; feeds warm starts.
+        self._winners: dict[str, dict[str, dict]] = {}
+
+    # ------------------------------------------------------------- warm start
+    def _warm_donors(self, digest: str, machine, collective) -> tuple:
+        """Translated winner candidates from the nearest other machines."""
+        if not self.warm_start:
+            return ()
+        donors = []
+        with self._lock:
+            neighbors = self._index.nearest(
+                machine, exclude=digest, k=WARM_NEIGHBORS
+            )
+            for other_digest, _other, _dist in neighbors:
+                winner = self._winners.get(other_digest, {}).get(collective)
+                if winner is not None:
+                    donors.append(candidate_from_dict(winner))
+        return tuple(donors)
+
+    def _record(self, digest: str, machine, collective, outcome: dict) -> None:
+        """Register the machine + winning candidate for future warm starts."""
+        with self._lock:
+            self._index.add(digest, machine)
+            self._winners.setdefault(digest, {})[collective] = dict(
+                outcome["winner"]
+            )
+
+    # --------------------------------------------------------------- handlers
+    def handle(self, frame: dict) -> dict:
+        """Answer one decoded request frame with a response frame."""
+        request_id = frame.get("id")
+        try:
+            kind = frame.get("type")
+            if kind == "ping":
+                return {
+                    "id": request_id, "status": "ok",
+                    "protocol": PROTOCOL_VERSION,
+                }
+            if kind == "stats":
+                with self._lock:
+                    service = self.stats.to_dict()
+                return {
+                    "id": request_id, "status": "ok",
+                    "service": service,
+                    "batcher": self.batcher.snapshot(),
+                    "cache": self.cache.stats(),
+                }
+            if kind == "plan":
+                return self._handle_plan(frame)
+            raise ProtocolError(f"unknown request type {kind!r}")
+        except HicclError as exc:
+            with self._lock:
+                self.stats.errors += 1
+            return error_frame(request_id, exc)
+
+    def _handle_plan(self, frame: dict) -> dict:
+        with self._lock:
+            self.stats.requests += 1
+        request_id = frame.get("id")
+        try:
+            machine = machine_from_dict(frame["machine"])
+            collective = str(frame["collective"])
+            payload_bytes = int(frame["payload_bytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed plan request: {exc}") from exc
+        if machine.faults is not None and machine.faults.drained_nodes:
+            # Same contract as planner.replan: a drained node carries no
+            # traffic, so there is no plan to serve — shrink the job onto
+            # the survivors (workloads.elastic) and ask again.
+            raise FaultError(
+                f"machine {machine.name!r} has drained node(s) "
+                f"{list(machine.faults.drained_nodes)}; plan for the "
+                "shrunk survivor machine instead"
+            )
+        dtype = str(frame.get("dtype", "float32"))
+        options = frame.get("options") or {}
+        key = request_key(machine, collective, payload_bytes, dtype, options)
+        digest = machine_digest(machine)
+
+        began = time.perf_counter()
+        cached = self.cache.get(digest, key)
+        if cached is not None:
+            with self._lock:
+                self.stats.hits += 1
+            return self._respond(request_id, cached, "hit", began)
+
+        donors = self._warm_donors(digest, machine, collective)
+
+        def make_task() -> PlanTask:
+            return PlanTask(
+                machine=machine,
+                collective=collective,
+                payload_bytes=payload_bytes,
+                dtype_name=dtype,
+                pipelines=tuple(options.get("pipelines", SERVICE_PIPELINES)),
+                search_libraries=bool(options.get("search_libraries", False)),
+                max_full=options.get("max_full"),
+                warm_donors=donors,
+            )
+
+        future, mine = self.batcher.submit(key, make_task)
+        try:
+            outcome = future.result()
+        except HicclError:
+            raise
+        except Exception as exc:  # pool failures surface as error frames
+            raise ProtocolError(f"planning failed: {exc}") from exc
+
+        if mine:
+            with self._lock:
+                self.stats.planned += 1
+                if outcome.get("warm_seeds"):
+                    self.stats.warm_started += 1
+            self.cache.put(digest, key, outcome)
+            self._record(digest, machine, collective, outcome)
+            source = "warm" if outcome.get("warm_seeds") else "cold"
+        else:
+            with self._lock:
+                self.stats.coalesced += 1
+            source = "coalesced"
+        return self._respond(request_id, outcome, source, began)
+
+    @staticmethod
+    def _respond(request_id, outcome: dict, source: str, began: float) -> dict:
+        body = dict(outcome)
+        body.update({
+            "id": request_id,
+            "status": "ok",
+            "source": source,
+            "seconds": time.perf_counter() - began,
+        })
+        return body
+
+    def close(self) -> None:
+        """Shut the worker pool down."""
+        self.pool.shutdown()
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """Per-connection line loop: one frame in, one frame out."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver contract
+        while True:
+            try:
+                line = self.rfile.readline()
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return
+            try:
+                frame = decode_frame(line)
+            except ProtocolError as exc:
+                self.wfile.write(encode_frame(error_frame(None, exc)))
+                continue
+            if frame.get("type") == "shutdown":
+                self.wfile.write(encode_frame(
+                    {"id": frame.get("id"), "status": "ok", "stopping": True}
+                ))
+                self.server.initiate_shutdown()
+                return
+            response = self.server.service.handle(frame)
+            try:
+                self.wfile.write(encode_frame(response))
+            except (ConnectionError, OSError):
+                return
+
+
+class PlanServer(socketserver.ThreadingUnixStreamServer):
+    """Threaded Unix-socket frame server around a :class:`PlanService`.
+
+    Each connection gets its own thread, so N clients block only inside
+    the engine's locks (shard lock, batcher table) or on their own plan
+    future — never on each other's socket I/O.  Use as a context manager
+    or call :meth:`serve_forever` / :meth:`shutdown` like any
+    ``socketserver``; :meth:`initiate_shutdown` is the async variant the
+    ``shutdown`` frame uses (calling ``shutdown()`` from a handler thread
+    would deadlock).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, socket_path: str | os.PathLike, service: PlanService):
+        self.socket_path = Path(socket_path)
+        self.service = service
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        super().__init__(str(self.socket_path), _Handler)
+
+    def initiate_shutdown(self) -> None:
+        """Stop the serve loop from a handler thread (non-blocking)."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def server_close(self) -> None:
+        """Close the listener, remove the socket file, stop the pool."""
+        super().server_close()
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+        self.service.close()
+
+
+def serve(
+    socket_path: str | os.PathLike | None = None,
+    service: PlanService | None = None,
+    ready: threading.Event | None = None,
+) -> None:
+    """Run a daemon in the foreground until a ``shutdown`` frame arrives."""
+    path = Path(socket_path) if socket_path is not None else default_socket_path()
+    with PlanServer(path, service or PlanService()) as server:
+        if ready is not None:
+            ready.set()
+        server.serve_forever(poll_interval=0.05)
+
+
+def socket_alive(socket_path: str | os.PathLike) -> bool:
+    """True when something accepts connections on ``socket_path``."""
+    path = Path(socket_path)
+    if not path.exists():
+        return False
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(0.5)
+        probe.connect(str(path))
+        return True
+    except OSError:
+        return False
+    finally:
+        probe.close()

@@ -1,0 +1,225 @@
+"""Sharded response cache with frequency-sketch admission (TinyLFU-style).
+
+The daemon's hot path is a cache lookup, so its cache is engineered for
+concurrent skewed traffic rather than raw capacity:
+
+* **Sharding** — entries partition by *machine fingerprint digest*
+  (:func:`repro.service.protocol.machine_digest`): every request for one
+  machine lands on one shard, so a burst from a single fleet contends on
+  one lock while requests for other machines proceed in parallel, and the
+  per-shard counters read as per-machine-population statistics.
+* **Per-shard LRU + byte budget** — each shard is a
+  :class:`~repro.core.plancache.ByteBudgetLRU` over JSON response bodies,
+  charged their encoded size.
+* **Frequency-sketch admission** — Zipf-skewed traffic has a long tail of
+  one-shot keys; plain LRU lets each of them evict a member of the hot
+  set.  A count-min sketch (4 rows, periodically halved so history ages
+  out) estimates each key's request frequency, and an insert that would
+  evict is *rejected* when the incumbent LRU victim is estimated hotter —
+  scan-resistance for a few kilobytes of sketch.
+
+This layer caches the service's *response documents*; the plans themselves
+also land in the ordinary :mod:`repro.core.plancache` via the planner, so
+a shard miss that coalesces onto a planning task can still hit warm
+schedule synthesis underneath.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.plancache import ByteBudgetLRU
+
+#: Default shard count; a small power of two keeps the digest->shard map
+#: balanced without burning memory on empty shards.
+DEFAULT_SHARDS = 4
+
+#: Default per-shard budgets.  Response bodies are a few KB each, so these
+#: admit thousands of distinct (machine, collective, payload) keys.
+DEFAULT_SHARD_CAPACITY = 512
+DEFAULT_SHARD_BYTES = 8 << 20
+
+
+class FrequencySketch:
+    """Count-min sketch with periodic aging (the TinyLFU frequency filter).
+
+    ``width`` counters x 4 rows of uint32; :meth:`increment` bumps one
+    counter per row, :meth:`estimate` reads the minimum.  After
+    ``sample_size`` increments every counter is halved, so estimates track
+    *recent* popularity and a formerly hot key can age out.  Not
+    thread-safe on its own (the owning shard's lock covers it).
+    """
+
+    ROWS = 4
+
+    def __init__(self, width: int = 1024, sample_size: int | None = None) -> None:
+        if width < 16:
+            raise ValueError(f"sketch width must be >= 16, got {width}")
+        self.width = int(width)
+        self.sample_size = (
+            int(sample_size) if sample_size is not None else 8 * self.width
+        )
+        self._table = np.zeros((self.ROWS, self.width), dtype=np.uint32)
+        self._increments = 0
+        # Fixed odd multipliers give 4 independent-enough row hashes from
+        # one Python hash; determinism matters more than hash quality here.
+        self._salts = (0x9E3779B1, 0x85EBCA77, 0xC2B2AE3D, 0x27D4EB2F)
+
+    def _slots(self, key: str) -> list[int]:
+        h = int.from_bytes(key.encode()[:8].ljust(8, b"\0"), "little")
+        return [((h * salt) >> 16) % self.width for salt in self._salts]
+
+    def increment(self, key: str) -> None:
+        """Record one occurrence of ``key`` (ages the sketch periodically)."""
+        for row, slot in enumerate(self._slots(key)):
+            if self._table[row, slot] < np.iinfo(np.uint32).max:
+                self._table[row, slot] += 1
+        self._increments += 1
+        if self._increments >= self.sample_size:
+            self._table >>= 1
+            self._increments //= 2
+
+    def estimate(self, key: str) -> int:
+        """Estimated occurrence count of ``key`` (never underestimates)."""
+        return int(min(
+            self._table[row, slot]
+            for row, slot in enumerate(self._slots(key))
+        ))
+
+
+@dataclass
+class ShardStats:
+    """Counters of one shard, surfaced by ``repro cache --json``."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    admission_rejected: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-shaped snapshot (plus derived hit rate)."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "admission_rejected": self.admission_rejected,
+            "hit_rate": self.hits / self.lookups if self.lookups else 0.0,
+        }
+
+
+@dataclass
+class _Shard:
+    """One lock + LRU + sketch + counters partition."""
+
+    lru: ByteBudgetLRU
+    sketch: FrequencySketch
+    stats: ShardStats = field(default_factory=ShardStats)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+def response_nbytes(body: dict) -> int:
+    """Byte charge of one cached response: its compact-JSON encoding."""
+    return len(json.dumps(body, sort_keys=True, separators=(",", ":")))
+
+
+class ShardedPlanCache:
+    """Machine-fingerprint-sharded cache of plan response documents."""
+
+    def __init__(
+        self,
+        num_shards: int = DEFAULT_SHARDS,
+        capacity: int = DEFAULT_SHARD_CAPACITY,
+        max_bytes: int = DEFAULT_SHARD_BYTES,
+        admission: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.admission = bool(admission)
+        self._shards = [
+            _Shard(ByteBudgetLRU(capacity, max_bytes), FrequencySketch())
+            for _ in range(self.num_shards)
+        ]
+
+    def shard_index(self, machine_digest: str) -> int:
+        """Shard serving one machine fingerprint digest."""
+        return int(machine_digest[:8], 16) % self.num_shards
+
+    def _shard(self, machine_digest: str) -> _Shard:
+        return self._shards[self.shard_index(machine_digest)]
+
+    def get(self, machine_digest: str, key: str) -> dict | None:
+        """Cached response body for ``key``, else ``None``.
+
+        Every lookup — hit or miss — feeds the frequency sketch, which is
+        what lets a repeatedly *missed* key earn admission later.
+        """
+        shard = self._shard(machine_digest)
+        with shard.lock:
+            shard.stats.lookups += 1
+            shard.sketch.increment(key)
+            body = shard.lru.get(key)
+            if body is not None:
+                shard.stats.hits += 1
+                return body
+            shard.stats.misses += 1
+            return None
+
+    def put(self, machine_digest: str, key: str, body: dict) -> bool:
+        """Insert a response body; returns False when admission rejects it.
+
+        With admission on, an insert that would evict is allowed only if
+        the new key's sketch estimate is at least the LRU victim's — cold
+        one-shot keys bounce off a hot working set instead of churning it.
+        """
+        shard = self._shard(machine_digest)
+        nbytes = response_nbytes(body)
+        with shard.lock:
+            would_evict = (
+                shard.lru.get(key) is None
+                and (len(shard.lru) + 1 > shard.lru.capacity
+                     or shard.lru.total_bytes() + nbytes
+                     > shard.lru.max_total_bytes)
+            )
+            if self.admission and would_evict:
+                victim = shard.lru.peek_oldest()
+                if victim is not None and (
+                    shard.sketch.estimate(key)
+                    < shard.sketch.estimate(victim[0])
+                ):
+                    shard.stats.admission_rejected += 1
+                    return False
+            evicted = shard.lru.put(key, body, nbytes)
+            shard.stats.stores += 1
+            shard.stats.evictions += len(evicted)
+            return True
+
+    def stats(self) -> dict:
+        """Per-shard and aggregate counters, JSON-shaped."""
+        shards = []
+        totals = ShardStats()
+        total_bytes = 0
+        total_entries = 0
+        for shard in self._shards:
+            with shard.lock:
+                doc = shard.stats.to_dict()
+                doc["entries"] = len(shard.lru)
+                doc["bytes"] = shard.lru.total_bytes()
+                for name in ("lookups", "hits", "misses", "stores",
+                             "evictions", "admission_rejected"):
+                    setattr(totals, name, getattr(totals, name) + doc[name])
+                total_bytes += doc["bytes"]
+                total_entries += doc["entries"]
+            shards.append(doc)
+        aggregate = totals.to_dict()
+        aggregate["entries"] = total_entries
+        aggregate["bytes"] = total_bytes
+        return {"shards": shards, "total": aggregate}

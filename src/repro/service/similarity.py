@@ -1,0 +1,163 @@
+"""Nearest-machine-fingerprint index: warm-start seeds from similar machines.
+
+Synthesis cost amortizes across a fleet only if plans transfer: a winning
+configuration for Perlmutter at 4 nodes is an excellent *candidate* for
+Perlmutter at 6 nodes (same node architecture, same backends, slightly
+different inter-node fan-out), and often for any machine with a similar
+bandwidth profile.  This module gives the plan service that notion of
+"similar":
+
+* :func:`machine_features` embeds a :class:`~repro.machine.spec.MachineSpec`
+  into a fixed-length numeric vector — log-scaled structural axes (node
+  count, GPUs/node, NICs/node), log-scaled bandwidth axes (NIC, per-level
+  intra-node, copy/reduce), and a fault-content axis — so distances are
+  scale-free (4 vs 8 nodes is as far as 8 vs 16);
+* :class:`MachineIndex` holds every machine the service has planned for and
+  answers ``nearest(machine)`` by weighted L1 distance over those features;
+* :func:`translate_candidate` maps a neighbor's winning
+  :class:`~repro.planner.space.PlanCandidate` into the *target* machine's
+  search space by structural similarity, guaranteeing the warm seed handed
+  to :func:`repro.planner.search.search_program` is valid on the target.
+
+Warm seeds only ever *add* fully priced candidates to the search (see
+``search_program(warm_start=...)``), so a bad nearest-neighbor match costs
+one extra evaluation and can never worsen the winner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..machine.spec import MachineSpec
+from ..planner.space import PlanCandidate, SearchSpace
+
+#: Number of intra-node levels the feature vector reserves slots for.
+_MAX_LEVELS = 3
+
+#: Per-axis weights of the L1 distance.  Structure (node count, GPUs/node,
+#: NICs) dominates: a plan's hierarchy/stripe/ring parameters transfer only
+#: between structurally similar machines, while bandwidth differences mostly
+#: reorder candidates without invalidating them.  Faults weigh in last so a
+#: degraded twin is preferred over a healthy stranger but a healthy twin
+#: beats a heavily degraded one.
+_WEIGHTS = (
+    4.0,  # log2 nodes
+    4.0,  # log2 gpus/node
+    2.0,  # log2 nic_count
+    1.0,  # log2 nic_bandwidth
+    1.0,  # log2 injection bandwidth
+) + (1.0,) * _MAX_LEVELS + (  # per-level intra-node bandwidths
+    0.5,  # log2 copy bandwidth
+    0.5,  # log2 reduce bandwidth
+    2.0,  # fault content magnitude
+)
+
+
+def _fault_magnitude(machine: MachineSpec) -> float:
+    """Scalar fault-content severity: 0 when healthy, grows per entry."""
+    f = machine.faults
+    if f is None:
+        return 0.0
+    return float(
+        len(f.down_nics) + len(f.down_links) + 2 * len(f.drained_nodes)
+        + sum(1.0 - s for *_ , s in f.nic_derate)
+        + sum(1.0 - s for *_ , s in f.link_derate)
+        + sum(1.0 - s for _, s in f.stragglers)
+    )
+
+
+def machine_features(machine: MachineSpec) -> tuple[float, ...]:
+    """Fixed-length numeric embedding of a machine for distance queries."""
+    levels = [math.log2(lv.bandwidth) for lv in machine.levels[:_MAX_LEVELS]]
+    while len(levels) < _MAX_LEVELS:
+        # Pad with the last (finest) level so 1-level and 2-level nodes of
+        # similar link speed stay close.
+        levels.append(levels[-1] if levels else 0.0)
+    return (
+        math.log2(machine.nodes),
+        math.log2(machine.gpus_per_node),
+        math.log2(machine.nic_count),
+        math.log2(machine.nic_bandwidth),
+        math.log2(machine.injection_bandwidth),
+        *levels,
+        math.log2(machine.copy_bandwidth),
+        math.log2(machine.reduce_bandwidth),
+        _fault_magnitude(machine),
+    )
+
+
+def machine_distance(a: MachineSpec, b: MachineSpec) -> float:
+    """Weighted L1 distance between two machines' feature vectors."""
+    fa, fb = machine_features(a), machine_features(b)
+    return sum(w * abs(x - y) for w, x, y in zip(_WEIGHTS, fa, fb))
+
+
+@dataclass
+class MachineIndex:
+    """Registry of planned-for machines, queried by structured distance.
+
+    Entries are keyed by the machine digest (one entry per distinct
+    fingerprint); insertion order breaks distance ties deterministically.
+    Not thread-safe on its own — the service mutates it under its lock.
+    """
+
+    _machines: dict[str, MachineSpec] = field(default_factory=dict)
+
+    def add(self, digest: str, machine: MachineSpec) -> None:
+        """Register a machine under its fingerprint digest (idempotent)."""
+        self._machines.setdefault(digest, machine)
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    def nearest(
+        self, machine: MachineSpec, exclude: str | None = None, k: int = 1
+    ) -> list[tuple[str, MachineSpec, float]]:
+        """The ``k`` closest registered machines (digest, spec, distance).
+
+        ``exclude`` drops the query machine's own digest, so the caller gets
+        genuinely *other* machines to borrow plans from.
+        """
+        scored = [
+            (machine_distance(machine, m), i, digest, m)
+            for i, (digest, m) in enumerate(self._machines.items())
+            if digest != exclude
+        ]
+        scored.sort(key=lambda t: (t[0], t[1]))
+        return [(digest, m, dist) for dist, _, digest, m in scored[:k]]
+
+
+def translate_candidate(
+    space: SearchSpace, donor: PlanCandidate
+) -> PlanCandidate | None:
+    """The target space's candidate most similar to a donor machine's winner.
+
+    Donor parameters rarely apply verbatim (a 6-node hierarchy vector is
+    invalid on 4 nodes), so the donor is matched against ``space``'s own
+    valid candidates on the *transferable* structure: library vector first
+    (the dominant cost factor), then pipeline depth, stripe, ring usage, and
+    hierarchy shape.  Returns ``None`` only for an empty space — otherwise
+    some nearest valid candidate always exists, and it is valid on the
+    target by construction.
+    """
+    candidates = space.candidates()
+    if not candidates:
+        return None
+    donor_libs = tuple(lib.value for lib in donor.libraries)
+
+    def mismatch(cand: PlanCandidate) -> tuple:
+        cand_libs = tuple(lib.value for lib in cand.libraries)
+        return (
+            # Library *set* mismatch dominates: using NCCL vs MPI between
+            # nodes changes pricing far more than any discrete parameter.
+            0 if set(cand_libs) == set(donor_libs) else 1,
+            abs(math.log2(cand.pipeline) - math.log2(donor.pipeline)),
+            abs(math.log2(cand.stripe) - math.log2(donor.stripe)),
+            # Ring usage transfers as a boolean (the node count differs).
+            0 if (cand.ring > 1) == (donor.ring > 1) else 1,
+            abs(len(cand.hierarchy) - len(donor.hierarchy)),
+            cand.sort_key(),
+        )
+
+    return min(candidates, key=mismatch)

@@ -1,0 +1,114 @@
+"""Deterministic synthetic fleet traffic for the plan-service benchmark.
+
+Fleet request streams are *skewed*: a handful of production machine shapes
+and collectives dominate while a long tail of odd node counts, degraded
+topologies, and unusual payloads trickles in.  This module builds such a
+stream reproducibly:
+
+* the request *universe* is the cross product of the committed paper
+  systems at a few node counts (plus seeded degraded variants of each)
+  with the stock collectives and a payload ladder — every request is a
+  :class:`TrafficRequest` that can rebuild its machine spec on demand;
+* draws follow a Zipf-like distribution over that universe via
+  ``numpy.random.default_rng(seed)`` — same seed, same request sequence,
+  byte for byte — with the universe *shuffled* under the same seed so rank
+  popularity is not correlated with machine size.
+
+The benchmark (``tools/bench_planservice.py``) and the end-to-end tests
+replay these streams against a daemon; determinism here is what makes the
+committed ``BENCH_planservice.json`` plan outcomes byte-identical across
+regenerations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.faults import FaultSet
+from ..machine.machines import by_name
+from ..machine.spec import MachineSpec
+
+#: Systems the default universe draws from (committed paper models).
+TRAFFIC_SYSTEMS = ("delta", "perlmutter")
+
+#: Node counts per system; small on purpose — the benchmark wants many
+#: distinct *keys*, not many distinct gigantic machines.
+TRAFFIC_NODES = (2, 3, 4)
+
+#: Collectives requested by the synthetic fleet.
+TRAFFIC_COLLECTIVES = ("all_reduce", "all_gather", "reduce_scatter")
+
+#: Payload ladder (bytes).
+TRAFFIC_PAYLOADS = (1 << 24, 1 << 26)
+
+#: Fault seeds mixed into the universe; ``None`` is the healthy machine.
+TRAFFIC_FAULT_SEEDS = (None, 7)
+
+
+@dataclass(frozen=True)
+class TrafficRequest:
+    """One synthetic plan request, machine described by value."""
+
+    system: str
+    nodes: int
+    fault_seed: int | None
+    collective: str
+    payload_bytes: int
+
+    def machine(self) -> MachineSpec:
+        """Build the (possibly degraded) machine spec for this request."""
+        spec = by_name(self.system, nodes=self.nodes)
+        if self.fault_seed is not None:
+            spec = FaultSet.random(spec, seed=self.fault_seed).apply(spec)
+        return spec
+
+    def describe(self) -> str:
+        """Compact deterministic label (used in benchmark outcome keys)."""
+        fault = f"+f{self.fault_seed}" if self.fault_seed is not None else ""
+        return (
+            f"{self.system}:{self.nodes}{fault}"
+            f"/{self.collective}@{self.payload_bytes}"
+        )
+
+
+def traffic_universe(
+    systems=TRAFFIC_SYSTEMS,
+    nodes=TRAFFIC_NODES,
+    fault_seeds=TRAFFIC_FAULT_SEEDS,
+    collectives=TRAFFIC_COLLECTIVES,
+    payloads=TRAFFIC_PAYLOADS,
+) -> list[TrafficRequest]:
+    """Every distinct request of the synthetic fleet, deterministic order."""
+    return [
+        TrafficRequest(system, n, fault_seed, collective, payload)
+        for system in systems
+        for n in nodes
+        for fault_seed in fault_seeds
+        for collective in collectives
+        for payload in payloads
+    ]
+
+
+def synthetic_traffic(
+    seed: int,
+    n_requests: int,
+    universe: list[TrafficRequest] | None = None,
+    zipf_a: float = 1.3,
+) -> list[TrafficRequest]:
+    """A seeded Zipf-skewed request stream over the universe.
+
+    ``zipf_a`` is the Zipf exponent (> 1; larger = more skew).  Draws
+    beyond the universe size wrap via modulo, preserving the skew shape;
+    the universe itself is shuffled under the same seed, so which request
+    is "rank 1 popular" varies by seed but never by run.
+    """
+    if universe is None:
+        universe = traffic_universe()
+    if not universe:
+        raise ValueError("traffic universe is empty")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(universe))
+    draws = rng.zipf(zipf_a, size=n_requests)
+    return [universe[order[(d - 1) % len(universe)]] for d in draws]

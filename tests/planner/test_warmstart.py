@@ -1,0 +1,159 @@
+"""Warm-started search: sound seeding that can never worsen the winner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import plancache
+from repro.machine.machines import by_name
+from repro.planner.search import SearchBudget, plan_collective
+from repro.planner.space import PlanCandidate, SearchSpace
+from repro.service.similarity import translate_candidate
+from repro.transport.library import Library
+
+PAYLOAD = 1 << 22
+
+#: The committed benchmark pairs (donor system/nodes -> target nodes).
+PAIRS = (("delta", 4, 3), ("perlmutter", 4, 2))
+
+SPACE_OPTS = {"pipelines": (1, 4), "search_libraries": False}
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Memory-only plan cache; keeps timing-free results hermetic."""
+    plancache.configure(disk_dir=None)
+    yield
+    plancache.reset()
+
+
+def _spaces(system, donor_nodes, target_nodes):
+    donor_machine = by_name(system, nodes=donor_nodes)
+    target_machine = by_name(system, nodes=target_nodes)
+    return (
+        donor_machine,
+        target_machine,
+        SearchSpace.build(donor_machine, **SPACE_OPTS),
+        SearchSpace.build(target_machine, **SPACE_OPTS),
+    )
+
+
+@pytest.mark.parametrize("system,donor_nodes,target_nodes", PAIRS)
+def test_warm_winner_never_worse_on_committed_pairs(
+    system, donor_nodes, target_nodes
+):
+    """The acceptance contract: warm-started winner <= cold winner."""
+    donor_m, target_m, donor_space, target_space = _spaces(
+        system, donor_nodes, target_nodes
+    )
+    donor = plan_collective(
+        donor_m, "all_reduce", PAYLOAD, space=donor_space
+    ).best.candidate
+    seed = translate_candidate(target_space, donor)
+    assert seed is not None
+
+    cold = plan_collective(target_m, "all_reduce", PAYLOAD, space=target_space)
+    warm = plan_collective(
+        target_m, "all_reduce", PAYLOAD, space=target_space,
+        warm_start=(seed,),
+    )
+    assert warm.best.seconds <= cold.best.seconds
+    # The warm seed is additional: the finalist list is as long as cold's,
+    # so full evaluations grow by at most the number of warm seeds.
+    assert warm.stats.full_evals <= (
+        cold.stats.full_evals + warm.stats.warm_seeds
+    )
+
+
+def test_warm_seed_outside_space_is_dropped():
+    machine = by_name("delta", nodes=2)
+    space = SearchSpace.build(machine, **SPACE_OPTS)
+    bogus = PlanCandidate(
+        hierarchy=(7, 11),
+        libraries=(Library.MPI, Library.MPI),
+        stripe=13, ring=5, pipeline=3,
+    )
+    assert bogus not in space.candidates()
+    cold = plan_collective(machine, "all_reduce", PAYLOAD, space=space)
+    warm = plan_collective(
+        machine, "all_reduce", PAYLOAD, space=space, warm_start=(bogus,)
+    )
+    assert warm.stats.warm_seeds == 0
+    assert warm.best.candidate == cold.best.candidate
+    assert warm.best.seconds == cold.best.seconds
+
+
+def test_duplicate_warm_seeds_count_once():
+    machine = by_name("delta", nodes=3)
+    space = SearchSpace.build(machine, **SPACE_OPTS)
+    donor = plan_collective(
+        by_name("delta", nodes=4), "all_reduce", PAYLOAD,
+        space=SearchSpace.build(by_name("delta", nodes=4), **SPACE_OPTS),
+    ).best.candidate
+    seed = translate_candidate(space, donor)
+    warm = plan_collective(
+        machine, "all_reduce", PAYLOAD, space=space,
+        warm_start=(seed, seed, seed),
+    )
+    assert warm.stats.warm_seeds <= 1
+
+
+def test_warm_search_is_deterministic():
+    machine = by_name("delta", nodes=3)
+    space = SearchSpace.build(machine, **SPACE_OPTS)
+    seed = space.candidates()[-1]
+    runs = [
+        plan_collective(
+            machine, "all_reduce", PAYLOAD, space=space, warm_start=(seed,)
+        )
+        for _ in range(2)
+    ]
+    assert runs[0].best.candidate == runs[1].best.candidate
+    assert runs[0].best.seconds == runs[1].best.seconds
+    assert [e.seconds for e in runs[0].evaluated] == [
+        e.seconds for e in runs[1].evaluated
+    ]
+
+
+def test_render_mentions_warm_seeds_only_when_present():
+    machine = by_name("delta", nodes=2)
+    space = SearchSpace.build(machine, **SPACE_OPTS)
+    cold = plan_collective(machine, "all_reduce", PAYLOAD, space=space)
+    assert "warm" not in cold.stats.render()
+
+    machine3 = by_name("delta", nodes=3)
+    space3 = SearchSpace.build(machine3, **SPACE_OPTS)
+    # A seed the policy stage does not already attempt: take the last
+    # space candidate and verify via the stats that it was counted.
+    warm = plan_collective(
+        machine3, "all_reduce", PAYLOAD, space=space3,
+        warm_start=(space3.candidates()[-1],),
+    )
+    if warm.stats.warm_seeds:
+        assert "warm seed" in warm.stats.render()
+
+
+def test_warm_seed_does_not_consume_tight_budget():
+    """With max_full=2, a warm seed still leaves two cold finalist slots."""
+    machine = by_name("delta", nodes=3)
+    space = SearchSpace.build(machine, **SPACE_OPTS)
+    budget = SearchBudget(max_full=2)
+    cold = plan_collective(
+        machine, "all_reduce", PAYLOAD, space=space, budget=budget
+    )
+    warm = plan_collective(
+        machine, "all_reduce", PAYLOAD, space=space, budget=budget,
+        warm_start=(space.candidates()[-1],),
+    )
+    assert warm.best.seconds <= cold.best.seconds
+    assert warm.stats.full_evals <= 2 + warm.stats.warm_seeds
+
+
+def test_grid_strategy_ignores_warm_start():
+    machine = by_name("delta", nodes=2)
+    space = SearchSpace.build(machine, **SPACE_OPTS)
+    result = plan_collective(
+        machine, "all_reduce", PAYLOAD, space=space, strategy="grid",
+        warm_start=(space.candidates()[0],),
+    )
+    assert result.stats.warm_seeds == 0

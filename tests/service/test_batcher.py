@@ -1,0 +1,155 @@
+"""Request coalescing: duplicate in-flight keys provably plan once."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bench.parallel import TaskPool
+from repro.service.batcher import PlanBatcher
+
+
+class GatedTask:
+    """A fake plan task that blocks until released and counts executions."""
+
+    def __init__(self, gate: threading.Event, counter: dict, value):
+        self.gate = gate
+        self.counter = counter
+        self.value = value
+
+    def run(self):
+        """Wait for the gate, tally the execution, return the payload."""
+        self.gate.wait(timeout=30)
+        with self.counter["lock"]:
+            self.counter["runs"] += 1
+        return self.value
+
+
+@pytest.fixture()
+def pool():
+    with TaskPool(jobs=1) as p:
+        yield p
+
+
+def _counter():
+    return {"runs": 0, "lock": threading.Lock()}
+
+
+def test_duplicate_inflight_key_plans_exactly_once(pool):
+    """N concurrent submits of one key -> one execution, N-1 coalesced."""
+    batcher = PlanBatcher(pool)
+    gate = threading.Event()
+    counter = _counter()
+    n = 6
+
+    results = []
+    submitted = threading.Barrier(n + 1)
+
+    def client():
+        future, created = batcher.submit(
+            "key", lambda: GatedTask(gate, counter, {"winner": "w"})
+        )
+        submitted.wait(timeout=30)
+        results.append((future.result(timeout=30), created))
+
+    threads = [threading.Thread(target=client) for _ in range(n)]
+    for t in threads:
+        t.start()
+    # All six submits have happened; the task is still gated, so every
+    # duplicate was necessarily coalesced onto the single in-flight future.
+    submitted.wait(timeout=30)
+    assert batcher.planned == 1
+    assert batcher.coalesced == n - 1
+    assert batcher.inflight() == 1
+    gate.set()
+    for t in threads:
+        t.join()
+
+    assert counter["runs"] == 1
+    assert sum(1 for _, created in results if created) == 1
+    assert all(value == {"winner": "w"} for value, _ in results)
+
+
+def test_distinct_keys_do_not_coalesce(pool):
+    batcher = PlanBatcher(pool)
+    gate = threading.Event()
+    gate.set()
+    counter = _counter()
+    futures = []
+    for i in range(4):
+        future, created = batcher.submit(
+            ("key", i), lambda i=i: GatedTask(gate, counter, i)
+        )
+        assert created
+        futures.append(future)
+    assert [f.result(timeout=30) for f in futures] == [0, 1, 2, 3]
+    assert batcher.planned == 4
+    assert batcher.coalesced == 0
+    assert counter["runs"] == 4
+
+
+def test_key_retires_after_completion(pool):
+    """Once the future resolves, the same key plans afresh (cache's job)."""
+    batcher = PlanBatcher(pool)
+    gate = threading.Event()
+    gate.set()
+    counter = _counter()
+
+    first, created_first = batcher.submit(
+        "key", lambda: GatedTask(gate, counter, 1)
+    )
+    assert first.result(timeout=30) == 1
+    # The done-callback retires the key; poll briefly for it to land.
+    for _ in range(100):
+        if batcher.inflight() == 0:
+            break
+        threading.Event().wait(0.01)
+    assert batcher.inflight() == 0
+
+    second, created_second = batcher.submit(
+        "key", lambda: GatedTask(gate, counter, 2)
+    )
+    assert created_first and created_second
+    assert second.result(timeout=30) == 2
+    assert batcher.planned == 2
+
+
+class FailingTask:
+    """A fake task whose run() always raises."""
+
+    def run(self):
+        """Raise to exercise error propagation through the future."""
+        raise RuntimeError("boom")
+
+
+def test_failure_propagates_to_every_waiter(pool):
+    batcher = PlanBatcher(pool)
+    gate = threading.Event()
+    counter = _counter()
+
+    # Hold one gated task in flight so the failing submit can coalesce.
+    blocker, _ = batcher.submit("k1", lambda: GatedTask(gate, counter, 0))
+    failing, created = batcher.submit("k2", lambda: FailingTask())
+    dup, dup_created = batcher.submit("k2", lambda: FailingTask())
+    assert created and not dup_created
+    assert dup is failing
+    gate.set()
+    assert blocker.result(timeout=30) == 0
+    with pytest.raises(RuntimeError, match="boom"):
+        failing.result(timeout=30)
+    with pytest.raises(RuntimeError, match="boom"):
+        dup.result(timeout=30)
+
+
+def test_snapshot_reports_counters(pool):
+    batcher = PlanBatcher(pool)
+    gate = threading.Event()
+    counter = _counter()
+    batcher.submit("key", lambda: GatedTask(gate, counter, 0))
+    batcher.submit("key", lambda: GatedTask(gate, counter, 0))
+    snap = batcher.snapshot()
+    assert snap["planned"] == 1
+    assert snap["coalesced"] == 1
+    assert snap["inflight"] == 1
+    gate.set()

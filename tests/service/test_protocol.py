@@ -1,0 +1,104 @@
+"""Protocol layer: frame codec, machine transport, request keying."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.plancache import machine_fingerprint
+from repro.machine.faults import FaultSet
+from repro.machine.machines import by_name
+from repro.service.protocol import (
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    machine_digest,
+    machine_from_dict,
+    machine_to_dict,
+    request_key,
+)
+
+
+def _wire_roundtrip(machine):
+    """Through an actual JSON encode/decode, like the socket path does."""
+    return machine_from_dict(json.loads(json.dumps(machine_to_dict(machine))))
+
+
+@pytest.mark.parametrize("system", ["delta", "perlmutter"])
+@pytest.mark.parametrize("nodes", [2, 4])
+def test_machine_roundtrip_preserves_fingerprint(system, nodes):
+    machine = by_name(system, nodes=nodes)
+    rebuilt = _wire_roundtrip(machine)
+    assert machine_fingerprint(rebuilt) == machine_fingerprint(machine)
+    assert machine_digest(rebuilt) == machine_digest(machine)
+
+
+def test_degraded_machine_roundtrip_preserves_fingerprint():
+    machine = by_name("delta", nodes=4)
+    faults = FaultSet(
+        down_nics=((1, 0),),
+        nic_derate=((0, 0, 0.5),),
+        link_derate=((3, 0, 0.8),),
+        stragglers=((5, 0.7),),
+        drained_nodes=(2,),
+    )
+    degraded = faults.apply(machine)
+    rebuilt = _wire_roundtrip(degraded)
+    assert machine_fingerprint(rebuilt) == machine_fingerprint(degraded)
+    assert rebuilt.faults is not None
+    assert rebuilt.faults.drained_nodes == (2,)
+
+
+def test_healthy_and_degraded_key_differently():
+    machine = by_name("delta", nodes=2)
+    degraded = FaultSet(down_nics=((0, 0),)).apply(machine)
+    assert machine_digest(machine) != machine_digest(degraded)
+
+
+def test_frame_codec_roundtrip():
+    frame = {"id": 7, "type": "plan", "payload_bytes": 1 << 20, "nested": {"a": [1, 2]}}
+    encoded = encode_frame(frame)
+    assert encoded.endswith(b"\n")
+    assert b"\n" not in encoded[:-1]
+    assert decode_frame(encoded) == frame
+
+
+@pytest.mark.parametrize("bad", [b"", b"   \n", b"not json\n", b"[1,2]\n", b'"str"\n'])
+def test_decode_rejects_malformed_frames(bad):
+    with pytest.raises(ProtocolError):
+        decode_frame(bad)
+
+
+def test_error_frame_names_exception_class():
+    frame = error_frame(3, ProtocolError("nope"))
+    assert frame == {
+        "id": 3, "status": "error", "error": "ProtocolError", "message": "nope",
+    }
+
+
+def test_request_key_canonicalizes_options():
+    machine = by_name("delta", nodes=2)
+    a = request_key(machine, "all_reduce", 1 << 20,
+                    options={"pipelines": [1, 4]})
+    b = request_key(machine, "all_reduce", 1 << 20,
+                    options={"pipelines": (1, 4)})
+    assert a == b
+
+
+def test_request_key_distinguishes_inputs():
+    m2, m4 = by_name("delta", nodes=2), by_name("delta", nodes=4)
+    base = request_key(m2, "all_reduce", 1 << 20)
+    assert request_key(m4, "all_reduce", 1 << 20) != base
+    assert request_key(m2, "all_gather", 1 << 20) != base
+    assert request_key(m2, "all_reduce", 1 << 21) != base
+    assert request_key(m2, "all_reduce", 1 << 20, dtype="float64") != base
+    assert request_key(
+        m2, "all_reduce", 1 << 20, options={"search_libraries": True}
+    ) != base
+
+
+def test_malformed_machine_raises_protocol_error():
+    with pytest.raises(ProtocolError):
+        machine_from_dict({"name": "x"})

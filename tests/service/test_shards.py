@@ -1,0 +1,136 @@
+"""Sharded response cache: partitioning, counters, eviction, admission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.protocol import machine_digest
+from repro.machine.machines import by_name
+from repro.service.shards import (
+    FrequencySketch,
+    ShardedPlanCache,
+    response_nbytes,
+)
+
+
+def _body(tag: int, pad: int = 0) -> dict:
+    return {"winner": {"tag": tag}, "pad": "x" * pad}
+
+
+def test_shard_index_stable_and_in_range():
+    cache = ShardedPlanCache(num_shards=4)
+    for system in ("delta", "perlmutter", "frontier", "aurora"):
+        digest = machine_digest(by_name(system, nodes=4))
+        idx = cache.shard_index(digest)
+        assert 0 <= idx < 4
+        assert cache.shard_index(digest) == idx  # deterministic
+
+
+def test_different_machines_spread_over_shards():
+    cache = ShardedPlanCache(num_shards=4)
+    digests = [
+        machine_digest(by_name(system, nodes=nodes))
+        for system in ("delta", "perlmutter", "frontier", "aurora")
+        for nodes in (2, 3, 4, 8)
+    ]
+    indices = {cache.shard_index(d) for d in digests}
+    assert len(indices) > 1, "16 machine digests all mapped to one shard"
+
+
+def test_counters_track_hits_misses_stores():
+    cache = ShardedPlanCache(num_shards=2)
+    digest = machine_digest(by_name("delta", nodes=2))
+    assert cache.get(digest, "k") is None
+    assert cache.put(digest, "k", _body(1))
+    assert cache.get(digest, "k") == _body(1)
+    stats = cache.stats()["total"]
+    assert stats["lookups"] == 2
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["stores"] == 1
+    assert stats["entries"] == 1
+    assert stats["bytes"] == response_nbytes(_body(1))
+    assert stats["hit_rate"] == pytest.approx(0.5)
+    # The other shard stayed untouched.
+    per_shard = cache.stats()["shards"]
+    idx = cache.shard_index(digest)
+    other = per_shard[1 - idx]
+    assert other["lookups"] == 0 and other["entries"] == 0
+
+
+def test_byte_budget_evicts_and_counts():
+    small = response_nbytes(_body(0, pad=64))
+    cache = ShardedPlanCache(
+        num_shards=1, capacity=64, max_bytes=2 * small + 1, admission=False
+    )
+    digest = machine_digest(by_name("delta", nodes=2))
+    for i in range(4):
+        assert cache.put(digest, f"k{i}", _body(i, pad=64))
+    stats = cache.stats()["total"]
+    assert stats["evictions"] >= 2
+    assert stats["bytes"] <= 2 * small + 1
+    # Newest entry always survives its own insert.
+    assert cache.get(digest, "k3") == _body(3, pad=64)
+
+
+def test_admission_protects_hot_key_from_one_shot_scan():
+    cache = ShardedPlanCache(num_shards=1, capacity=1, max_bytes=1 << 20)
+    digest = machine_digest(by_name("delta", nodes=2))
+    assert cache.put(digest, "hot", _body(0))
+    for _ in range(10):  # make "hot" popular in the sketch
+        cache.get(digest, "hot")
+    # A cold key that would evict the hot incumbent is rejected...
+    assert not cache.put(digest, "cold", _body(1))
+    assert cache.get(digest, "hot") == _body(0)
+    # ...but earns admission once it is requested often enough.
+    for _ in range(20):
+        cache.get(digest, "cold")
+    assert cache.put(digest, "cold", _body(1))
+    assert cache.get(digest, "cold") == _body(1)
+    stats = cache.stats()["total"]
+    assert stats["admission_rejected"] >= 1
+
+
+def test_admission_disabled_is_plain_lru():
+    cache = ShardedPlanCache(
+        num_shards=1, capacity=1, max_bytes=1 << 20, admission=False
+    )
+    digest = machine_digest(by_name("delta", nodes=2))
+    assert cache.put(digest, "hot", _body(0))
+    for _ in range(10):
+        cache.get(digest, "hot")
+    assert cache.put(digest, "cold", _body(1))  # evicts despite cold
+    assert cache.get(digest, "hot") is None
+
+
+def test_updating_existing_key_never_needs_admission():
+    cache = ShardedPlanCache(num_shards=1, capacity=1, max_bytes=1 << 20)
+    digest = machine_digest(by_name("delta", nodes=2))
+    assert cache.put(digest, "k", _body(0))
+    assert cache.put(digest, "k", _body(1))  # overwrite, no eviction
+    assert cache.get(digest, "k") == _body(1)
+    assert cache.stats()["total"]["admission_rejected"] == 0
+
+
+def test_sketch_estimates_and_ages():
+    sketch = FrequencySketch(width=64, sample_size=100)
+    for _ in range(10):
+        sketch.increment("popular")
+    sketch.increment("rare")
+    assert sketch.estimate("popular") >= 10
+    assert sketch.estimate("popular") > sketch.estimate("rare")
+    assert sketch.estimate("never-seen-key") <= sketch.estimate("popular")
+    # Aging: after sample_size total increments, counts halve.
+    for _ in range(100):
+        sketch.increment("filler")
+    assert sketch.estimate("popular") <= 10
+
+
+def test_sketch_rejects_tiny_width():
+    with pytest.raises(ValueError):
+        FrequencySketch(width=4)
+
+
+def test_rejects_zero_shards():
+    with pytest.raises(ValueError):
+        ShardedPlanCache(num_shards=0)

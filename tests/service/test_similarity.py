@@ -1,0 +1,129 @@
+"""Machine similarity: feature distance, nearest index, seed translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.faults import FaultSet
+from repro.machine.machines import by_name
+from repro.planner.space import SearchSpace
+from repro.service.protocol import machine_digest
+from repro.service.similarity import (
+    MachineIndex,
+    machine_distance,
+    machine_features,
+    translate_candidate,
+)
+
+
+def test_distance_is_a_metric_on_committed_machines():
+    delta = by_name("delta", nodes=4)
+    perlmutter = by_name("perlmutter", nodes=4)
+    assert machine_distance(delta, delta) == 0.0
+    assert machine_distance(delta, perlmutter) > 0.0
+    assert machine_distance(delta, perlmutter) == pytest.approx(
+        machine_distance(perlmutter, delta)
+    )
+
+
+def test_same_system_closer_than_different_system():
+    delta4 = by_name("delta", nodes=4)
+    delta3 = by_name("delta", nodes=3)
+    perlmutter4 = by_name("perlmutter", nodes=4)
+    assert machine_distance(delta4, delta3) < machine_distance(
+        delta4, perlmutter4
+    )
+
+
+def test_degraded_twin_closer_than_healthy_stranger():
+    delta = by_name("delta", nodes=4)
+    degraded = FaultSet(down_nics=((0, 0),)).apply(delta)
+    perlmutter = by_name("perlmutter", nodes=4)
+    assert machine_distance(delta, degraded) < machine_distance(
+        delta, perlmutter
+    )
+    assert machine_distance(delta, degraded) > 0.0
+
+
+def test_features_fixed_length_across_machines():
+    lengths = {
+        len(machine_features(by_name(system, nodes=4)))
+        for system in ("delta", "perlmutter", "frontier", "aurora")
+    }
+    assert len(lengths) == 1
+
+
+def test_index_nearest_excludes_self_and_orders_by_distance():
+    index = MachineIndex()
+    machines = {
+        name: by_name(*spec)
+        for name, spec in {
+            "delta3": ("delta", 3),
+            "delta4": ("delta", 4),
+            "perlmutter4": ("perlmutter", 4),
+        }.items()
+    }
+    digests = {name: machine_digest(m) for name, m in machines.items()}
+    for name, machine in machines.items():
+        index.add(digests[name], machine)
+    assert len(index) == 3
+
+    hits = index.nearest(
+        machines["delta4"], exclude=digests["delta4"], k=2
+    )
+    assert [digest for digest, _, _ in hits] == [
+        digests["delta3"], digests["perlmutter4"],
+    ]
+    assert hits[0][2] < hits[1][2]
+
+
+def test_index_add_is_idempotent():
+    index = MachineIndex()
+    machine = by_name("delta", nodes=2)
+    digest = machine_digest(machine)
+    index.add(digest, machine)
+    index.add(digest, machine)
+    assert len(index) == 1
+
+
+def test_empty_index_returns_no_neighbors():
+    index = MachineIndex()
+    assert index.nearest(by_name("delta", nodes=2)) == []
+
+
+def test_translate_lands_in_target_space():
+    donor_space = SearchSpace.build(
+        by_name("delta", nodes=4), pipelines=(1, 4), search_libraries=False
+    )
+    target_space = SearchSpace.build(
+        by_name("delta", nodes=3), pipelines=(1, 4), search_libraries=False
+    )
+    for donor in donor_space.candidates():
+        translated = translate_candidate(target_space, donor)
+        assert translated in target_space.candidates()
+
+
+def test_translate_preserves_transferable_structure():
+    space = SearchSpace.build(
+        by_name("delta", nodes=4), pipelines=(1, 4), search_libraries=False
+    )
+    # A donor already valid in the space translates to itself-or-equal
+    # structure: same library set, same pipeline depth.
+    donor = space.candidates()[0]
+    translated = translate_candidate(space, donor)
+    assert translated is not None
+    assert {lib for lib in translated.libraries} == set(donor.libraries)
+    assert translated.pipeline == donor.pipeline
+
+
+def test_translate_is_deterministic():
+    donor_space = SearchSpace.build(
+        by_name("perlmutter", nodes=4), pipelines=(1, 4), search_libraries=True
+    )
+    target_space = SearchSpace.build(
+        by_name("perlmutter", nodes=2), pipelines=(1, 4), search_libraries=True
+    )
+    donor = donor_space.candidates()[-1]
+    first = translate_candidate(target_space, donor)
+    second = translate_candidate(target_space, donor)
+    assert first == second

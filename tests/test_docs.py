@@ -128,6 +128,26 @@ def test_readme_fault_quickstart_runs():
     assert namespace["comm"].machine.faults is None
 
 
+def test_readme_serving_plans_quickstart_runs():
+    """The README "Serving plans" snippet executes as written."""
+    readme = CHECKER.parent.parent / "README.md"
+    section = readme.read_text().split("## Serving plans")[1]
+    section = section.split("\n## ")[0]
+    blocks = re.findall(r"```python\n(.*?)```", section, re.S)
+    assert blocks, "serving-plans python block missing"
+    namespace: dict = {}
+    exec(compile(blocks[0], str(readme), "exec"), namespace)  # noqa: S102
+    cold, hit, stats = namespace["cold"], namespace["hit"], namespace["stats"]
+    assert cold["status"] == hit["status"] == "ok"
+    assert cold["source"] in ("cold", "warm")
+    assert hit["source"] == "hit"
+    assert hit["winner"] == cold["winner"]
+    assert stats["service"]["requests"] == 2
+    assert stats["service"]["planned"] == 1
+    assert stats["service"]["hits"] == 1
+    assert len(stats["cache"]["shards"]) >= 1
+
+
 def test_readme_planner_quickstart_runs():
     """The README "Tuning the optimization parameters" snippet executes."""
     readme = CHECKER.parent.parent / "README.md"

@@ -27,6 +27,7 @@ CHECKED_DIRS = (
     "src/repro/planner",
     "src/repro/model",
     "src/repro/core/passes",
+    "src/repro/service",
 )
 
 _DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)

@@ -12,141 +12,51 @@ incremental bars of Figure 8:
 
 from __future__ import annotations
 
-import pytest
-
-from repro import Communicator, Library, machines
-from repro.bench.configs import tree_config
-from repro.bench.runner import payload_count, run_hiccl
-from repro.machine.machines import generic
-from repro.machine.nic import Binding
-
-PAYLOAD = 1 << 28
-
-
-def _bcast_throughput(machine, *, stripe, pipeline=16, hierarchy=None,
-                      libraries=None, ring=1):
-    count = payload_count(machine, PAYLOAD)
-    comm = Communicator(machine, materialize=False)
-    send = comm.alloc(machine.world_size * count, "sendbuf")
-    recv = comm.alloc(machine.world_size * count, "recvbuf")
-    comm.add_multicast(send, recv, machine.world_size * count, 0,
-                       list(range(machine.world_size)))
-    if hierarchy is None:
-        cfg = tree_config(machine, pipeline=pipeline, stripe=stripe)
-        hierarchy, libraries = list(cfg.hierarchy), list(cfg.libraries)
-    comm.init(hierarchy=hierarchy, library=libraries, ring=ring,
-              stripe=stripe, pipeline=pipeline)
-    t = comm.run()
-    return machine.world_size * count * 4 / 1e9 / t
+from repro.analysis import generate, render
 
 
 def test_ablation_striping_single_vs_multi_nic(benchmark, record_output):
     """Striping gains ~k on multi-NIC nodes, only ~1.3x on single-NIC Delta."""
+    records = benchmark.pedantic(
+        generate, args=("ablation_striping",), iterations=1, rounds=1)
+    record_output("ablation_striping", render("ablation_striping", records))
 
-    def sweep():
-        out = {}
-        for system in ("delta", "perlmutter"):
-            m = machines.by_name(system, nodes=4)
-            out[system] = {
-                "unstriped": _bcast_throughput(m, stripe=1),
-                "striped": _bcast_throughput(m, stripe=m.gpus_per_node),
-            }
-        return out
-
-    data = benchmark.pedantic(sweep, iterations=1, rounds=1)
-    lines = ["Ablation: multi-NIC striping (broadcast, 4 nodes)"]
-    for system, vals in data.items():
-        gain = vals["striped"] / vals["unstriped"]
-        lines.append(
-            f"  {system:12s} unstriped={vals['unstriped']:7.2f} GB/s "
-            f"striped={vals['striped']:7.2f} GB/s  gain={gain:.2f}x"
-        )
-    record_output("ablation_striping", "\n".join(lines))
-
-    delta_gain = data["delta"]["striped"] / data["delta"]["unstriped"]
-    perl_gain = data["perlmutter"]["striped"] / data["perlmutter"]["unstriped"]
+    gains = {r["system"]: r["striped"] / r["unstriped"]
+             for r in records if r["row"] == "system"}
     # Section 6.3.3: ~1.29x on Delta vs ~3.6x on Perlmutter.
-    assert 1.05 < delta_gain < 2.0
-    assert perl_gain > 2.5
-    assert perl_gain > delta_gain
+    assert 1.05 < gains["delta"] < 2.0
+    assert gains["perlmutter"] > 2.5
+    assert gains["perlmutter"] > gains["delta"]
 
 
 def test_ablation_binding_policy(benchmark, record_output):
     """Packed vs round-robin at 12 GPUs / 8 NICs: the isolated 75% effect."""
-
-    def sweep():
-        out = {}
-        for policy in (Binding.ROUND_ROBIN, Binding.PACKED):
-            m = generic(4, 12, 8, binding=policy, intra_bandwidth=120.0,
-                        name=f"bind-{policy.value}")
-            out[policy.value] = _bcast_throughput(m, stripe=12)
-        return out
-
-    data = benchmark.pedantic(sweep, iterations=1, rounds=1)
-    lines = ["Ablation: binding policy (12 GPUs, 8 NICs, broadcast)"]
-    for policy, thr in data.items():
-        lines.append(f"  {policy:12s} {thr:7.2f} GB/s")
-    record_output("ablation_binding", "\n".join(lines))
+    records = benchmark.pedantic(
+        generate, args=("ablation_binding",), iterations=1, rounds=1)
+    record_output("ablation_binding", render("ablation_binding", records))
+    thr = {r["policy"]: r["throughput"]
+           for r in records if r["row"] == "policy"}
     # Packed 12-on-8 shares evenly (ceil 2 per NIC on half)... round-robin
     # overloads NICs 0-3, so packed must not be slower.
-    assert data["packed"] >= data["round-robin"] * 0.95
+    assert thr["packed"] >= thr["round-robin"] * 0.95
 
 
 def test_ablation_intra_library(benchmark, record_output):
     """IPC vs MPI for the intra-node level (Table 5 always picks IPC)."""
-    m = machines.frontier(nodes=4)
-
-    def sweep():
-        cfg = tree_config(m, pipeline=16)
-        out = {}
-        for label, intra in (("ipc", Library.IPC), ("mpi", Library.MPI)):
-            libs = [
-                lib if not lib.intra_node_only else intra
-                for lib in cfg.libraries
-            ]
-            out[label] = _bcast_throughput(
-                m, stripe=cfg.stripe, pipeline=cfg.pipeline,
-                hierarchy=list(cfg.hierarchy), libraries=libs,
-            )
-        return out
-
-    data = benchmark.pedantic(sweep, iterations=1, rounds=1)
-    record_output(
-        "ablation_libraries",
-        "Ablation: intra-node library on Frontier (broadcast)\n"
-        f"  IPC intra-node: {data['ipc']:7.2f} GB/s\n"
-        f"  MPI intra-node: {data['mpi']:7.2f} GB/s",
-    )
-    assert data["ipc"] > data["mpi"]
+    records = benchmark.pedantic(
+        generate, args=("ablation_libraries",), iterations=1, rounds=1)
+    record_output("ablation_libraries", render("ablation_libraries", records))
+    thr = {r["library"]: r["throughput"]
+           for r in records if r["row"] == "library"}
+    assert thr["ipc"] > thr["mpi"]
 
 
 def test_ablation_hierarchy_mismatch(benchmark, record_output):
     """A virtual hierarchy that ignores the node boundary wastes bandwidth."""
-    m = machines.perlmutter(nodes=4)
-
-    def sweep():
-        matched = _bcast_throughput(
-            m, stripe=4, hierarchy=[2, 2, 4],
-            libraries=[Library.NCCL, Library.NCCL, Library.IPC],
-        )
-        # Mismatched: pretend nodes hold 2 GPUs (groups straddle reality).
-        mismatched = _bcast_throughput(
-            m, stripe=4, hierarchy=[2, 4, 2],
-            libraries=[Library.NCCL, Library.NCCL, Library.NCCL],
-        )
-        flat = _bcast_throughput(
-            m, stripe=1, pipeline=1, hierarchy=[16],
-            libraries=[Library.NCCL],
-        )
-        return {"matched": matched, "mismatched": mismatched, "flat": flat}
-
-    data = benchmark.pedantic(sweep, iterations=1, rounds=1)
-    record_output(
-        "ablation_hierarchy",
-        "Ablation: virtual hierarchy vs physical machine (Perlmutter bcast)\n"
-        f"  matched {{2,2,4}}:    {data['matched']:7.2f} GB/s\n"
-        f"  mismatched {{2,4,2}}: {data['mismatched']:7.2f} GB/s\n"
-        f"  flat {{16}}:          {data['flat']:7.2f} GB/s",
-    )
-    assert data["matched"] > data["mismatched"]
-    assert data["mismatched"] > data["flat"]
+    records = benchmark.pedantic(
+        generate, args=("ablation_hierarchy",), iterations=1, rounds=1)
+    record_output("ablation_hierarchy", render("ablation_hierarchy", records))
+    thr = {r["case"]: r["throughput"]
+           for r in records if r["row"] == "hierarchy"}
+    assert thr["matched"] > thr["mismatched"]
+    assert thr["mismatched"] > thr["flat"]

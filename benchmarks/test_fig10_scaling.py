@@ -16,35 +16,36 @@ from __future__ import annotations
 import pytest
 
 from repro import machines
-from repro.bench.figures import fig10_scaling, render_fig10
+from repro.analysis import generate, render
 
-#: The paper saturates the network with device-memory-sized buffers
-#: (8.6 GB on Perlmutter, 17.2 GB on Frontier); simulated payloads are free,
-#: so we use 8 GiB.  MPI stays capped at 1 GB (its large-count limits [17]).
-PAYLOAD = 8 << 30
-
-
-#: Default sweeps stop where the two-step All-reduce's O(p^2) op graph stays
-#: interactive in pure Python (~64 GPUs); REPRO_FULL extends them.
-GPU_BUDGET = 64
+#: REPRO_FULL extends the sweep to where the two-step All-reduce's O(p^2)
+#: op graph stops being interactive in pure Python.
 FULL_GPU_BUDGET = 256
 
 
 @pytest.mark.parametrize("system", ["perlmutter", "frontier"])
 def test_fig10_scaling(benchmark, record_output, full_sweeps, system):
-    factory = machines.PAPER_SYSTEMS[system]
-    budget = FULL_GPU_BUDGET if full_sweeps else GPU_BUDGET
-    nodes = tuple(n for n in (2, 4, 8, 16, 32, 64)
-                  if factory(n).world_size <= budget)
-    depths = (1, 2, 4, 8, 16, 32) if full_sweeps else (1, 4, 16)
-    series = benchmark.pedantic(
-        fig10_scaling, args=(factory,),
-        kwargs={"node_counts": nodes, "payload_bytes": PAYLOAD,
-                "depths": depths},
-        iterations=1, rounds=1,
-    )
-    record_output(f"fig10_{system}", render_fig10(system, series))
+    name = f"fig10_{system}"
+    kwargs = {}
+    if full_sweeps:
+        factory = machines.PAPER_SYSTEMS[system]
+        kwargs = {
+            "node_counts": tuple(
+                n for n in (2, 4, 8, 16, 32, 64)
+                if factory(n).world_size <= FULL_GPU_BUDGET),
+            "depths": (1, 2, 4, 8, 16, 32),
+        }
+    records = benchmark.pedantic(
+        generate, args=(name,), kwargs=kwargs, iterations=1, rounds=1)
+    record_output(name, render(name, records))
 
+    series: dict[str, dict[int, float]] = {}
+    for r in records:
+        if r["row"] == "point":
+            series.setdefault(r["series"], {})[r["nodes"]] = r["throughput"]
+    nodes = sorted(next(iter(series.values())))
+    depths = sorted(int(s[len("hiccl-m"):]) for s in series
+                    if s.startswith("hiccl-m"))
     deep = f"hiccl-m{max(depths)}"
     shallow = "hiccl-m1"
     # Pipelining wins where inter-node stages dominate (small node counts);

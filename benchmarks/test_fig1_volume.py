@@ -2,16 +2,17 @@
 
 from __future__ import annotations
 
-from repro.bench.figures import fig1_broadcast_volume, render_fig1
+from repro.analysis import generate, render
 
 COUNT = 1024
 
 
 def test_fig1_volume(benchmark, record_output):
-    data = benchmark(fig1_broadcast_volume, 2, 3, COUNT)
-    record_output("fig1_volume", render_fig1(data, COUNT))
+    records = benchmark(generate, "fig1_volume")
+    record_output("fig1_volume", render("fig1_volume", records))
+    by_strategy = {r["strategy"]: r for r in records if r["row"] == "strategy"}
     # Direct moves three redundant copies across nodes; hierarchical moves one
     # and distributes the rest within nodes (Figure 1's caption).
-    assert data["direct"]["inter-node"] == 3 * COUNT
-    assert data["hierarchical"]["inter-node"] == COUNT
-    assert data["hierarchical"]["intra-node"] == 4 * COUNT
+    assert by_strategy["direct"]["inter_node"] == 3 * COUNT
+    assert by_strategy["hierarchical"]["inter_node"] == COUNT
+    assert by_strategy["hierarchical"]["intra_node"] == 4 * COUNT

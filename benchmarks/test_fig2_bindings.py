@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.figures import fig2_bindings, render_fig2
+from repro.analysis import generate, render
 from repro.machine.nic import Binding, utilization
 
 
 def test_fig2_bindings(benchmark, record_output):
-    data = benchmark(fig2_bindings)
-    record_output("fig2_bindings", render_fig2(data))
-    by_policy = {case["policy"]: case for case in data}
+    records = benchmark(generate, "fig2_bindings")
+    record_output("fig2_bindings", render("fig2_bindings", records))
+    by_policy = {r["policy"]: r for r in records if r["row"] == "binding"}
     assert by_policy["packed"]["utilization"] == pytest.approx(1.0)
     # Figure 2(b): round-robin 3-on-2 reaches only 75% of theoretical.
     assert by_policy["round-robin"]["utilization"] == pytest.approx(0.75)

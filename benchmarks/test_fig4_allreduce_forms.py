@@ -9,56 +9,18 @@ the volume ratio and the throughput gap.
 
 from __future__ import annotations
 
-import pytest
-
-from repro import Communicator, Library, machines
-from repro.bench.runner import payload_count
-from repro.core.composition import compose_all_reduce
-
-PAYLOAD = 1 << 26  # 64 MB
-
-
-def _build(machine, multi_step: bool):
-    count = payload_count(machine, PAYLOAD)
-    comm = Communicator(machine, materialize=False)
-    compose_all_reduce(comm, count, multi_step=multi_step)
-    comm.init(hierarchy=[2, 2, 4],
-              library=[Library.NCCL, Library.NCCL, Library.IPC],
-              stripe=4, pipeline=4)
-    comm.run()
-    return comm, count
+from repro.analysis import generate, render
 
 
 def test_fig4_multi_step_beats_single_step(benchmark, record_output):
-    machine = machines.perlmutter(nodes=4)
+    records = benchmark.pedantic(
+        generate, args=("fig4_allreduce_forms",), iterations=1, rounds=1)
+    record_output("fig4_allreduce_forms",
+                  render("fig4_allreduce_forms", records))
 
-    def both():
-        multi, count = _build(machine, multi_step=True)
-        single, _ = _build(machine, multi_step=False)
-        return multi, single, count
-
-    multi, single, count = benchmark.pedantic(both, iterations=1, rounds=1)
-    p = machine.world_size
-    payload = p * count * 4
-
-    vol_multi = sum(multi.schedule.volume_by_kind(machine).values())
-    vol_single = sum(single.schedule.volume_by_kind(machine).values())
-    thr_multi = payload / 1e9 / multi.last_elapsed
-    thr_single = payload / 1e9 / single.last_elapsed
-
-    record_output(
-        "fig4_allreduce_forms",
-        "Figure 4 / Table 2: All-reduce composition forms "
-        f"(Perlmutter, {payload >> 20} MB)\n"
-        f"  single-step  volume={vol_single / count / p:7.1f} d*p units  "
-        f"throughput={thr_single:7.2f} GB/s\n"
-        f"  multi-step   volume={vol_multi / count / p:7.1f} d*p units  "
-        f"throughput={thr_multi:7.2f} GB/s\n"
-        f"  volume ratio {vol_single / vol_multi:.1f}x, "
-        f"speedup {thr_multi / thr_single:.1f}x",
-    )
-
+    forms = {r["form"]: r for r in records if r["row"] == "form"}
+    single, multi = forms["single-step"], forms["multi-step"]
     # Single-step moves O(p) times the data of the two-step form...
-    assert vol_single > 4 * vol_multi
+    assert single["volume_elements"] > 4 * multi["volume_elements"]
     # ...and the two-step form is correspondingly faster.
-    assert thr_multi > 3 * thr_single
+    assert multi["throughput"] > 3 * single["throughput"]

@@ -4,16 +4,17 @@ from __future__ import annotations
 
 import math
 
-from repro.bench.figures import FIG5_FACTORIZATIONS, fig5_trees, render_fig5
+from repro.analysis import generate, render
 
 
 def test_fig5_trees(benchmark, record_output):
-    trees = benchmark(fig5_trees)
-    record_output("fig5_trees", render_fig5())
+    records = benchmark(generate, "fig5_trees")
+    record_output("fig5_trees", render("fig5_trees", records))
+    trees = [r for r in records if r["row"] == "tree"]
     assert len(trees) == 6
-    for (panel, topo), (_, factors) in zip(trees, FIG5_FACTORIZATIONS):
-        assert topo.world_size == 24
-        assert math.prod(topo.factors) == 24
-        # Figure 5(e) {3,2,2,2}: four levels; (a) {3,8}: two levels.
-    depths = {panel: topo.depth for panel, topo in trees}
+    for tree in trees:
+        assert tree["world_size"] == 24
+        assert math.prod(tree["factors"]) == 24
+    # Figure 5(e) {3,2,2,2}: four levels; (a) {3,8}: two levels.
+    depths = {tree["panel"]: tree["depth"] for tree in trees}
     assert depths == {"a": 2, "b": 2, "c": 3, "d": 3, "e": 4, "f": 4}

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-from repro.bench.figures import fig6_stage_counts
+from repro.analysis import generate, render
 
 
 def test_fig6_stage_counts(benchmark, record_output):
-    counts = benchmark(fig6_stage_counts)
-    lines = ["Figure 6: dependency stages of striped factorizations (4 nodes x 3 GPUs)"]
-    for label, n in counts.items():
-        lines.append(f"  {label:14s} {n} stages")
-    record_output("fig6_stages", "\n".join(lines))
+    records = benchmark(generate, "fig6_stages")
+    record_output("fig6_stages", render("fig6_stages", records))
+    counts = {r["label"]: r["stages"] for r in records if r["row"] == "stages"}
     assert counts["tree {2,2,3}"] == 4  # stages 0-3 in Figure 6(a)
     assert counts["ring {4,3}"] == 5  # stages 0-4 in Figure 6(b)

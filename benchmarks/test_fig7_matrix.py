@@ -2,18 +2,18 @@
 
 from __future__ import annotations
 
-from repro.bench.figures import fig7_matrices, render_fig7
+from repro.analysis import generate, render
 
 
 def test_fig7_matrices(benchmark, record_output):
-    mats = benchmark(fig7_matrices)
-    record_output("fig7_matrices", render_fig7(mats))
+    records = benchmark(generate, "fig7_matrices")
+    record_output("fig7_matrices", render("fig7_matrices", records))
+    cases = {r["case"]: r for r in records if r["row"] == "matrix"}
 
-    tree = mats["tree"]
     # (a) tree {2,2,3} with {MPI, NCCL, IPC}: intra-node 3x3 diagonal blocks
     # are IPC; cross-group-of-6 traffic is MPI; node-to-node within a group
     # is NCCL — the paper's colored blocks.
-    libs = tree["library"]
+    libs = cases["tree"]["library"]
     p = len(libs)
     for src in range(p):
         for dst in range(p):
@@ -27,8 +27,7 @@ def test_fig7_matrices(benchmark, record_output):
             else:
                 assert cell == "MPI"
 
-    ring = mats["ring"]
-    libs = ring["library"]
+    libs = cases["ring"]["library"]
     for src in range(p):
         for dst in range(p):
             cell = libs[src][dst]
@@ -40,6 +39,6 @@ def test_fig7_matrices(benchmark, record_output):
                 assert cell == "NCCL"
 
     # Every GPU participates (striping employs all NICs/GPUs).
-    vol = tree["volume"]
+    vol = cases["tree"]["volume"]
     senders = {s for s in range(p) if any(vol[s])}
     assert senders == set(range(p))

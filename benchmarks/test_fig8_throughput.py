@@ -12,72 +12,46 @@ from __future__ import annotations
 
 import pytest
 
-import repro
-from repro import machines
-from repro.bench.figures import fig8_bounds, fig8_system, render_fig8
-from repro.bench.report import render_throughput_table, speedups
-from repro.transport.library import VENDOR_LIBRARY
-
-PAYLOAD = 1 << 28  # 256 MB total payload per collective
-
-#: Paper-reported geomean speedups (Section 6.3.1) for EXPERIMENTS.md.
-PAPER_MPI_SPEEDUP = {"delta": 12.52, "perlmutter": 14.22,
-                     "frontier": 9.76, "aurora": 48.02}
-PAPER_VENDOR_SPEEDUP = {"delta": 1.26, "perlmutter": 1.05,
-                        "frontier": 1.55, "aurora": 12.01}
-
-
-def _by_impl(rows, prefix):
-    out = {}
-    for m in rows:
-        if m.implementation == prefix or (
-            prefix == "vendor" and m.implementation in ("nccl", "rccl", "oneccl")
-        ):
-            out[m.collective] = m
-        if prefix == "hiccl" and m.implementation.startswith("hiccl-pipelined"):
-            # Best (ring for bcast/reduce, tree otherwise) = first pipelined row.
-            out.setdefault(m.collective, m)
-    return out
+from repro.analysis import generate, render
+from repro.bench.report import geomean
 
 
 @pytest.mark.parametrize("system", ["delta", "perlmutter", "frontier", "aurora"])
 def test_fig8_panel(benchmark, record_output, system):
-    machine = machines.by_name(system, nodes=4)
-    rows = benchmark.pedantic(fig8_system, args=(machine, PAYLOAD),
-                              iterations=1, rounds=1)
-    bounds = fig8_bounds(machine)
+    name = f"fig8_{system}"
+    records = benchmark.pedantic(
+        generate, args=(name,), iterations=1, rounds=1)
+    record_output(name, render(name, records))
 
-    hiccl = _by_impl(rows, "hiccl")
-    mpi = _by_impl(rows, "mpi")
-    vendor = _by_impl(rows, "vendor")
+    bounds = {r["collective"]: r for r in records if r["row"] == "bound"}
+    mpi_ratios = {r["collective"]: r["ratio"] for r in records
+                  if r["row"] == "speedup" and r["baseline"] == "MPI"}
 
-    mpi_report = speedups(hiccl, mpi, system, "MPI")
-    text = [render_fig8(machine, rows, bounds), "", mpi_report.render(),
-            f"  (paper: {PAPER_MPI_SPEEDUP[system]:.2f}x)"]
-    if vendor:
-        vendor_report = speedups(hiccl, vendor, system,
-                                 VENDOR_LIBRARY[system].name)
-        text += ["", vendor_report.render(),
-                 f"  (paper: {PAPER_VENDOR_SPEEDUP[system]:.2f}x)"]
-    record_output(f"fig8_{system}", "\n".join(text))
+    def thr(impl, coll):
+        return next(r["throughput"] for r in records
+                    if r["row"] == "bar" and r["implementation"] == impl
+                    and r["collective"] == coll)
+
+    def best_hiccl(coll):
+        # Best (ring for bcast/reduce, tree otherwise) = first pipelined row.
+        return next(r["throughput"] for r in records
+                    if r["row"] == "bar" and r["collective"] == coll
+                    and r["implementation"].startswith("hiccl-pipelined"))
 
     # --- Qualitative claims of Section 6.3 -------------------------------
     # (1) HiCCL beats MPI on every collective, by a large geomean factor.
-    assert all(r > 1.0 for r in mpi_report.per_collective.values())
-    assert mpi_report.geomean_speedup > 5.0
+    assert all(ratio > 1.0 for ratio in mpi_ratios.values())
+    assert geomean(mpi_ratios.values()) > 5.0
     # (2) Optimizations are monotone on broadcast: direct <= hierarchical
     #     (strictly better once striping and pipelining land).
-    def thr(impl, coll):
-        return next(m.throughput for m in rows
-                    if m.implementation == impl and m.collective == coll)
-
     assert thr("hiccl-striped", "broadcast") > thr("hiccl-direct", "broadcast")
     assert thr("hiccl-pipelined-ring", "broadcast") > thr("hiccl-striped", "broadcast")
     # (3) Nothing exceeds the Table 3 achievable frame by more than noise.
-    for name, meas in hiccl.items():
-        assert meas.throughput <= bounds[name]["achievable"] * 1.05
+    for coll in mpi_ratios:
+        assert best_hiccl(coll) <= bounds[coll]["achievable"] * 1.05
     # (4) Vendor libraries are competitive (within ~3x either way) except
     #     OneCCL, which HiCCL beats by an order of magnitude.
-    if system == "aurora" and vendor:
-        vr = speedups(hiccl, vendor, system, "oneccl")
-        assert vr.geomean_speedup > 5.0
+    if system == "aurora":
+        vendor_ratios = [r["ratio"] for r in records
+                         if r["row"] == "speedup" and r["baseline"] != "MPI"]
+        assert vendor_ratios and geomean(vendor_ratios) > 5.0

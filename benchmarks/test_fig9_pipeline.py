@@ -11,11 +11,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro import machines
-from repro.bench.figures import FIG9_CASES, fig9_curves, render_fig9
-from repro.bench.runner import peak_throughput
-
-MACHINE = machines.perlmutter(nodes=4)
+from repro.analysis import generate, render
+from repro.bench.figures import FIG9_CASES
 
 SMALL = 1 << 16  # 64 KB
 LARGE = 1 << 30  # 1 GB
@@ -23,21 +20,32 @@ LARGE = 1 << 30  # 1 GB
 
 @pytest.mark.parametrize("collective", sorted(FIG9_CASES))
 def test_fig9_panel(benchmark, record_output, full_sweeps, collective):
-    payloads = [1 << s for s in ((14, 16, 18, 20, 22, 24, 26, 28, 30)
-                                 if full_sweeps else (16, 20, 24, 27, 30))]
-    depths = (1, 2, 4, 8, 16, 32, 64, 128) if full_sweeps else (1, 4, 16, 64)
-    curves = benchmark.pedantic(
-        fig9_curves, args=(MACHINE, collective),
-        kwargs={"payloads_bytes": payloads, "depths": depths},
-        iterations=1, rounds=1,
-    )
-    record_output(f"fig9_{collective}", render_fig9(collective, curves))
+    name = f"fig9_{collective}"
+    kwargs = {}
+    if full_sweeps:
+        kwargs = {
+            "payloads_bytes": [1 << s for s in
+                               (14, 16, 18, 20, 22, 24, 26, 28, 30)],
+            "depths": (1, 2, 4, 8, 16, 32, 64, 128),
+        }
+    records = benchmark.pedantic(
+        generate, args=(name,), kwargs=kwargs, iterations=1, rounds=1)
+    record_output(name, render(name, records))
+
+    points = [r for r in records if r["row"] == "point"]
+    depths = sorted({r["depth"] for r in points})
 
     def thr(depth, payload):
-        for m in curves[depth]:
-            if m.payload_bytes == payload or abs(m.payload_bytes - payload) < 64:
-                return m.throughput
+        for r in points:
+            if r["depth"] == depth and (
+                r["payload_bytes"] == payload
+                or abs(r["payload_bytes"] - payload) < 64
+            ):
+                return r["throughput"]
         raise KeyError(payload)
+
+    def peak(depth):
+        return max(r["throughput"] for r in points if r["depth"] == depth)
 
     deep = max(depths)
     if FIG9_CASES[collective] == "ring":
@@ -48,12 +56,11 @@ def test_fig9_panel(benchmark, record_output, full_sweeps, collective):
         # Trees only need to hide intra-node stages: they saturate with a
         # shallow pipeline ("converges ... with only k = 4 stages"), so the
         # deepest pipeline must not beat the shallow ones meaningfully.
-        best = max(peak_throughput(curves[d]) for d in depths)
-        assert peak_throughput(curves[min(depths, key=lambda d: abs(d - 4))]) \
-            > 0.8 * best
+        best = max(peak(d) for d in depths)
+        assert peak(min(depths, key=lambda d: abs(d - 4))) > 0.8 * best
     # Excessive depth always hurts small messages (latency dominates).
     assert thr(deep, SMALL) < thr(1, SMALL) * 1.5
     # Throughput grows with buffer size at every depth (saturation sweep).
     for d in depths:
-        series = [m.throughput for m in curves[d]]
+        series = [r["throughput"] for r in points if r["depth"] == d]
         assert series[-1] == max(series)

@@ -1,13 +1,15 @@
 """Planner acceptance suite: committed tuned baselines + search contract.
 
-Regenerates ``benchmarks/output/tuned_{perlmutter,delta}.txt``: for every
-Table 2 collective on both committed machine models, the Table 5 paper
-configuration, the exhaustive grid-search best, and the staged planner's
-best, with the planner's stage counters.  The renders are deterministic
-functions of (machine, payload), so regeneration must be byte-identical to
-the committed files.
+Regenerates ``benchmarks/output/tuned_{perlmutter,delta}.txt`` through the
+``repro.analysis`` registry: for every Table 2 collective on both committed
+machine models, the Table 5 paper configuration, the exhaustive grid-search
+best, and the staged planner's best, with the planner's stage counters.
+The records are deterministic functions of (machine, payload), so
+regeneration must be byte-identical to the committed files — which
+``repro.analysis.check`` enforces, for both the direct render and the
+JSON-round-tripped records.
 
-The same data backs the planner's acceptance contract:
+The same records back the planner's acceptance contract:
 
 * the staged search returns a plan no slower than the exhaustive best over
   the *whole* space — which also proves the truncated-payload halving never
@@ -22,137 +24,66 @@ The same data backs the planner's acceptance contract:
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import pytest
 
-from repro.bench.configs import best_config
-from repro.bench.runner import run_hiccl
-from repro.core.composition import FIGURE8_ORDER
-from repro.machine.machines import by_name
-from repro.planner import SearchSpace, plan_collective
-from repro.workloads.scenarios import tune_scenario
-
-#: Total payload per collective (Section 6.2 convention): 64 MiB.
-PAYLOAD = 1 << 26
-
-#: Pipeline depths of the searched space (the Table 5 defaults live at 16
-#: and 32, so both must be reachable).
-PIPELINES = (1, 4, 16, 32)
-
-#: Two nodes keep the exhaustive reference affordable; the machine *models*
-#: are the committed Perlmutter and Delta specs.
-NODES = 2
+from repro.analysis import check, generate, render
 
 SYSTEMS = ("perlmutter", "delta")
 
 
-def _rows(system: str) -> list[dict]:
-    machine = by_name(system, nodes=NODES)
-    space = SearchSpace.build(machine, pipelines=PIPELINES)
-    rows = []
-    for collective in FIGURE8_ORDER:
-        paper = run_hiccl(
-            machine, collective, best_config(machine, collective),
-            payload_bytes=PAYLOAD, warmup=0, rounds=1,
-        )
-        grid = plan_collective(machine, collective, PAYLOAD, space=space,
-                               strategy="grid")
-        staged = plan_collective(machine, collective, PAYLOAD, space=space)
-        rows.append({
-            "collective": collective,
-            "paper": paper.seconds,
-            "grid": grid.best.seconds,
-            "staged": staged,
-        })
-    return rows
-
-
 @pytest.fixture(scope="module")
-def tables():
-    """Paper/grid/staged measurements per system (computed once)."""
-    return {system: _rows(system) for system in SYSTEMS}
-
-
-def _render(system: str, rows: list[dict]) -> str:
-    machine = by_name(system, nodes=NODES)
-    lines = [
-        f"Planner vs paper configs ({system}): staged search over "
-        f"hierarchy/libraries/stripe/ring/pipeline at "
-        f"{PAYLOAD >> 20} MiB on {machine.describe()}",
-        f"  {'collective':16s} {'paper ms':>9s} {'grid ms':>9s} "
-        f"{'planner ms':>11s} {'full/grid':>10s} {'pruned':>7s}  best plan",
-    ]
-    for row in rows:
-        staged = row["staged"]
-        stats = staged.stats
-        lines.append(
-            f"  {row['collective']:16s} {row['paper'] * 1e3:9.3f} "
-            f"{row['grid'] * 1e3:9.3f} {staged.best.seconds * 1e3:11.3f} "
-            f"{stats.full_evals:>5d}/{stats.grid_size:<4d} "
-            f"{stats.pruned:7d}  {staged.best.candidate.describe()}"
-        )
-    tuning = tune_scenario("contention_mix", by_name(system, nodes=4),
-                           PAYLOAD)
-    lines.append("")
-    lines.append(tuning.render())
-    return "\n".join(lines)
-
-
-@pytest.fixture(scope="module")
-def renders(tables):
-    """Committed-baseline text per system (computed once per session)."""
-    return {
-        system: _render(system, rows) for system, rows in tables.items()
-    }
+def records():
+    """Registry records per system (computed once per session)."""
+    return {system: generate(f"tuned_{system}") for system in SYSTEMS}
 
 
 @pytest.mark.parametrize("system", SYSTEMS)
-def test_tuned_baseline(system, renders, record_output):
-    text = renders[system]
+def test_tuned_baseline(system, records, record_output):
+    text = render(f"tuned_{system}", records[system])
     record_output(f"tuned_{system}", text)
     assert "Planner vs paper configs" in text
     assert "workload planning for 'contention_mix'" in text
 
 
 @pytest.mark.parametrize("system", SYSTEMS)
-def test_planner_no_slower_than_exhaustive_best(system, tables):
+def test_planner_no_slower_than_exhaustive_best(system, records):
     """Equivalence on every Table 2 collective — including that the halving
     rungs never evicted the eventual winner (else staged > grid here)."""
-    for row in tables[system]:
-        staged = row["staged"].best.seconds
-        assert staged <= row["grid"] * (1 + 1e-12), row["collective"]
+    for row in (r for r in records[system] if r["row"] == "plan"):
+        staged = row["staged_seconds"]
+        assert staged <= row["grid_seconds"] * (1 + 1e-12), row["collective"]
         # The Table 5 paper configuration sits inside the space, so the
         # planner can never lose to it either.
-        assert staged <= row["paper"] * (1 + 1e-12), row["collective"]
+        assert staged <= row["paper_seconds"] * (1 + 1e-12), row["collective"]
 
 
 @pytest.mark.parametrize("system", SYSTEMS)
-def test_full_simulation_budget(system, tables):
+def test_full_simulation_budget(system, records):
     """Full-payload sims on at most 1/3 of the legacy grid, every time."""
-    for row in tables[system]:
-        stats = row["staged"].stats
-        assert stats.full_evals * 3 <= stats.grid_size, row["collective"]
-        assert stats.truncated_evals > 0, row["collective"]
-    assert sum(r["staged"].stats.pruned for r in tables[system]) > 0
+    plans = [r for r in records[system] if r["row"] == "plan"]
+    for row in plans:
+        assert row["full_evals"] * 3 <= row["grid_size"], row["collective"]
+        assert row["truncated_evals"] > 0, row["collective"]
+    assert sum(r["pruned"] for r in plans) > 0
 
 
-def test_workload_tuning_improves_contended_makespan():
+def test_workload_tuning_improves_contended_makespan(records):
     """Contended tuning beats per-group isolated tuning on a committed
     scenario: Delta's single NIC makes the four-way contention_mix pay for
     plans that look optimal in isolation."""
-    result = tune_scenario("contention_mix", by_name("delta", nodes=4),
-                           PAYLOAD)
-    assert result.tuned.makespan <= result.baseline.makespan
-    assert result.improvement > 1.0
-    assert any(choice.changed for choice in result.choices)
+    tuning = next(r for r in records["delta"] if r["row"] == "tuning")
+    assert tuning["tuned_makespan"] <= tuning["baseline_makespan"]
+    assert tuning["improvement"] > 1.0
+    choices = [r for r in records["delta"] if r["row"] == "choice"]
+    assert any(choice["changed"] for choice in choices)
 
 
-def test_committed_baselines_are_current(renders, output_dir: Path):
-    """Regeneration is byte-identical to the committed baseline files."""
-    for system in SYSTEMS:
-        committed = (output_dir / f"tuned_{system}.txt").read_text()
-        assert committed == renders[system] + "\n", (
-            f"tuned_{system}.txt is stale; rerun "
-            "`pytest benchmarks/test_planner.py -q -s` and commit"
-        )
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_committed_baselines_are_current(system, records):
+    """Regeneration is byte-identical to the committed baseline files, and
+    the records survive a JSON round-trip without changing the render."""
+    result = check(f"tuned_{system}", records[system])
+    assert result.ok, (
+        f"{result.reason}; rerun `pytest benchmarks/test_planner.py -q -s` "
+        "and commit"
+    )

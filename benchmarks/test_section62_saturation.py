@@ -11,32 +11,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro import machines
-from repro.bench.configs import best_config
-from repro.bench.runner import peak_throughput, sweep_payloads
-
-PAYLOADS = [1 << s for s in range(20, 31, 2)]  # 1 MB .. 1 GB
+from repro.analysis import generate, render
 
 
 @pytest.mark.parametrize("system", ["delta", "perlmutter"])
 def test_saturation_sweep(benchmark, record_output, system):
-    machine = machines.by_name(system, nodes=4)
-    cfg = best_config(machine, "broadcast")
-    sweep = benchmark.pedantic(
-        sweep_payloads, args=(machine, "broadcast", cfg, PAYLOADS),
-        iterations=1, rounds=1,
-    )
-    lines = [f"Section 6.2 sweep: broadcast on {machine.describe()}"]
-    for m in sweep:
-        lines.append(f"  {m.payload_bytes / (1 << 20):8.0f} MB"
-                     f"  {m.throughput:8.2f} GB/s")
-    record_output(f"saturation_{system}", "\n".join(lines))
+    name = f"saturation_{system}"
+    records = benchmark.pedantic(
+        generate, args=(name,), iterations=1, rounds=1)
+    record_output(name, render(name, records))
 
-    thr = [m.throughput for m in sweep]
+    thr = [r["throughput"] for r in records if r["row"] == "point"]
     # Saturation: the 1 GB point is within 10% of the peak, and the peak is
     # not at the smallest size.
-    assert thr[-1] > 0.9 * peak_throughput(sweep)
-    assert thr[0] < 0.9 * peak_throughput(sweep)
+    assert thr[-1] > 0.9 * max(thr)
+    assert thr[0] < 0.9 * max(thr)
     # Monotone growth up to noise: each doubling helps or holds.
     for a, b in zip(thr, thr[1:]):
         assert b > a * 0.95

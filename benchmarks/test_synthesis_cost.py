@@ -6,37 +6,28 @@ seconds on a thousand GPUs."  We verify the Python reproduction synthesizes
 a broadcast for 1024 GPUs within a small multiple of that budget (pure
 Python pays an interpreter tax; the point is polynomial, not solver-driven,
 synthesis).
+
+The committed baseline carries only the deterministic op count; the
+host-dependent wall-clock goes to the uncommitted
+``benchmarks/output/synthesis_cost_timing.txt`` sidecar so the committed
+file never churns across machines.
 """
 
 from __future__ import annotations
 
-import time
-
-from repro import Communicator, Library, machines
-
-
-def _synthesize_1024():
-    machine = machines.frontier(nodes=128)  # 1024 GPUs
-    comm = Communicator(machine, materialize=False)
-    send = comm.alloc(1 << 20, "sendbuf")
-    recv = comm.alloc(1 << 20, "recvbuf")
-    comm.add_multicast(send, recv, 1 << 20, 0, list(range(machine.world_size)))
-    comm.init(
-        hierarchy=[2] * 7 + [4, 2],
-        library=[Library.MPI] * 7 + [Library.IPC, Library.IPC],
-        stripe=8,
-        pipeline=4,
-    )
-    return comm
+from repro.analysis import check, render
+from repro.analysis.structure import synthesis_records, synthesize_1024
 
 
-def test_synthesis_cost_1024_gpus(benchmark, record_output):
-    comm = benchmark.pedantic(_synthesize_1024, iterations=1, rounds=1)
+def test_synthesis_cost_1024_gpus(benchmark, record_output, output_dir):
+    comm = benchmark.pedantic(synthesize_1024, iterations=1, rounds=1)
     seconds = comm.synthesis_seconds
-    record_output(
-        "synthesis_cost",
-        "Section 7: broadcast synthesis for 1024 GPUs (128 Frontier nodes)\n"
-        f"  ops={len(comm.schedule)}  synthesis={seconds:.2f}s "
-        "(paper: <= 6 s in C++)",
+    records = synthesis_records(comm)
+    record_output("synthesis_cost", render("synthesis_cost", records))
+    (output_dir / "synthesis_cost_timing.txt").write_text(
+        f"synthesis={seconds:.2f}s for {len(comm.schedule)} ops "
+        "(host-dependent; uncommitted sidecar)\n"
     )
+    result = check("synthesis_cost", records)
+    assert result.ok, result.reason
     assert seconds < 30.0  # generous interpreter-tax multiple of the 6 s claim

@@ -6,38 +6,25 @@ utilization ceiling) and verifies the formulas' relationships hold.
 
 from __future__ import annotations
 
-import repro
-from repro import machines
-from repro.model.bounds import achievable_bound, binding_utilization, theoretical_bound
+from repro.analysis import generate, render
 
 
 def test_table3_bounds(benchmark, record_output):
-    def compute():
-        rows = {}
-        for system in machines.PAPER_SYSTEMS:
-            m = machines.by_name(system, nodes=4)
-            rows[system] = {
-                name: (theoretical_bound(m, name), achievable_bound(m, name))
-                for name in repro.FIGURE8_ORDER
-            }
-        return rows
+    records = benchmark(generate, "table3_bounds")
+    record_output("table3_bounds", render("table3_bounds", records))
 
-    rows = benchmark(compute)
-
-    lines = ["Table 3: asymptotic throughput bounds, GB/s (theoretical / achievable)"]
-    for system, vals in rows.items():
-        m = machines.by_name(system, nodes=4)
-        util = binding_utilization(m)
-        lines.append(f"  {system} (k*f={m.node_bandwidth:.0f}, binding util {util:.0%})")
-        for name, (theo, ach) in vals.items():
-            lines.append(f"    {name:16s} {theo:8.1f} / {ach:8.1f}")
-    record_output("table3_bounds", "\n".join(lines))
+    kf = {r["system"]: r["node_bandwidth"]
+          for r in records if r["row"] == "system"}
+    bounds: dict[str, dict[str, tuple]] = {}
+    for r in records:
+        if r["row"] == "bound":
+            bounds.setdefault(r["system"], {})[r["collective"]] = (
+                r["theoretical"], r["achievable"])
 
     # Structural relations of Table 3 on every system.
-    for system, vals in rows.items():
-        kf = machines.by_name(system, nodes=4).node_bandwidth
-        assert vals["broadcast"][0] == kf
-        assert vals["reduce"][0] == kf
+    for system, vals in bounds.items():
+        assert vals["broadcast"][0] == kf[system]
+        assert vals["reduce"][0] == kf[system]
         assert vals["gather"][0] == vals["all_gather"][0]
         assert vals["all_reduce"][0] == vals["all_gather"][0] / 2
         assert vals["all_to_all"][0] < vals["all_reduce"][0]

@@ -1,55 +1,55 @@
 """Workload scenario suite: committed baselines for shared-timeline runs.
 
-Regenerates ``benchmarks/output/workloads_{perlmutter,delta}.txt``.  The
-renders are deterministic functions of (machine, payload) — no clocks, no
-randomness — so regeneration must be byte-identical to the committed files,
-which ``test_committed_baselines_are_current`` enforces.
+Regenerates ``benchmarks/output/workloads_{perlmutter,delta}.txt`` through
+the ``repro.analysis`` registry.  The records are deterministic functions of
+(machine, payload) — no clocks, no randomness — so regeneration must be
+byte-identical to the committed files, which
+``test_committed_baselines_are_current`` enforces via
+``repro.analysis.check`` (render identity and JSON round-trip identity).
 """
 
 from __future__ import annotations
 
-from pathlib import Path
+import pytest
 
-from repro.bench.figures import render_workloads, workload_scenarios_table
-from repro.machine.machines import by_name
-
-#: Per-collective payload of the committed baselines (64 MiB).
-PAYLOAD = 1 << 26
+from repro.analysis import check, generate, render
 
 SYSTEMS = ("perlmutter", "delta")
 
 
-def _render(system: str) -> str:
-    machine = by_name(system, nodes=4)
-    return render_workloads(machine, workload_scenarios_table(machine, PAYLOAD))
+@pytest.fixture(scope="module")
+def records():
+    """Registry records per system (computed once per session)."""
+    return {system: generate(f"workloads_{system}") for system in SYSTEMS}
 
 
-def test_workloads_perlmutter(record_output):
-    text = _render("perlmutter")
+def test_workloads_perlmutter(records, record_output):
+    text = render("workloads_perlmutter", records["perlmutter"])
     record_output("workloads_perlmutter", text)
     assert "fsdp_step" in text and "disjoint_halves" in text
 
 
-def test_workloads_delta(record_output):
-    text = _render("delta")
+def test_workloads_delta(records, record_output):
+    text = render("workloads_delta", records["delta"])
     record_output("workloads_delta", text)
     # Delta's single NIC makes the contention mix pay heavily.
     assert "contention_mix" in text
 
 
-def test_scenario_slowdown_invariants():
-    machine = by_name("perlmutter", nodes=4)
-    results = {r.name: r for r in workload_scenarios_table(machine, PAYLOAD)}
-    assert results["contention_mix"].worst_slowdown > 1.0
-    assert abs(results["disjoint_halves"].worst_slowdown - 1.0) < 1e-9
-    assert results["fsdp_step"].worst_slowdown > 1.0
+def test_scenario_slowdown_invariants(records):
+    slowdowns = {r["scenario"]: r["worst_slowdown"]
+                 for r in records["perlmutter"] if r["row"] == "scenario"}
+    assert slowdowns["contention_mix"] > 1.0
+    assert abs(slowdowns["disjoint_halves"] - 1.0) < 1e-9
+    assert slowdowns["fsdp_step"] > 1.0
 
 
-def test_committed_baselines_are_current(output_dir: Path):
-    """Regeneration is byte-identical to the committed baseline files."""
-    for system in SYSTEMS:
-        committed = (output_dir / f"workloads_{system}.txt").read_text()
-        assert committed == _render(system) + "\n", (
-            f"workloads_{system}.txt is stale; rerun "
-            "`pytest benchmarks/test_workloads.py -q -s` and commit"
-        )
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_committed_baselines_are_current(system, records):
+    """Regeneration is byte-identical to the committed baseline files, and
+    the records survive a JSON round-trip without changing the render."""
+    result = check(f"workloads_{system}", records[system])
+    assert result.ok, (
+        f"{result.reason}; rerun `pytest benchmarks/test_workloads.py -q -s` "
+        "and commit"
+    )

@@ -1,0 +1,41 @@
+"""Registry-driven analysis layer: figures as records + byte-identical text.
+
+``repro.analysis`` maps every committed ``benchmarks/output/*.txt``
+baseline to a :class:`~repro.analysis.registry.Figure`: a generator
+returning structured records (list of JSON-safe dicts) and a renderer that
+is a pure function of those records and reproduces the committed text
+byte-identically.  The ``repro figures`` CLI and the ``figures-check`` CI
+job drive the registry; ``repro trace`` exports Chrome-trace timelines of
+workload simulations (see :mod:`repro.analysis.trace`).
+"""
+
+from . import layers, structure, throughput  # noqa: F401  (populate FIGURES)
+from .registry import (
+    FIGURES,
+    CheckResult,
+    Figure,
+    baseline_dir,
+    baseline_path,
+    check,
+    generate,
+    records_csv,
+    records_json,
+    render,
+)
+from .trace import scenario_trace, validate_trace, workload_trace
+
+__all__ = [
+    "FIGURES",
+    "CheckResult",
+    "Figure",
+    "baseline_dir",
+    "baseline_path",
+    "check",
+    "generate",
+    "records_csv",
+    "records_json",
+    "render",
+    "scenario_trace",
+    "validate_trace",
+    "workload_trace",
+]

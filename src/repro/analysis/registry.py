@@ -1,0 +1,164 @@
+"""The ``FIGURES`` registry: every committed baseline as records + renderer.
+
+Each committed ``benchmarks/output/<name>.txt`` baseline is one
+:class:`Figure`: a ``generate()`` callable producing structured *records*
+(a list of JSON-safe dicts) and a ``render(records)`` callable that is a
+**pure function of the records** and reproduces the committed text
+byte-identically.  Because the renderer sees nothing but the records, the
+text and the JSON/CSV exports of a figure can never disagree — drift in
+one is drift in both, and :func:`check` catches it.
+
+Registered names are exactly the committed file stems (``fig1_volume``,
+``fig8_perlmutter``, ``tuned_delta``, ...).  The benchmark suite under
+``benchmarks/`` regenerates the baselines *through* this registry, and the
+``repro figures`` CLI regenerates/checks any subset from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+Records = "list[dict]"
+
+#: Ordered registry of every committed figure/table baseline.
+FIGURES: "dict[str, Figure]" = {}
+
+
+@dataclass(frozen=True)
+class Figure:
+    """One committed baseline: record generator + pure-record renderer.
+
+    ``generate`` may accept keyword overrides (deeper sweeps, alternate
+    payloads) but its *defaults* must reproduce the committed baseline.
+    ``render`` must consume only the records — no machine objects, no
+    clocks — so that a JSON round-trip of the records re-renders to the
+    same bytes.
+    """
+
+    name: str
+    title: str
+    group: str  # "figure" | "table" | "ablation" | "workload" | "fault" | "planner"
+    generate: Callable[..., list]
+    render: Callable[[list], str]
+
+
+def register(name: str, title: str, group: str,
+             generate: Callable[..., list],
+             render: Callable[[list], str]) -> Figure:
+    """Add one figure to :data:`FIGURES` (names must be unique)."""
+    if name in FIGURES:
+        raise ValueError(f"figure {name!r} registered twice")
+    fig = Figure(name=name, title=title, group=group,
+                 generate=generate, render=render)
+    FIGURES[name] = fig
+    return fig
+
+
+def generate(name: str, **kwargs) -> list:
+    """Generate the records of one registered figure."""
+    return FIGURES[name].generate(**kwargs)
+
+
+def render(name: str, records: list) -> str:
+    """Render one registered figure's records to baseline text."""
+    return FIGURES[name].render(records)
+
+
+def records_json(records: list) -> str:
+    """Records as a deterministic JSON document (trailing newline included)."""
+    return json.dumps(records, indent=2, sort_keys=True) + "\n"
+
+
+def records_csv(records: list) -> str:
+    """Records as CSV: union-of-keys header, nested values JSON-encoded.
+
+    Scalars are written verbatim; lists/dicts/bools/None are JSON-encoded so
+    every cell parses back unambiguously.  Key order is first-seen across
+    the record list, which is deterministic because generators emit records
+    in a fixed order.
+    """
+    import csv
+    import io
+
+    fields: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in fields:
+                fields.append(key)
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(fields)
+    for record in records:
+        row = []
+        for key in fields:
+            value = record.get(key)
+            if isinstance(value, bool) or value is None or \
+                    isinstance(value, (list, dict)):
+                row.append(json.dumps(value))
+            else:
+                row.append(value)
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def baseline_dir() -> Path:
+    """The committed baseline directory (``benchmarks/output``).
+
+    Honors ``REPRO_BASELINE_DIR``; otherwise walks up from this file to the
+    repository root (the directory containing ``benchmarks/output``),
+    falling back to the current working directory.
+    """
+    env = os.environ.get("REPRO_BASELINE_DIR")
+    if env:
+        return Path(env)
+    for parent in Path(__file__).resolve().parents:
+        candidate = parent / "benchmarks" / "output"
+        if candidate.is_dir():
+            return candidate
+    return Path.cwd() / "benchmarks" / "output"
+
+
+def baseline_path(name: str) -> Path:
+    """Path of the committed ``.txt`` baseline for ``name``."""
+    return baseline_dir() / f"{name}.txt"
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of checking one figure against its committed baseline."""
+
+    name: str
+    ok: bool
+    reason: str = ""
+
+
+def check(name: str, records: list | None = None) -> CheckResult:
+    """Verify one figure regenerates its committed baseline byte-identically.
+
+    Two properties are enforced: the rendered records match the committed
+    ``.txt`` (plus trailing newline) exactly, and a JSON round-trip of the
+    records re-renders to the same bytes (the text/JSON coherence the
+    registry exists to guarantee).
+    """
+    fig = FIGURES[name]
+    if records is None:
+        records = fig.generate()
+    text = fig.render(records) + "\n"
+    roundtrip = fig.render(json.loads(json.dumps(records))) + "\n"
+    if roundtrip != text:
+        return CheckResult(name, False,
+                           "JSON round-trip of records changed the rendering")
+    path = baseline_path(name)
+    if not path.exists():
+        return CheckResult(name, False, f"committed baseline missing: {path}")
+    committed = path.read_text()
+    if committed != text:
+        return CheckResult(
+            name, False,
+            f"rendered output drifted from committed {path.name} "
+            f"({len(text)} vs {len(committed)} bytes)")
+    return CheckResult(name, True)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 
 def _parse_size(text: str) -> int:
@@ -629,6 +630,96 @@ def cmd_gantt(args) -> int:
     return 0
 
 
+def cmd_figures(args) -> int:
+    """Regenerate, export, or drift-check registered figure baselines."""
+    import json as _json
+
+    from . import analysis
+
+    if args.list:
+        width = max(len(name) for name in analysis.FIGURES)
+        for name, fig in analysis.FIGURES.items():
+            print(f"{name:{width}s}  [{fig.group}] {fig.title}")
+        return 0
+    names = args.names or list(analysis.FIGURES)
+    unknown = [n for n in names if n not in analysis.FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)} "
+              "(see `repro figures --list`)", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out_dir) if args.out_dir else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    failures = []
+    exports = {}
+    for name in names:
+        records = analysis.generate(name)
+        if args.check:
+            result = analysis.check(name, records)
+            status = "ok" if result.ok else f"DRIFT ({result.reason})"
+            print(f"{name}: {status}")
+            if not result.ok:
+                failures.append(name)
+            continue
+        text = analysis.render(name, records)
+        if out_dir:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+            if args.json:
+                (out_dir / f"{name}.json").write_text(
+                    analysis.records_json(records))
+            if args.csv:
+                (out_dir / f"{name}.csv").write_text(
+                    analysis.records_csv(records))
+            print(f"{name}: wrote {out_dir / name}.txt")
+        elif args.json:
+            exports[name] = records
+        elif args.csv:
+            print(f"# figure: {name}")
+            print(analysis.records_csv(records), end="")
+        else:
+            print(text)
+    if args.json and not out_dir and not args.check:
+        doc = exports[names[0]] if len(names) == 1 else exports
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    if failures:
+        print(f"{len(failures)} figure(s) drifted: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Export a workload scenario's timelines as a Chrome trace JSON."""
+    import json as _json
+
+    from .analysis import scenario_trace, validate_trace
+    from .workloads.scenarios import SCENARIOS
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; one of: "
+              f"{', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+        return 2
+    machine = _machine(args)
+    trace = scenario_trace(args.scenario, machine,
+                           _parse_size(args.payload), engine=args.engine)
+    problems = validate_trace(trace)
+    if problems:  # pragma: no cover - defensive; the export is validated
+        print("trace failed schema validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    out = Path(args.out)
+    with out.open("w") as fh:
+        _json.dump(trace, fh)
+        fh.write("\n")
+    n = len(trace["traceEvents"])
+    print(f"wrote {out} ({n} events, makespan "
+          f"{trace['otherData']['makespan_seconds'] * 1e3:.3f} ms, "
+          f"engine {trace['otherData']['engine']}); view in "
+          "chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -852,6 +943,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pipeline", type=int, default=0)
     p.add_argument("--width", type=int, default=72)
     p.set_defaults(fn=cmd_gantt)
+
+    p = sub.add_parser(
+        "figures",
+        help="regenerate/check the committed figure baselines (registry)")
+    p.add_argument("names", nargs="*",
+                   help="figure names (default: the whole registry)")
+    p.add_argument("--list", action="store_true",
+                   help="list registered figures and exit")
+    p.add_argument("--check", action="store_true",
+                   help="fail on drift vs the committed baselines")
+    p.add_argument("--json", action="store_true",
+                   help="emit structured records as JSON")
+    p.add_argument("--csv", action="store_true",
+                   help="emit structured records as CSV")
+    p.add_argument("--out-dir", default=None,
+                   help="write <name>.txt (and .json/.csv) under this dir "
+                        "instead of printing")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser(
+        "trace",
+        help="export a workload scenario as a Chrome trace (chrome://tracing)")
+    p.add_argument("scenario", help="registered scenario, e.g. fsdp_step")
+    p.add_argument("--system", default="perlmutter",
+                   help="delta|perlmutter|frontier|aurora")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--payload", default="64M",
+                   help="per-collective payload, e.g. 64M")
+    p.add_argument("--engine", choices=("auto", "event", "level"),
+                   default="auto")
+    p.add_argument("--out", default="trace.json",
+                   help="output path (default trace.json)")
+    p.set_defaults(fn=cmd_trace)
 
     return parser
 

@@ -1,0 +1,102 @@
+"""Chrome-trace export: schema invariants and validator behavior."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.trace import (
+    JOBS_PID,
+    RESOURCES_PID,
+    scenario_trace,
+    validate_trace,
+)
+from repro.machine.machines import by_name
+
+
+@pytest.fixture(scope="module")
+def trace():
+    """One cheap scenario trace (small payload, two nodes)."""
+    machine = by_name("perlmutter", nodes=2)
+    return scenario_trace("disjoint_halves", machine, payload_bytes=1 << 18)
+
+
+def test_trace_validates(trace):
+    assert validate_trace(trace) == []
+
+
+def test_trace_is_json_serializable(trace):
+    rebuilt = json.loads(json.dumps(trace))
+    assert validate_trace(rebuilt) == []
+
+
+def test_trace_document_shape(trace):
+    assert trace["displayTimeUnit"] == "ms"
+    other = trace["otherData"]
+    assert other["workload"] == "disjoint_halves"
+    assert other["engine"] in ("event", "level")
+    assert other["makespan_seconds"] > 0.0
+
+
+def test_trace_has_both_processes_with_metadata(trace):
+    events = trace["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    pids = {e["pid"] for e in meta if e["name"] == "process_name"}
+    assert pids == {JOBS_PID, RESOURCES_PID}
+    # Every non-metadata track is named by a thread_name metadata event.
+    named = {(e["pid"], e["tid"]) for e in meta if e["name"] == "thread_name"}
+    used = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
+    assert used <= named
+
+
+def test_job_ops_are_duration_events_on_job_tracks(trace):
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert xs
+    assert all(e["pid"] == JOBS_PID for e in xs)
+    assert all(e["dur"] >= 0.0 for e in xs)
+    # The workload timeline ends at the makespan (in microseconds).
+    end = max(e["ts"] + e["dur"] for e in xs)
+    assert end == pytest.approx(
+        trace["otherData"]["makespan_seconds"] * 1e6, rel=1e-9)
+
+
+def test_resource_bookings_pair_up(trace):
+    events = [e for e in trace["traceEvents"]
+              if e["ph"] in ("B", "E") and e["pid"] == RESOURCES_PID]
+    assert events
+    begins = sum(1 for e in events if e["ph"] == "B")
+    ends = sum(1 for e in events if e["ph"] == "E")
+    assert begins == ends
+
+
+def test_validator_flags_backwards_timestamps():
+    bad = {"traceEvents": [
+        {"ph": "X", "pid": 0, "tid": 0, "ts": 10.0, "dur": 1.0, "name": "a"},
+        {"ph": "X", "pid": 0, "tid": 0, "ts": 5.0, "dur": 1.0, "name": "b"},
+    ]}
+    assert any("backwards" in p for p in validate_trace(bad))
+
+
+def test_validator_flags_mismatched_pairs():
+    bad = {"traceEvents": [
+        {"ph": "B", "pid": 1, "tid": 0, "ts": 0.0, "name": "a"},
+        {"ph": "E", "pid": 1, "tid": 0, "ts": 1.0, "name": "b"},
+    ]}
+    assert any("closes" in p for p in validate_trace(bad))
+
+
+def test_validator_flags_unclosed_begin():
+    bad = {"traceEvents": [
+        {"ph": "B", "pid": 1, "tid": 0, "ts": 0.0, "name": "a"},
+    ]}
+    assert any("unclosed" in p for p in validate_trace(bad))
+
+
+def test_validator_flags_negative_duration_and_empty_trace():
+    bad = {"traceEvents": [
+        {"ph": "X", "pid": 0, "tid": 0, "ts": 0.0, "dur": -1.0, "name": "a"},
+    ]}
+    assert any("dur" in p for p in validate_trace(bad))
+    assert validate_trace({"traceEvents": []})
+    assert validate_trace({})

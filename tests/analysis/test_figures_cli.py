@@ -1,0 +1,80 @@
+"""CLI surface for ``repro figures`` and ``repro trace``.
+
+Only the cheap structural figures run here so the suite stays in the
+smoke tier; a bare ``repro figures --check`` (all thirty baselines) is
+exercised by the ``figures-check`` CI job instead.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import FIGURES, baseline_path, validate_trace
+from repro.cli import main
+
+
+def test_figures_list_names_every_figure(capsys):
+    assert main(["figures", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in FIGURES:
+        assert name in out
+
+
+def test_figures_prints_committed_text(capsys):
+    assert main(["figures", "fig6_stages"]) == 0
+    out = capsys.readouterr().out
+    committed = baseline_path("fig6_stages").read_text()
+    assert out == committed
+
+
+def test_figures_check_passes_on_clean_tree(capsys):
+    assert main(["figures", "fig6_stages", "fig1_volume", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6_stages: ok" in out
+    assert "fig1_volume: ok" in out
+
+
+def test_figures_json_export_is_parseable(capsys):
+    assert main(["figures", "fig6_stages", "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert isinstance(records, list)
+    assert all(isinstance(r, dict) for r in records)
+
+
+def test_figures_csv_export_has_header(capsys):
+    assert main(["figures", "fig6_stages", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert "# figure: fig6_stages" in out
+    assert "stages" in out.splitlines()[1]
+
+
+def test_figures_out_dir_writes_all_formats(tmp_path, capsys):
+    assert main(["figures", "fig6_stages", "--json", "--csv",
+                 "--out-dir", str(tmp_path)]) == 0
+    txt = tmp_path / "fig6_stages.txt"
+    assert txt.read_text() == baseline_path("fig6_stages").read_text()
+    records = json.loads((tmp_path / "fig6_stages.json").read_text())
+    assert records
+    assert (tmp_path / "fig6_stages.csv").read_text().strip()
+
+
+def test_figures_unknown_name_exits_2(capsys):
+    assert main(["figures", "fig99_imaginary"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "disjoint_halves", "--nodes", "2",
+                 "--payload", "256K", "--out", str(out)]) == 0
+    msg = capsys.readouterr().out
+    assert "wrote" in msg and "perfetto" in msg
+    trace = json.loads(out.read_text())
+    assert validate_trace(trace) == []
+    assert trace["otherData"]["workload"] == "disjoint_halves"
+
+
+def test_trace_unknown_scenario_exits_2(tmp_path, capsys):
+    assert main(["trace", "no_such_scenario",
+                 "--out", str(tmp_path / "t.json")]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

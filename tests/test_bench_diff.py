@@ -1,0 +1,211 @@
+"""Unit tests for the consolidated benchmark-diff tool (tools/bench_diff.py).
+
+Synthetic reference/run payloads exercise every rule the CI ``bench-diff``
+matrix job relies on: exact-match keys fail on any change, wall-clock keys
+fail only past the 20% one-sided threshold, and the warm-cache factor rule
+fails only on order-of-magnitude regressions.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_PATH = Path(__file__).resolve().parent.parent / "tools" / "bench_diff.py"
+_spec = importlib.util.spec_from_file_location("bench_diff", _PATH)
+bench_diff = importlib.util.module_from_spec(_spec)
+sys.modules[_spec.name] = bench_diff
+_spec.loader.exec_module(bench_diff)
+
+
+LOWERING_REF = {
+    "workload": "fig8-frontier",
+    "ops": 71234,
+    "schedule_mbytes": 12.5,
+    "cold_lower_seconds": 10.0,
+    "cold_simulate_seconds": 5.0,
+    "cold_total_seconds": 15.0,
+    "reference_unreplicated_total_seconds": 60.0,
+    "speedup_vs_unreplicated": 4.0,
+    "warm_total_seconds": 0.001,
+}
+
+SIMULATOR_REF = {
+    "event_seconds": 8.0,
+    "level_seconds": 1.0,
+    "speedup": 8.0,
+    "makespan_seconds": 0.125,
+}
+
+FAULTS_REF = {
+    "replan": {
+        "healthy_seconds": 0.010,
+        "replay_seconds": 0.014,
+        "replanned_seconds": 0.012,
+        "replan_wall_seconds": 2.0,
+    },
+    "elastic_shrink": {
+        "healthy_seconds": 0.010,
+        "shrunk_seconds": 0.011,
+        "replan_wall_seconds": 1.0,
+    },
+}
+
+PLANSERVICE_REF = {
+    "outcomes": {
+        "seed": 2025,
+        "plans": {"delta/all_gather@16M": {"winner": [3, 4],
+                                           "plan_seconds": 0.009}},
+    },
+    "warm_start": {
+        "pairs": [{"system": "delta", "cold_winner": "a", "warm_winner": "a",
+                   "cold_plan_seconds": 0.01, "warm_plan_seconds": 0.002,
+                   "warm_wall_seconds": 0.5}],
+    },
+    "warm_hits": {"hit_p50_seconds": 0.001},
+    "throughput": {"runs": [{"clients": 1, "requests_per_second": 100.0},
+                            {"clients": 8, "requests_per_second": 420.0}]},
+}
+
+
+def _run(bench, ref, new):
+    return bench_diff.run_diff(bench, ref, new)
+
+
+# ------------------------------------------------------------------ lowering
+def test_lowering_identical_run_passes():
+    assert _run("lowering", LOWERING_REF, copy.deepcopy(LOWERING_REF)) == []
+
+
+def test_lowering_exact_keys_fail_on_any_change():
+    new = copy.deepcopy(LOWERING_REF)
+    new["ops"] += 1
+    failures = _run("lowering", LOWERING_REF, new)
+    assert any("ops" in f for f in failures)
+
+
+def test_lowering_wall_clock_tolerates_small_drift():
+    new = copy.deepcopy(LOWERING_REF)
+    new["cold_total_seconds"] *= 1.15  # within the 20% budget
+    assert _run("lowering", LOWERING_REF, new) == []
+
+
+def test_lowering_wall_clock_fails_past_threshold():
+    new = copy.deepcopy(LOWERING_REF)
+    new["cold_total_seconds"] *= 1.30
+    failures = _run("lowering", LOWERING_REF, new)
+    assert any("cold_total_seconds" in f for f in failures)
+
+
+def test_lowering_speedup_drift_is_one_sided():
+    faster = copy.deepcopy(LOWERING_REF)
+    faster["speedup_vs_unreplicated"] *= 2.0  # better: never fails
+    assert _run("lowering", LOWERING_REF, faster) == []
+    slower = copy.deepcopy(LOWERING_REF)
+    slower["speedup_vs_unreplicated"] *= 0.5
+    assert _run("lowering", LOWERING_REF, slower) != []
+
+
+def test_lowering_warm_rule_uses_factor_not_percent():
+    noisy = copy.deepcopy(LOWERING_REF)
+    noisy["warm_total_seconds"] *= 5.0  # timer noise: passes
+    assert _run("lowering", LOWERING_REF, noisy) == []
+    regressed = copy.deepcopy(LOWERING_REF)
+    regressed["warm_total_seconds"] *= 20.0  # cache regression: fails
+    assert _run("lowering", LOWERING_REF, regressed) != []
+
+
+# ----------------------------------------------------------------- simulator
+def test_simulator_makespan_must_not_move():
+    new = copy.deepcopy(SIMULATOR_REF)
+    new["makespan_seconds"] += 1e-9
+    failures = _run("simulator", SIMULATOR_REF, new)
+    assert any("makespan" in f for f in failures)
+
+
+def test_simulator_speedup_fails_only_when_lower():
+    better = copy.deepcopy(SIMULATOR_REF)
+    better["speedup"] = 16.0
+    assert _run("simulator", SIMULATOR_REF, better) == []
+    worse = copy.deepcopy(SIMULATOR_REF)
+    worse["speedup"] = 5.0
+    assert "speedup" in _run("simulator", SIMULATOR_REF, worse)
+
+
+# -------------------------------------------------------------------- faults
+def test_faults_simulated_times_are_exact():
+    new = copy.deepcopy(FAULTS_REF)
+    new["replan"]["replay_seconds"] *= 1.0001
+    failures = _run("faults", FAULTS_REF, new)
+    assert any("replay_seconds" in f for f in failures)
+
+
+def test_faults_wall_seconds_keys_are_exempt_from_exact_match():
+    new = copy.deepcopy(FAULTS_REF)
+    new["replan"]["replan_wall_seconds"] *= 1.15
+    new["elastic_shrink"]["replan_wall_seconds"] *= 0.5  # faster is fine
+    assert _run("faults", FAULTS_REF, new) == []
+
+
+def test_faults_replan_wall_drift_fails_past_threshold():
+    new = copy.deepcopy(FAULTS_REF)
+    new["elastic_shrink"]["replan_wall_seconds"] *= 1.5
+    failures = _run("faults", FAULTS_REF, new)
+    assert any("elastic_shrink.replan_wall_seconds" in f for f in failures)
+
+
+# --------------------------------------------------------------- planservice
+def test_planservice_identical_run_passes():
+    assert _run("planservice", PLANSERVICE_REF,
+                copy.deepcopy(PLANSERVICE_REF)) == []
+
+
+def test_planservice_outcome_change_fails():
+    new = copy.deepcopy(PLANSERVICE_REF)
+    new["outcomes"]["plans"]["delta/all_gather@16M"]["winner"] = [4, 3]
+    failures = _run("planservice", PLANSERVICE_REF, new)
+    assert any("outcomes[plans]" in f for f in failures)
+
+
+def test_planservice_warm_start_winner_is_exact_but_wall_is_free():
+    new = copy.deepcopy(PLANSERVICE_REF)
+    new["warm_start"]["pairs"][0]["warm_wall_seconds"] = 99.0  # not diffed
+    assert _run("planservice", PLANSERVICE_REF, new) == []
+    new["warm_start"]["pairs"][0]["warm_winner"] = "b"
+    failures = _run("planservice", PLANSERVICE_REF, new)
+    assert any("warm_winner" in f for f in failures)
+
+
+def test_planservice_throughput_drift_is_one_sided():
+    new = copy.deepcopy(PLANSERVICE_REF)
+    new["throughput"]["runs"][1]["requests_per_second"] = 300.0  # -29%
+    failures = _run("planservice", PLANSERVICE_REF, new)
+    assert any("8-client" in f for f in failures)
+    faster = copy.deepcopy(PLANSERVICE_REF)
+    faster["throughput"]["runs"][1]["requests_per_second"] = 900.0
+    assert _run("planservice", PLANSERVICE_REF, faster) == []
+
+
+# ----------------------------------------------------------------------- CLI
+def test_cli_roundtrip(tmp_path, capsys):
+    ref = tmp_path / "ref.json"
+    new = tmp_path / "new.json"
+    ref.write_text(json.dumps(SIMULATOR_REF))
+    new.write_text(json.dumps(SIMULATOR_REF))
+    assert bench_diff.main(["simulator", "--ref", str(ref),
+                            "--new", str(new)]) == 0
+    regressed = dict(SIMULATOR_REF, speedup=1.0)
+    new.write_text(json.dumps(regressed))
+    assert bench_diff.main(["simulator", "--ref", str(ref),
+                            "--new", str(new)]) == 1
+    assert "regressed" in capsys.readouterr().err
+
+
+def test_every_ci_matrix_bench_has_a_rule():
+    assert sorted(bench_diff.DIFFS) == ["faults", "lowering", "planservice",
+                                        "simulator"]

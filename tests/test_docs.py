@@ -148,6 +148,24 @@ def test_readme_serving_plans_quickstart_runs():
     assert len(stats["cache"]["shards"]) >= 1
 
 
+def test_readme_figures_quickstart_runs():
+    """The README "Figures and traces" snippet executes as written."""
+    readme = CHECKER.parent.parent / "README.md"
+    section = readme.read_text().split("## Figures and traces")[1]
+    section = section.split("\n## ")[0]
+    blocks = re.findall(r"```python\n(.*?)```", section, re.S)
+    assert blocks, "figures python block missing"
+    namespace: dict = {}
+    exec(compile(blocks[0], str(readme), "exec"), namespace)  # noqa: S102
+    records = namespace["records"]
+    assert records and all(isinstance(r, dict) for r in records)
+    assert namespace["text"].startswith("Figure 6")
+    assert namespace["export"].endswith("\n")
+    assert namespace["result"].ok, namespace["result"].reason
+    assert namespace["problems"] == []
+    assert namespace["trace"]["otherData"]["workload"] == "disjoint_halves"
+
+
 def test_readme_planner_quickstart_runs():
     """The README "Tuning the optimization parameters" snippet executes."""
     readme = CHECKER.parent.parent / "README.md"

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Diff a benchmark run against its committed reference.
+
+One entry point for the four benchmark-diff CI legs (see
+.github/workflows/ci.yml's ``bench-diff`` matrix job)::
+
+    python tools/bench_diff.py lowering     # BENCH_lowering.json vs .ci.json
+    python tools/bench_diff.py simulator --ref a.json --new b.json
+
+Each benchmark keeps its own rules, mirroring what the model guarantees:
+
+* **deterministic model outputs** (op counts, schedule bytes, simulated
+  times, plan winners) must match the committed reference *exactly* — any
+  change fails;
+* **host-dependent wall-clock and throughput figures** tolerate
+  ``THRESHOLD`` (20%) one-sided drift — only the "worse" direction fails
+  (slower lowering, lower speedup/throughput);
+* **sub-millisecond warm timings** are all timer noise at percent scale, so
+  only an order-of-magnitude regression (warm approaching cold) fails.
+
+Exit status 1 with a summary when anything regressed, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Tolerated one-sided drift for host-dependent (wall-clock) figures.
+THRESHOLD = 0.20
+
+#: ``warm_total_seconds`` fails only when worse than this multiple of the
+#: reference (a cache regression makes warm look like cold).
+WARM_FACTOR = 10.0
+
+
+def drift(ref: float, new: float, worse_when: str) -> float:
+    """Signed fractional drift of ``new`` vs ``ref``; positive is worse."""
+    if worse_when == "higher":
+        return (new - ref) / ref
+    return (ref - new) / ref
+
+
+def diff_lowering(ref: dict, new: dict) -> list:
+    """Lowering bench: exact schedule shape, 20% wall drift, warm factor."""
+    failures = []
+    for key in ("workload", "ops", "schedule_mbytes"):
+        if new[key] != ref[key]:
+            failures.append(f"{key}: committed {ref[key]!r} vs run {new[key]!r}")
+    for key, worse_when in (
+        ("cold_lower_seconds", "higher"),
+        ("cold_simulate_seconds", "higher"),
+        ("cold_total_seconds", "higher"),
+        ("reference_unreplicated_total_seconds", "higher"),
+        ("speedup_vs_unreplicated", "lower"),
+    ):
+        r, n = ref[key], new[key]
+        d = drift(r, n, worse_when)
+        print(f"{key}: committed {r} vs run {n} ({d:+.1%} worse)")
+        if d > THRESHOLD:
+            failures.append(f"{key} drifted {d:+.1%}")
+    # Warm hits are sub-millisecond, so percent drift is all timer noise;
+    # only a cache regression (warm ~ cold) should fail.
+    r, n = ref["warm_total_seconds"], new["warm_total_seconds"]
+    print(f"warm_total_seconds: committed {r} vs run {n}")
+    if n > WARM_FACTOR * r:
+        failures.append(f"warm_total_seconds {n} > 10x committed {r}")
+    return failures
+
+
+def diff_simulator(ref: dict, new: dict) -> list:
+    """Simulator bench: 20% wall drift, exact simulated makespan."""
+    failures = []
+    for key, worse_when in (("event_seconds", "higher"),
+                            ("level_seconds", "higher"),
+                            ("speedup", "lower")):
+        r, n = ref[key], new[key]
+        d = drift(r, n, worse_when)
+        print(f"{key}: committed {r} vs run {n} ({d:+.1%} worse)")
+        if d > THRESHOLD:
+            failures.append(key)
+    if new["makespan_seconds"] != ref["makespan_seconds"]:
+        failures.append("makespan_seconds (simulated time must not move)")
+    return failures
+
+
+def diff_faults(ref: dict, new: dict) -> list:
+    """Fault bench: exact simulated times, 20% re-plan wall drift."""
+    failures = []
+    # Simulated times are deterministic model outputs: any change to the
+    # committed degraded-scenario numbers fails the job.
+    for section in ("replan", "elastic_shrink"):
+        for key, r in ref[section].items():
+            if key.endswith("wall_seconds"):
+                continue
+            n = new[section][key]
+            if n != r:
+                failures.append(f"{section}.{key}: committed {r} vs run {n}")
+    # Re-plan wall latency is host-dependent: tolerate 20% drift.
+    for section in ("replan", "elastic_shrink"):
+        r = ref[section]["replan_wall_seconds"]
+        n = new[section]["replan_wall_seconds"]
+        d = drift(r, n, "higher")
+        print(f"{section}.replan_wall_seconds: committed {r} vs "
+              f"run {n} ({d:+.1%})")
+        if d > THRESHOLD:
+            failures.append(f"{section}.replan_wall_seconds drifted {d:+.1%}")
+    return failures
+
+
+def diff_planservice(ref: dict, new: dict) -> list:
+    """Plan-service bench: exact winners, 20% latency/throughput drift."""
+    failures = []
+    # Plan outcomes are deterministic model outputs: the winning candidate
+    # and its simulated time must match the committed reference for every
+    # request key in the seeded stream.
+    for label, entry in ref["outcomes"].items():
+        got = new["outcomes"].get(label)
+        if got != entry:
+            failures.append(f"outcomes[{label}]: committed {entry!r} vs {got!r}")
+    for pair_ref, pair_new in zip(ref["warm_start"]["pairs"],
+                                  new["warm_start"]["pairs"]):
+        for key in ("cold_winner", "warm_winner",
+                    "cold_plan_seconds", "warm_plan_seconds"):
+            if pair_new[key] != pair_ref[key]:
+                failures.append(
+                    f"warm_start {pair_ref['system']} {key}: "
+                    f"committed {pair_ref[key]!r} vs {pair_new[key]!r}")
+    # Wall-clock and throughput figures are host-dependent: tolerate 20%
+    # one-sided drift (slower hits, lower throughput fail).
+    r = ref["warm_hits"]["hit_p50_seconds"]
+    n = new["warm_hits"]["hit_p50_seconds"]
+    print(f"hit_p50_seconds: committed {r} vs run {n}")
+    if (n - r) / r > THRESHOLD:
+        failures.append(f"hit_p50_seconds drifted {(n - r) / r:+.1%}")
+    for run_ref, run_new in zip(ref["throughput"]["runs"],
+                                new["throughput"]["runs"]):
+        r = run_ref["requests_per_second"]
+        n = run_new["requests_per_second"]
+        d = drift(r, n, "lower")
+        print(f"{run_ref['clients']}-client rps: committed {r} vs "
+              f"run {n} ({d:+.1%} worse)")
+        if d > THRESHOLD:
+            failures.append(
+                f"{run_ref['clients']}-client throughput drifted {d:+.1%}")
+    return failures
+
+
+#: Benchmark name -> diff rule.  Matrix entries in ci.yml key into this.
+DIFFS = {
+    "lowering": diff_lowering,
+    "simulator": diff_simulator,
+    "faults": diff_faults,
+    "planservice": diff_planservice,
+}
+
+
+def run_diff(bench: str, ref: dict, new: dict) -> list:
+    """Apply one benchmark's rules; returns the list of failure strings."""
+    return DIFFS[bench](ref, new)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff a benchmark run against its committed reference")
+    parser.add_argument("bench", choices=sorted(DIFFS))
+    parser.add_argument("--ref", type=Path, default=None,
+                        help="committed reference (default BENCH_<bench>.json)")
+    parser.add_argument("--new", dest="new_path", type=Path, default=None,
+                        help="fresh run (default BENCH_<bench>.ci.json)")
+    args = parser.parse_args(argv)
+    ref_path = args.ref or Path(f"BENCH_{args.bench}.json")
+    new_path = args.new_path or Path(f"BENCH_{args.bench}.ci.json")
+    ref = json.loads(ref_path.read_text())
+    new = json.loads(new_path.read_text())
+    failures = run_diff(args.bench, ref, new)
+    if failures:
+        print("regressed vs committed reference:\n  " + "\n  ".join(failures),
+              file=sys.stderr)
+        return 1
+    print(f"{args.bench}: no regression vs {ref_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,12 @@ job drive the registry; ``repro trace`` exports Chrome-trace timelines of
 workload simulations (see :mod:`repro.analysis.trace`).
 """
 
-from . import layers, structure, throughput  # noqa: F401  (populate FIGURES)
+from . import (  # noqa: F401  (populate FIGURES)
+    layers,
+    serving,
+    structure,
+    throughput,
+)
 from .registry import (
     FIGURES,
     CheckResult,
@@ -22,12 +27,13 @@ from .registry import (
     records_json,
     render,
 )
-from .trace import scenario_trace, validate_trace, workload_trace
+from .trace import arrival_trace, scenario_trace, validate_trace, workload_trace
 
 __all__ = [
     "FIGURES",
     "CheckResult",
     "Figure",
+    "arrival_trace",
     "baseline_dir",
     "baseline_path",
     "check",

@@ -1,0 +1,88 @@
+"""Serving figures: latency-percentile baselines of the request driver.
+
+One figure per committed machine model, each driving every applicable
+serving scenario (:data:`repro.serving.SERVING_SCENARIOS`) through the
+streaming replay engine with its registry-default arrival rate and a fixed
+seed.  Replay results are bit-identical to the exact event engine whether
+or not any individual arrival fell back, so the records — and the rendered
+baseline text — are pure functions of the seeded inputs and regenerate
+byte-identically on any host.
+"""
+
+from __future__ import annotations
+
+from .registry import register
+
+#: Arrivals per committed baseline trace (big enough for a stable p99
+#: position, small enough to regenerate in seconds).
+ARRIVALS = 300
+
+#: Seed of the committed baseline traces.
+SEED = 0
+
+
+def gen_serving(system: str) -> list:
+    """Records of one serving-scenario latency sweep on ``system``."""
+    from ..machine.machines import by_name
+    from ..serving import (
+        DEFAULT_PAYLOAD_BYTES,
+        SERVING_SCENARIOS,
+        applicable_serving_scenarios,
+        run_serving_scenario,
+    )
+
+    machine = by_name(system, nodes=4)
+    records = [{"row": "meta", "system": system,
+                "machine": machine.describe(), "arrivals": ARRIVALS,
+                "seed": SEED, "payload_bytes": DEFAULT_PAYLOAD_BYTES}]
+    for name in applicable_serving_scenarios(machine):
+        result = run_serving_scenario(name, machine, arrivals=ARRIVALS,
+                                      seed=SEED)
+        records.append({
+            "row": "scenario", "scenario": name,
+            "rate": SERVING_SCENARIOS[name].default_rate,
+            "arrivals": result.arrivals,
+        })
+        for summary in (*result.classes, result.overall):
+            records.append({
+                "row": "class", "scenario": name, "klass": summary.name,
+                "count": summary.count, "p50": summary.p50,
+                "p90": summary.p90, "p99": summary.p99,
+                "mean": summary.mean, "worst": summary.worst,
+            })
+    return records
+
+
+def render_serving(records: list) -> str:
+    """Serving baseline text from records."""
+    meta = next(r for r in records if r["row"] == "meta")
+    lines = [
+        f"Serving latency percentiles ({meta['system']}): seeded Poisson "
+        f"arrivals over the streaming replay engine ({meta['machine']})",
+        f"  {meta['arrivals']} arrivals per scenario, seed {meta['seed']}, "
+        f"anchor payload {meta['payload_bytes'] >> 10} KiB",
+    ]
+    for scenario in (r for r in records if r["row"] == "scenario"):
+        name = scenario["scenario"]
+        lines.append("")
+        lines.append(
+            f"serving {name}: {scenario['arrivals']} arrivals at "
+            f"{scenario['rate']:.0f}/s")
+        lines.append(
+            f"  {'class':12s} {'n':>5s} {'p50 us':>9s} {'p90 us':>9s} "
+            f"{'p99 us':>9s} {'mean us':>9s} {'worst us':>9s}")
+        for row in (r for r in records
+                    if r["row"] == "class" and r["scenario"] == name):
+            lines.append(
+                f"  {row['klass']:12s} {row['count']:5d} "
+                f"{row['p50'] * 1e6:9.3f} {row['p90'] * 1e6:9.3f} "
+                f"{row['p99'] * 1e6:9.3f} {row['mean'] * 1e6:9.3f} "
+                f"{row['worst'] * 1e6:9.3f}")
+    return "\n".join(lines)
+
+
+for _system in ("delta", "perlmutter"):
+    register(f"serving_{_system}",
+             f"Serving latency percentiles on {_system}", "serving",
+             (lambda system=_system, **kw: gen_serving(system, **kw)),
+             render_serving)

@@ -144,6 +144,58 @@ def scenario_trace(name: str, machine, payload_bytes: int | None = None,
     return workload_trace(workload, engine=engine)
 
 
+def arrival_trace(name: str, machine, *, arrivals: int = 256,
+                  rate: float | None = None, seed: int = 0,
+                  payload_bytes: int | None = None) -> dict:
+    """Chrome trace of one serving scenario's request stream.
+
+    One *requests* process with a thread per request class; each served
+    request is a complete ``"X"`` event spanning arrival to finish on the
+    shared simulated timeline.  Driven through the streaming replay engine
+    (:func:`repro.serving.run_serving_scenario`), whose latencies are
+    bit-identical to the exact event engine — so the export is
+    deterministic for fixed ``(seed, rate, arrivals)``.
+    """
+    from ..serving import run_serving_scenario
+    from ..serving.scenarios import DEFAULT_PAYLOAD_BYTES
+
+    if payload_bytes is None:
+        payload_bytes = DEFAULT_PAYLOAD_BYTES
+    result = run_serving_scenario(
+        name, machine, arrivals=arrivals, rate=rate, seed=seed,
+        payload_bytes=payload_bytes)
+    class_tids = {s.name: tid for tid, s in enumerate(result.classes)}
+    meta = [
+        {"ph": "M", "pid": JOBS_PID, "name": "process_name",
+         "args": {"name": f"requests: {name}"}},
+    ]
+    for klass, tid in class_tids.items():
+        meta.append({"ph": "M", "pid": JOBS_PID, "tid": tid,
+                     "name": "thread_name", "args": {"name": klass}})
+    events = []
+    for request in result.requests_detail:
+        events.append({
+            "ph": "X", "pid": JOBS_PID, "tid": class_tids[request["class"]],
+            "ts": request["arrival"] * 1e6,
+            "dur": request["latency"] * 1e6,
+            "name": f"{request['class']}#{request['index']}",
+            "args": {"index": request["index"],
+                     "engine": request["engine"]},
+        })
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "scenario": name,
+            "machine": machine.describe(),
+            "arrivals": result.arrivals,
+            "p50_seconds": result.overall.p50,
+            "p99_seconds": result.overall.p99,
+        },
+    }
+
+
 def validate_trace(trace: dict) -> list:
     """Schema check: per-track monotonic ``ts`` and matched ``B``/``E`` pairs.
 

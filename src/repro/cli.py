@@ -19,6 +19,9 @@ Entry point: ``python -m repro <command>``::
     python -m repro faults all_reduce --system delta --seed 7   # replan
     python -m repro faults all_reduce --down-nic 1:0 --straggler 5:0.5
     python -m repro faults all_reduce --shrink 1    # drop a node, re-plan
+    python -m repro serve-sim prefill_decode --system delta  # latency tails
+    python -m repro serve-sim --list                # serving scenarios
+    python -m repro trace prefill_decode --out arrivals.json  # arrival trace
     python -m repro serve --socket /tmp/plan.sock   # planning daemon
     python -m repro request all_reduce --system delta --socket /tmp/plan.sock
     python -m repro cache --json --socket /tmp/plan.sock  # daemon shards
@@ -688,16 +691,65 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_serve_sim(args) -> int:
+    """Drive a seeded serving scenario and report latency percentiles."""
+    from .serving import SERVING_SCENARIOS, run_serving_scenario
+
+    if args.list:
+        width = max(len(name) for name in SERVING_SCENARIOS)
+        for name, scenario in SERVING_SCENARIOS.items():
+            print(f"{name:{width}s}  {scenario.description} "
+                  f"(default {scenario.default_rate:.0f}/s)")
+        return 0
+    if not args.scenario:
+        print("serve-sim needs a scenario (or --list)", file=sys.stderr)
+        return 2
+    machine = _machine(args)
+    result = run_serving_scenario(
+        args.scenario, machine, arrivals=args.arrivals, rate=args.rate,
+        seed=args.seed, payload_bytes=_parse_size(args.payload),
+        mode=args.mode)
+    print(result.describe())
+    if result.stats:
+        s = result.stats
+        print(f"replay: {s['replayed']}/{s['arrivals']} requests replayed, "
+              f"{s['fallbacks']} fallbacks, {s['epochs']} epochs "
+              f"({result.wall_seconds:.3f}s wall)")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Export a workload scenario's timelines as a Chrome trace JSON."""
     import json as _json
 
-    from .analysis import scenario_trace, validate_trace
+    from .analysis import arrival_trace, scenario_trace, validate_trace
+    from .serving import SERVING_SCENARIOS
     from .workloads.scenarios import SCENARIOS
 
+    if args.scenario in SERVING_SCENARIOS:
+        machine = _machine(args)
+        trace = arrival_trace(args.scenario, machine, arrivals=args.arrivals,
+                              rate=args.rate, seed=args.seed)
+        problems = validate_trace(trace)
+        if problems:  # pragma: no cover - defensive; the export is validated
+            print("trace failed schema validation:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        out = Path(args.out)
+        with out.open("w") as fh:
+            _json.dump(trace, fh)
+            fh.write("\n")
+        data = trace["otherData"]
+        print(f"wrote {out} ({data['arrivals']} requests, "
+              f"p50 {data['p50_seconds'] * 1e6:.3f} us, "
+              f"p99 {data['p99_seconds'] * 1e6:.3f} us); view in "
+              "chrome://tracing or https://ui.perfetto.dev")
+        return 0
     if args.scenario not in SCENARIOS:
         print(f"unknown scenario {args.scenario!r}; one of: "
-              f"{', '.join(sorted(SCENARIOS))}", file=sys.stderr)
+              f"{', '.join(sorted(SCENARIOS))} or serving: "
+              f"{', '.join(sorted(SERVING_SCENARIOS))}", file=sys.stderr)
         return 2
     machine = _machine(args)
     trace = scenario_trace(args.scenario, machine,
@@ -963,9 +1015,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_figures)
 
     p = sub.add_parser(
+        "serve-sim",
+        help="serving latency percentiles via the streaming replay engine")
+    p.add_argument("scenario", nargs="?",
+                   help="serving scenario, e.g. prefill_decode")
+    p.add_argument("--list", action="store_true",
+                   help="list serving scenarios and exit")
+    p.add_argument("--system", default="perlmutter",
+                   help="delta|perlmutter|frontier|aurora")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--payload", default="1M",
+                   help="anchor payload per request class, e.g. 1M")
+    p.add_argument("--arrivals", type=int, default=512,
+                   help="number of arrivals to draw (default 512)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="arrivals per second (default: scenario registry)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="arrival-trace seed (default 0)")
+    p.add_argument("--mode", choices=("replay", "naive", "merged"),
+                   default="replay",
+                   help="replay fast path, naive per-arrival loop, or "
+                        "merged brute force")
+    p.set_defaults(fn=cmd_serve_sim)
+
+    p = sub.add_parser(
         "trace",
         help="export a workload scenario as a Chrome trace (chrome://tracing)")
-    p.add_argument("scenario", help="registered scenario, e.g. fsdp_step")
+    p.add_argument("scenario",
+                   help="registered workload scenario (e.g. fsdp_step) or "
+                        "serving scenario (e.g. prefill_decode) for an "
+                        "arrival-trace timeline")
     p.add_argument("--system", default="perlmutter",
                    help="delta|perlmutter|frontier|aurora")
     p.add_argument("--nodes", type=int, default=4)
@@ -973,6 +1052,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-collective payload, e.g. 64M")
     p.add_argument("--engine", choices=("auto", "event", "level"),
                    default="auto")
+    p.add_argument("--arrivals", type=int, default=256,
+                   help="serving scenarios: arrivals to draw (default 256)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="serving scenarios: arrivals per second")
+    p.add_argument("--seed", type=int, default=0,
+                   help="serving scenarios: arrival-trace seed")
     p.add_argument("--out", default="trace.json",
                    help="output path (default trace.json)")
     p.set_defaults(fn=cmd_trace)

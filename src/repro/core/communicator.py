@@ -130,6 +130,7 @@ class Communicator:
         pipeline: int = 1,
         use_cache: bool = True,
         optimize: tuple = (),
+        cache_extra: tuple = (),
     ) -> None:
         """Synthesize the optimized schedule (Listing 2 line 19).
 
@@ -145,7 +146,11 @@ class Communicator:
         ``init`` with an identical (program, machine, parameters, dtype)
         configuration — on this or any other Communicator — reuses them
         without lowering or pricing anything.  ``use_cache=False`` forces a
-        fresh synthesis and leaves the cache untouched.
+        fresh synthesis and leaves the cache untouched.  ``cache_extra``
+        extends the cache key with caller-specific hashable components —
+        the size-classed plan tables use it to keep each size class's
+        served plan addressable under its own key (see
+        :func:`repro.planner.table.plan_table`).
         """
         if self.schedule is not None:
             raise InitializationError("communicator already initialized")
@@ -167,7 +172,9 @@ class Communicator:
                 stripe=self.plan.stripe, ring=self.plan.ring,
                 pipeline=self.plan.pipeline,
                 elem_bytes=self.dtype.itemsize, dtype_name=self.dtype.name,
-                extra=(("optimize", self._optimize),) if self._optimize else (),
+                extra=(
+                    (("optimize", self._optimize),) if self._optimize else ()
+                ) + tuple(cache_extra),
             )
             cached = cache.get(key)
             if cached is not None:
@@ -421,6 +428,7 @@ class SubCommunicator(Communicator):
         pipeline: int = 1,
         use_cache: bool = True,
         optimize: tuple = (),
+        cache_extra: tuple = (),
     ) -> None:
         """Synthesize in group space, then embed and price on the parent.
 
@@ -430,7 +438,7 @@ class SubCommunicator(Communicator):
         """
         super().init(hierarchy, library, ring=ring, stripe=stripe,
                      pipeline=pipeline, use_cache=use_cache,
-                     optimize=optimize)
+                     optimize=optimize, cache_extra=cache_extra)
         t0 = time.perf_counter()
         cache = plancache.get_cache() if use_cache else None
         key = None
@@ -444,7 +452,8 @@ class SubCommunicator(Communicator):
                 extra=(
                     ("group", plancache.machine_fingerprint(self.parent),
                      self.global_ranks),
-                ) + ((("optimize", self._optimize),) if self._optimize else ()),
+                ) + ((("optimize", self._optimize),) if self._optimize else ())
+                + tuple(cache_extra),
             )
             cached = cache.get(key)
             if cached is not None:

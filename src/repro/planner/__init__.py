@@ -37,6 +37,15 @@ from .search import (
     plan_collective,
     search_program,
 )
+from .table import (
+    DEFAULT_SIZE_CLASSES,
+    PlanTable,
+    PlanTableEntry,
+    SizeClass,
+    evaluate_candidate,
+    materialize_entry,
+    plan_table,
+)
 from .space import (
     PlanCandidate,
     SearchSpace,
@@ -55,10 +64,14 @@ from .workload import (
 
 __all__ = [
     "CollectiveBuilder",
+    "DEFAULT_SIZE_CLASSES",
     "Evaluated",
     "GroupChoice",
     "PlanCandidate",
     "PlanResult",
+    "PlanTable",
+    "PlanTableEntry",
+    "SizeClass",
     "ReplanReport",
     "SearchBudget",
     "SearchSpace",
@@ -69,11 +82,14 @@ __all__ = [
     "analyze_program",
     "default_inter_libraries",
     "estimate_seconds",
+    "evaluate_candidate",
     "group_shortlist",
     "hierarchy_candidates",
     "library_vectors",
     "lower_bound_seconds",
+    "materialize_entry",
     "plan_collective",
+    "plan_table",
     "plan_workload",
     "policy_libraries",
     "replan",

@@ -1,0 +1,228 @@
+"""Size-classed plan tables: latency- vs bandwidth-optimal plans by payload.
+
+One plan cannot win at every message size: small serving payloads want
+latency-optimal shapes (shallow hierarchies, no pipelining), large payloads
+want bandwidth-optimal ones (striping, deep pipelines).  A
+:class:`PlanTable` holds one planned winner per :class:`SizeClass` so a
+serving driver can swap plans by payload bucket with a dict lookup.
+
+:func:`plan_table` searches every size class **warm-started with the
+baseline** — the winner of the largest (bandwidth-anchor) class — so each
+per-class winner is *provably never worse* than the single-plan baseline at
+its own size class (warm seeds are fully priced alongside the policy seeds
+and don't count against the evaluation cap; see
+:func:`repro.planner.search.search_program`).  Each entry records both its
+winner's seconds and the baseline's seconds at that size, making the
+improvement auditable.
+
+Table entries stay addressable in the plan cache under a
+``("size_class", name)`` key extra (:func:`materialize_entry`), so serving
+processes re-init a table's plan without re-running any search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.communicator import Communicator
+from ..core.composition import compose
+from ..errors import InitializationError
+from ..machine.spec import MachineSpec
+from .search import PlanResult, plan_collective
+from .space import PlanCandidate
+
+#: Default serving size classes: 64 KiB / 1 MiB / 16 MiB total payload.
+DEFAULT_SIZE_CLASSES = (
+    ("small", 1 << 16),
+    ("medium", 1 << 20),
+    ("large", 1 << 24),
+)
+
+
+@dataclass(frozen=True)
+class SizeClass:
+    """One payload bucket of a plan table (upper bound, inclusive)."""
+
+    name: str
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError(
+                f"size class {self.name!r}: payload_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class PlanTableEntry:
+    """The planned winner of one size class, with its audit numbers."""
+
+    size_class: str
+    payload_bytes: int
+    candidate: PlanCandidate
+    plan_seconds: float  # winner's simulated seconds at this size class
+    baseline_seconds: float  # the baseline candidate's seconds here
+
+    def describe(self) -> str:
+        """One-line deterministic summary."""
+        gain = (self.baseline_seconds / self.plan_seconds
+                if self.plan_seconds > 0 else 1.0)
+        return (f"{self.size_class} (<= {self.payload_bytes} B): "
+                f"{self.candidate.describe()} "
+                f"{self.plan_seconds * 1e6:.1f} us "
+                f"({gain:.2f}x vs baseline)")
+
+
+@dataclass(frozen=True)
+class PlanTable:
+    """Per-size-class plan winners of one collective on one machine."""
+
+    machine_name: str
+    collective: str
+    dtype_name: str
+    entries: tuple[PlanTableEntry, ...]  # ascending payload_bytes
+
+    def entry_for(self, payload_bytes: int) -> PlanTableEntry:
+        """The entry of the smallest class covering ``payload_bytes``.
+
+        Payloads beyond the largest class clamp to it (the bandwidth
+        anchor), mirroring how size-class buckets are open-ended at the
+        top.
+        """
+        for entry in self.entries:
+            if payload_bytes <= entry.payload_bytes:
+                return entry
+        return self.entries[-1]
+
+    def describe(self) -> str:
+        """Deterministic multi-line summary of the table."""
+        lines = [f"plan table {self.collective} on {self.machine_name} "
+                 f"({self.dtype_name}):"]
+        lines += [f"  {entry.describe()}" for entry in self.entries]
+        return "\n".join(lines)
+
+
+def _coerce_classes(size_classes) -> list[SizeClass]:
+    out = []
+    for sc in size_classes:
+        if isinstance(sc, SizeClass):
+            out.append(sc)
+        else:
+            name, payload = sc
+            out.append(SizeClass(str(name), int(payload)))
+    if not out:
+        raise InitializationError("plan_table needs at least one size class")
+    out.sort(key=lambda sc: sc.payload_bytes)
+    if len({sc.payload_bytes for sc in out}) != len(out):
+        raise InitializationError(
+            "plan_table size classes must have distinct payloads")
+    return out
+
+
+def evaluate_candidate(
+    machine: MachineSpec,
+    collective: str,
+    payload_bytes: int,
+    candidate: PlanCandidate,
+    *,
+    dtype=np.float32,
+    size_class: str | None = None,
+) -> float:
+    """Simulated seconds of one candidate at one payload (cache-memoized).
+
+    Uses the planner's Section 6.2 count convention, so the value is the
+    same number a full search evaluation would assign.  When ``size_class``
+    is given the synthesized plan is keyed in the plan cache under a
+    ``("size_class", name)`` extra — the handle :func:`materialize_entry`
+    re-opens.
+    """
+    return _init_candidate(machine, collective, payload_bytes, candidate,
+                           dtype=dtype, size_class=size_class).timing.elapsed
+
+
+def _init_candidate(machine, collective, payload_bytes, candidate, *,
+                    dtype=np.float32, size_class=None) -> Communicator:
+    dtype = np.dtype(dtype)
+    count = max(1, int(payload_bytes) // (machine.world_size * dtype.itemsize))
+    comm = Communicator(machine, dtype=dtype, materialize=False)
+    compose(comm, collective, count)
+    extra = (("size_class", size_class),) if size_class is not None else ()
+    comm.init(**candidate.init_kwargs(), cache_extra=extra)
+    return comm
+
+
+def materialize_entry(
+    machine: MachineSpec,
+    collective: str,
+    entry: PlanTableEntry,
+    *,
+    dtype=np.float32,
+) -> Communicator:
+    """An initialized communicator running ``entry``'s plan at its size.
+
+    Hits the plan cache under the entry's ``("size_class", name)`` key, so
+    serving drivers materialize table plans without re-lowering.
+    """
+    return _init_candidate(machine, collective, entry.payload_bytes,
+                           entry.candidate, dtype=dtype,
+                           size_class=entry.size_class)
+
+
+def plan_table(
+    machine: MachineSpec,
+    collective: str,
+    size_classes=DEFAULT_SIZE_CLASSES,
+    *,
+    dtype=np.float32,
+    space=None,
+    budget=None,
+    jobs: int = 1,
+    cache_dir=None,
+) -> PlanTable:
+    """Search one plan per size class, warm-started from a shared baseline.
+
+    The baseline is the winner at the largest size class (the
+    bandwidth-optimal anchor — what a single-plan deployment would ship).
+    Every smaller class re-searches at its own payload with the baseline as
+    a warm seed, so by the warm-start soundness contract each entry is
+    never worse than the baseline at its own size class.  Deterministic
+    for fixed inputs.
+    """
+    classes = _coerce_classes(size_classes)
+    dtype = np.dtype(dtype)
+    baseline = plan_collective(
+        machine, collective, classes[-1].payload_bytes, dtype=dtype,
+        space=space, budget=budget, jobs=jobs, cache_dir=cache_dir)
+    base_cand = baseline.best.candidate
+    entries = []
+    for sc in classes:
+        if sc is classes[-1]:
+            result = baseline
+        else:
+            result = plan_collective(
+                machine, collective, sc.payload_bytes, dtype=dtype,
+                space=space, budget=budget, jobs=jobs, cache_dir=cache_dir,
+                warm_start=(base_cand,))
+        base_seconds = _seconds_of(result, base_cand)
+        if base_seconds is None:
+            # The baseline fell outside this class's space (cannot happen
+            # when the same space is searched throughout, kept as a guard):
+            # price it directly.
+            base_seconds = evaluate_candidate(
+                machine, collective, sc.payload_bytes, base_cand, dtype=dtype)
+        entries.append(PlanTableEntry(
+            size_class=sc.name, payload_bytes=sc.payload_bytes,
+            candidate=result.best.candidate,
+            plan_seconds=result.best.seconds,
+            baseline_seconds=base_seconds,
+        ))
+    return PlanTable(machine_name=machine.name, collective=collective,
+                     dtype_name=dtype.name, entries=tuple(entries))
+
+
+def _seconds_of(result: PlanResult, candidate: PlanCandidate) -> float | None:
+    for ev in result.evaluated:
+        if ev.candidate == candidate:
+            return ev.seconds
+    return None

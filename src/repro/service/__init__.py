@@ -21,7 +21,7 @@ cache-or-plan RPC:
 
 from .batcher import PlanBatcher
 from .client import PlanClient
-from .jobs import PlanTask
+from .jobs import PlanTableTask, PlanTask, table_from_dict, table_to_dict
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -43,6 +43,7 @@ __all__ = [
     "PlanClient",
     "PlanServer",
     "PlanService",
+    "PlanTableTask",
     "PlanTask",
     "ProtocolError",
     "ShardedPlanCache",
@@ -55,6 +56,8 @@ __all__ = [
     "request_key",
     "serve",
     "synthetic_traffic",
+    "table_from_dict",
+    "table_to_dict",
     "traffic_universe",
     "translate_candidate",
 ]

@@ -84,6 +84,37 @@ class PlanClient:
             frame["options"] = options
         return self.call(frame)
 
+    def plan_table(
+        self,
+        machine: MachineSpec,
+        collective: str,
+        size_classes,
+        dtype: str = "float32",
+        options: dict | None = None,
+    ) -> dict:
+        """Request a size-classed plan table for one collective.
+
+        ``size_classes`` is an iterable of ``(name, payload_bytes)`` pairs
+        (or :class:`~repro.planner.SizeClass` instances).  The response's
+        ``table`` document rebuilds into a
+        :class:`~repro.planner.PlanTable` via
+        :func:`repro.service.jobs.table_from_dict`.
+        """
+        frame: dict = {
+            "type": "plan_table",
+            "machine": machine_to_dict(machine),
+            "collective": collective,
+            "size_classes": [
+                [sc.name, sc.payload_bytes] if hasattr(sc, "payload_bytes")
+                else [str(sc[0]), int(sc[1])]
+                for sc in size_classes
+            ],
+            "dtype": dtype,
+        }
+        if options:
+            frame["options"] = options
+        return self.call(frame)
+
     def stats(self) -> dict:
         """Service, batcher, and per-shard cache counters."""
         return self.call({"type": "stats"})

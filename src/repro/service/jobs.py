@@ -50,6 +50,46 @@ def candidate_from_dict(doc: dict) -> PlanCandidate:
     )
 
 
+def table_to_dict(table) -> dict:
+    """JSON-shaped :class:`~repro.planner.table.PlanTable` document."""
+    return {
+        "machine_name": table.machine_name,
+        "collective": table.collective,
+        "dtype": table.dtype_name,
+        "entries": [
+            {
+                "size_class": e.size_class,
+                "payload_bytes": e.payload_bytes,
+                "candidate": candidate_to_dict(e.candidate),
+                "plan_seconds": e.plan_seconds,
+                "baseline_seconds": e.baseline_seconds,
+            }
+            for e in table.entries
+        ],
+    }
+
+
+def table_from_dict(doc: dict):
+    """Inverse of :func:`table_to_dict`."""
+    from ..planner.table import PlanTable, PlanTableEntry
+
+    return PlanTable(
+        machine_name=str(doc["machine_name"]),
+        collective=str(doc["collective"]),
+        dtype_name=str(doc["dtype"]),
+        entries=tuple(
+            PlanTableEntry(
+                size_class=str(e["size_class"]),
+                payload_bytes=int(e["payload_bytes"]),
+                candidate=candidate_from_dict(e["candidate"]),
+                plan_seconds=float(e["plan_seconds"]),
+                baseline_seconds=float(e["baseline_seconds"]),
+            )
+            for e in doc["entries"]
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class PlanTask:
     """One collective-planning job, picklable end to end.
@@ -109,4 +149,49 @@ class PlanTask:
                  "seconds": e.seconds}
                 for e in result.top(3)
             ],
+        }
+
+
+@dataclass(frozen=True)
+class PlanTableTask:
+    """One size-classed plan-table job, picklable end to end.
+
+    Runs :func:`repro.planner.plan_table` — a baseline search at the
+    largest size class plus one warm-started search per smaller class —
+    and ships the table back as a JSON-shaped document
+    (:func:`table_to_dict`), so serving drivers on the client side rebuild
+    it with :func:`table_from_dict` and materialize entries through their
+    own plan cache.
+    """
+
+    machine: MachineSpec
+    collective: str
+    size_classes: tuple[tuple[str, int], ...]
+    dtype_name: str = "float32"
+    pipelines: tuple[int, ...] = SERVICE_PIPELINES
+    search_libraries: bool = False
+    max_full: int | None = None
+
+    def run(self) -> dict:
+        """Plan the table; returns a JSON-shaped outcome document."""
+        from ..planner.table import plan_table
+
+        began = time.perf_counter()
+        space = SearchSpace.build(
+            self.machine,
+            pipelines=self.pipelines,
+            search_libraries=self.search_libraries,
+        )
+        budget = SearchBudget(max_full=self.max_full)
+        table = plan_table(
+            self.machine,
+            self.collective,
+            self.size_classes,
+            dtype=self.dtype_name,
+            space=space,
+            budget=budget,
+        )
+        return {
+            "table": table_to_dict(table),
+            "plan_wall_seconds": time.perf_counter() - began,
         }

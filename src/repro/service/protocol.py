@@ -17,6 +17,16 @@ Request types (the ``type`` field):
     collective on the described machine.  ``options`` tunes the search
     (``pipelines``, ``search_libraries``, ``max_full``) and is part of the
     request key.
+``plan_table``
+    ``{"id", "type": "plan_table", "collective", "machine": {...},
+    "size_classes": [["small", 65536], ...], "dtype", "options": {...}}``
+    — plan one winner per payload size class
+    (:func:`repro.planner.plan_table`): a baseline search at the largest
+    class, warm-started searches at the smaller ones.  The response's
+    ``table`` document rebuilds client-side via
+    :func:`repro.service.jobs.table_from_dict`.  Cached and coalesced
+    exactly like ``plan`` requests, with the size classes folded into the
+    request key so table and single-plan requests never collide.
 ``stats``
     Snapshot of the service counters and per-shard cache statistics.
 ``ping``

@@ -35,7 +35,12 @@ from pathlib import Path
 from ..bench.parallel import TaskPool
 from ..errors import FaultError, HicclError
 from .batcher import PlanBatcher
-from .jobs import SERVICE_PIPELINES, PlanTask, candidate_from_dict
+from .jobs import (
+    SERVICE_PIPELINES,
+    PlanTableTask,
+    PlanTask,
+    candidate_from_dict,
+)
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -166,6 +171,8 @@ class PlanService:
                 }
             if kind == "plan":
                 return self._handle_plan(frame)
+            if kind == "plan_table":
+                return self._handle_plan_table(frame)
             raise ProtocolError(f"unknown request type {kind!r}")
         except HicclError as exc:
             with self._lock:
@@ -233,6 +240,82 @@ class PlanService:
             self.cache.put(digest, key, outcome)
             self._record(digest, machine, collective, outcome)
             source = "warm" if outcome.get("warm_seeds") else "cold"
+        else:
+            with self._lock:
+                self.stats.coalesced += 1
+            source = "coalesced"
+        return self._respond(request_id, outcome, source, began)
+
+    def _handle_plan_table(self, frame: dict) -> dict:
+        """Serve one size-classed plan table (cached + coalesced like plans).
+
+        The request key folds the size classes in through the options
+        channel, so a table request can never collide with a single-plan
+        request for the same collective; the table itself is produced by
+        :class:`~repro.service.jobs.PlanTableTask` on the worker pool.
+        """
+        with self._lock:
+            self.stats.requests += 1
+        request_id = frame.get("id")
+        try:
+            machine = machine_from_dict(frame["machine"])
+            collective = str(frame["collective"])
+            size_classes = tuple(
+                (str(name), int(payload))
+                for name, payload in frame["size_classes"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed plan_table request: {exc}") from exc
+        if not size_classes:
+            raise ProtocolError("plan_table needs at least one size class")
+        if machine.faults is not None and machine.faults.drained_nodes:
+            raise FaultError(
+                f"machine {machine.name!r} has drained node(s) "
+                f"{list(machine.faults.drained_nodes)}; plan for the "
+                "shrunk survivor machine instead"
+            )
+        dtype = str(frame.get("dtype", "float32"))
+        options = dict(frame.get("options") or {})
+        key_options = dict(options)
+        key_options["kind"] = "plan_table"
+        key_options["size_classes"] = [list(sc) for sc in size_classes]
+        key = request_key(machine, collective,
+                          max(payload for _, payload in size_classes),
+                          dtype, key_options)
+        digest = machine_digest(machine)
+
+        began = time.perf_counter()
+        cached = self.cache.get(digest, key)
+        if cached is not None:
+            with self._lock:
+                self.stats.hits += 1
+            return self._respond(request_id, cached, "hit", began)
+
+        def make_task() -> PlanTableTask:
+            return PlanTableTask(
+                machine=machine,
+                collective=collective,
+                size_classes=size_classes,
+                dtype_name=dtype,
+                pipelines=tuple(options.get("pipelines", SERVICE_PIPELINES)),
+                search_libraries=bool(options.get("search_libraries", False)),
+                max_full=options.get("max_full"),
+            )
+
+        future, mine = self.batcher.submit(key, make_task)
+        try:
+            outcome = future.result()
+        except HicclError:
+            raise
+        except Exception as exc:  # pool failures surface as error frames
+            raise ProtocolError(f"planning failed: {exc}") from exc
+
+        if mine:
+            with self._lock:
+                self.stats.planned += 1
+            self.cache.put(digest, key, outcome)
+            source = "cold"
         else:
             with self._lock:
                 self.stats.coalesced += 1

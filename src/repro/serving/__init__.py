@@ -1,0 +1,60 @@
+"""Serving layer: seeded request streams and latency tails over the simulator.
+
+Training evaluation asks "how long does this fixed job set take" — one
+makespan.  Serving evaluation asks "what latency does the p99 request see
+when this traffic arrives over time" — a distribution.  This package turns
+the simulator into a request-stream driver:
+
+* :mod:`repro.serving.arrivals` — seeded Poisson traces over weighted
+  request classes, version-stable and byte-reproducible;
+* :mod:`repro.serving.driver` — :func:`simulate_serving`, reporting
+  p50/p90/p99 per request class through the streaming replay engine
+  (:class:`repro.simulator.ServingEngine`), a naive per-arrival loop, or
+  the merged brute-force oracle;
+* :mod:`repro.serving.scenarios` — the ``prefill_decode`` and
+  ``continuous_batch`` inference traffic suites, plan-table aware.
+
+The CLI front-end is ``repro serve-sim``; committed latency baselines live
+under ``benchmarks/output/`` and the replay speedup in
+``BENCH_serving.json``.
+"""
+
+from .arrivals import Arrival, poisson_trace, validate_trace
+from .driver import (
+    LatencySummary,
+    MODES,
+    RequestClass,
+    ServingResult,
+    brute_force_latencies,
+    simulate_serving,
+)
+from .scenarios import (
+    DEFAULT_PAYLOAD_BYTES,
+    SERVING_SCENARIOS,
+    ServingScenario,
+    applicable_serving_scenarios,
+    build_continuous_batch,
+    build_prefill_decode,
+    classes_from_table,
+    run_serving_scenario,
+)
+
+__all__ = [
+    "Arrival",
+    "DEFAULT_PAYLOAD_BYTES",
+    "LatencySummary",
+    "MODES",
+    "RequestClass",
+    "SERVING_SCENARIOS",
+    "ServingResult",
+    "ServingScenario",
+    "applicable_serving_scenarios",
+    "brute_force_latencies",
+    "build_continuous_batch",
+    "build_prefill_decode",
+    "classes_from_table",
+    "poisson_trace",
+    "run_serving_scenario",
+    "simulate_serving",
+    "validate_trace",
+]

@@ -1,0 +1,86 @@
+"""Seeded arrival traces: Poisson streams and explicit replayable traces.
+
+A trace is a tuple of :class:`Arrival` records in nondecreasing time order —
+exactly what :class:`~repro.simulator.serving.ServingEngine` consumes.
+:func:`poisson_trace` draws exponential inter-arrival gaps and weighted
+request classes from :class:`random.Random`, whose Mersenne-Twister stream
+is specified by the language reference and stable across Python and NumPy
+versions — so a ``(seed, rate, weights)`` triple names one exact trace
+forever, and committed serving baselines regenerate byte-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import InitializationError
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request arrival: when it lands and which class it belongs to."""
+
+    time: float  # seconds since trace start, nondecreasing across the trace
+    request_class: str
+
+    def as_dict(self) -> dict:
+        """JSON-safe record (for trace export and benchmarks)."""
+        return {"time": self.time, "request_class": self.request_class}
+
+
+def poisson_trace(
+    rate: float,
+    arrivals: int,
+    class_weights: dict,
+    seed: int = 0,
+) -> tuple[Arrival, ...]:
+    """A seeded Poisson arrival trace over weighted request classes.
+
+    ``rate`` is the aggregate arrival rate in requests per second;
+    ``class_weights`` maps class name to its (unnormalized) draw weight.
+    Deterministic for fixed arguments: inter-arrival gaps come from
+    ``Random(seed).expovariate`` and class draws from the same stream's
+    ``choices``, interleaved one pair per arrival.
+    """
+    if rate <= 0.0:
+        raise InitializationError(f"arrival rate must be positive, got {rate}")
+    if arrivals < 0:
+        raise InitializationError(
+            f"arrival count must be nonnegative, got {arrivals}")
+    names = list(class_weights)
+    if not names:
+        raise InitializationError("poisson_trace needs at least one class")
+    weights = [float(class_weights[name]) for name in names]
+    if min(weights) < 0.0 or sum(weights) <= 0.0:
+        raise InitializationError(
+            f"class weights must be nonnegative with a positive sum, "
+            f"got {class_weights}")
+    rng = random.Random(seed)
+    t = 0.0
+    out = []
+    for _ in range(arrivals):
+        t += rng.expovariate(rate)
+        (name,) = rng.choices(names, weights=weights)
+        out.append(Arrival(time=t, request_class=name))
+    return tuple(out)
+
+
+def validate_trace(trace, classes) -> tuple[Arrival, ...]:
+    """Check a trace is ordered and only names known classes; return it.
+
+    ``classes`` is any container supporting ``in`` over class names.
+    """
+    out = tuple(trace)
+    last = float("-inf")
+    for arrival in out:
+        if arrival.time < last:
+            raise InitializationError(
+                f"arrival trace must be nondecreasing in time: "
+                f"{arrival.time} after {last}")
+        last = arrival.time
+        if arrival.request_class not in classes:
+            raise InitializationError(
+                f"arrival names unknown request class "
+                f"{arrival.request_class!r}")
+    return out

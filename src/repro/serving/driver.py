@@ -1,0 +1,241 @@
+"""Serving driver: latency percentiles of a request stream over the simulator.
+
+Training benchmarks report one number — the makespan of a fixed job set.
+Serving cares about the *distribution*: a stream of small requests arrives
+over time, contends for the same NICs and links, and is judged by its
+latency tail.  :func:`simulate_serving` drives a seeded arrival trace
+through the simulator and reports p50/p90/p99 per request class.
+
+Three modes share one definition of a request's latency (finish of its
+last op minus its arrival, on the shared machine timeline):
+
+* ``"replay"`` — the streaming :class:`~repro.simulator.serving
+  .ServingEngine`: each class's plan is lowered and priced once, arrivals
+  replay the priced program with a certified time shift, contended epochs
+  fall back to the exact event engine.  Certified replays are
+  float-for-float the event engine's numbers.
+* ``"naive"`` — one isolated ``simulate_workload`` per arrival; prices the
+  plan from scratch every time and ignores cross-request contention.  The
+  wall-clock baseline the replay speedup in ``BENCH_serving.json`` is
+  measured against.
+* ``"merged"`` — one brute-force ``simulate_workload`` over the whole
+  trace's merged job set; exact and contention-aware but resimulates
+  everything on every call.  The differential oracle the replay mode is
+  tested against (:mod:`tests.test_serving`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InitializationError
+from ..machine.spec import MachineSpec
+from ..simulator.engine import simulate_workload
+from ..simulator.serving import ReplayTemplate, ServingEngine
+from .arrivals import Arrival, validate_trace
+
+#: Recognized driver modes (see the module docstring).
+MODES = ("replay", "naive", "merged")
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One class of requests: a name bound to a compiled replay template."""
+
+    name: str
+    template: ReplayTemplate
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Latency distribution of one request class (seconds)."""
+
+    name: str
+    count: int
+    p50: float
+    p90: float
+    p99: float
+    mean: float
+    worst: float
+
+    @classmethod
+    def of(cls, name: str, latencies: np.ndarray) -> "LatencySummary":
+        """Summarize a latency vector (requires at least one sample)."""
+        return cls(
+            name=name, count=int(latencies.size),
+            p50=float(np.percentile(latencies, 50)),
+            p90=float(np.percentile(latencies, 90)),
+            p99=float(np.percentile(latencies, 99)),
+            mean=float(latencies.mean()),
+            worst=float(latencies.max()),
+        )
+
+    def describe(self) -> str:
+        """One deterministic line: count and the percentile ladder in us."""
+        return (f"{self.name}: n={self.count} "
+                f"p50={self.p50 * 1e6:.3f}us p90={self.p90 * 1e6:.3f}us "
+                f"p99={self.p99 * 1e6:.3f}us mean={self.mean * 1e6:.3f}us "
+                f"worst={self.worst * 1e6:.3f}us")
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (for benchmarks and the CLI)."""
+        return {
+            "name": self.name, "count": self.count, "p50": self.p50,
+            "p90": self.p90, "p99": self.p99, "mean": self.mean,
+            "worst": self.worst,
+        }
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Outcome of one driven trace: per-class and overall latency tails."""
+
+    name: str
+    machine_name: str
+    mode: str
+    arrivals: int
+    classes: tuple[LatencySummary, ...]  # one per request class, input order
+    overall: LatencySummary
+    latencies: np.ndarray  # per-request, submission order (for diffing)
+    #: Per-request JSON-safe records in submission order: ``{"index",
+    #: "class", "arrival", "latency", "engine"}`` — the arrival-trace
+    #: export (:func:`repro.analysis.trace.arrival_trace`) reads these.
+    requests_detail: tuple
+    stats: dict  # replay counters ("replay" mode) or {}
+    wall_seconds: float  # host time spent driving the trace
+
+    def describe(self) -> str:
+        """Deterministic multi-line report (committed-baseline safe).
+
+        Wall-clock and replay counters are host-dependent, so they are
+        *not* part of the description — only the simulated distribution.
+        """
+        lines = [f"serving {self.name} on {self.machine_name} "
+                 f"[{self.mode}]: {self.arrivals} arrivals"]
+        lines += [f"  {summary.describe()}" for summary in self.classes]
+        lines.append(f"  {self.overall.describe()}")
+        return "\n".join(lines)
+
+    def summary_for(self, class_name: str) -> LatencySummary:
+        """The summary of one named request class."""
+        for summary in self.classes:
+            if summary.name == class_name:
+                return summary
+        raise KeyError(class_name)
+
+
+def simulate_serving(
+    machine: MachineSpec,
+    classes,
+    trace,
+    *,
+    mode: str = "replay",
+    fallback_engine: str = "auto",
+    name: str = "serving",
+) -> ServingResult:
+    """Drive ``trace`` over ``classes`` and summarize the latency tails.
+
+    ``classes`` is an iterable of :class:`RequestClass`; ``trace`` an
+    iterable of :class:`~repro.serving.arrivals.Arrival` in nondecreasing
+    time order, naming classes by their names.  See the module docstring
+    for the three modes.
+    """
+    classes = list(classes)
+    if not classes:
+        raise InitializationError("simulate_serving needs at least one class")
+    index = {rc.name: i for i, rc in enumerate(classes)}
+    if len(index) != len(classes):
+        raise InitializationError("request class names must be distinct")
+    trace = validate_trace(trace, index)
+    if mode not in MODES:
+        raise InitializationError(
+            f"unknown serving mode {mode!r}; choose from {MODES}")
+
+    t0 = time.perf_counter()
+    stats: dict = {}
+    engines: list[str]
+    if mode == "replay":
+        engine = ServingEngine(machine, [rc.template for rc in classes],
+                               fallback_engine=fallback_engine)
+        for arrival in trace:
+            engine.submit(index[arrival.request_class], arrival.time)
+        result = engine.finish()
+        latencies = result.latencies()
+        stats = result.stats.as_dict()
+        engines = [r.engine for r in result.requests]
+    elif mode == "naive":
+        lats = []
+        for i, arrival in enumerate(trace):
+            spec = classes[index[arrival.request_class]].template.spec(
+                arrival.time, f"req{i}")
+            timing = simulate_workload([spec], machine, engine=fallback_engine)
+            lats.append(timing.jobs[0].elapsed)
+        latencies = np.array(lats)
+        engines = ["naive"] * len(trace)
+    else:  # merged brute force
+        latencies = brute_force_latencies(machine, classes, trace,
+                                          engine="event")
+        engines = ["event"] * len(trace)
+    wall = time.perf_counter() - t0
+
+    class_ids = np.array([index[a.request_class] for a in trace],
+                         dtype=np.int64)
+    summaries = tuple(
+        LatencySummary.of(rc.name, latencies[class_ids == i])
+        for i, rc in enumerate(classes)
+        if bool(np.any(class_ids == i))
+    )
+    if latencies.size == 0:
+        raise InitializationError("simulate_serving needs a nonempty trace")
+    detail = tuple(
+        {"index": i, "class": arrival.request_class,
+         "arrival": arrival.time, "latency": float(latencies[i]),
+         "engine": engines[i]}
+        for i, arrival in enumerate(trace)
+    )
+    return ServingResult(
+        name=name, machine_name=machine.name, mode=mode,
+        arrivals=len(trace), classes=summaries,
+        overall=LatencySummary.of("overall", latencies),
+        latencies=latencies, requests_detail=detail, stats=stats,
+        wall_seconds=wall,
+    )
+
+
+def brute_force_latencies(
+    machine: MachineSpec,
+    classes,
+    trace,
+    *,
+    engine: str = "event",
+) -> np.ndarray:
+    """Per-request latencies of one merged ``simulate_workload`` call.
+
+    The oracle the replay engine's exactness is tested against: every
+    request of the trace becomes one job of a single shared-timeline
+    simulation.
+    """
+    classes = list(classes)
+    index = {rc.name: i for i, rc in enumerate(classes)}
+    trace = validate_trace(trace, index)
+    specs = [
+        classes[index[a.request_class]].template.spec(a.time, f"req{i}")
+        for i, a in enumerate(trace)
+    ]
+    timing = simulate_workload(specs, machine, engine=engine)
+    return np.array([job.elapsed for job in timing.jobs])
+
+
+__all__ = [
+    "Arrival",
+    "LatencySummary",
+    "MODES",
+    "RequestClass",
+    "ServingResult",
+    "brute_force_latencies",
+    "simulate_serving",
+]

@@ -1,0 +1,234 @@
+"""Serving traffic scenarios: request-class suites for the latency driver.
+
+Two inference-shaped scenarios, mirroring how :mod:`repro.workloads
+.scenarios` models training traffic:
+
+* ``prefill_decode`` — disaggregated inference: the node halves form a
+  prefill pool and a decode pool, each running its own pool-local
+  activation all-gather, plus a point-to-point KV-cache transfer between
+  the pool heads whenever a sequence migrates from prefill to decode.
+* ``continuous_batch`` — one shared engine with continuous batching: every
+  request runs the same full-machine all-gather, but payloads fall into
+  the plan-table size classes (small/medium/large), so the scenario is the
+  natural consumer of :func:`repro.planner.plan_table` — see
+  :func:`classes_from_table`.
+
+Scenarios are deterministic functions of ``(machine, payload_bytes,
+seed, ...)``: arrival streams come from :func:`~repro.serving.arrivals
+.poisson_trace`, so committed baselines regenerate byte-identically.  The
+registry is :data:`SERVING_SCENARIOS`; the CLI front-end is ``repro
+serve-sim``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..bench.configs import workload_config
+from ..core.communicator import Communicator, SubCommunicator
+from ..core.composition import compose
+from ..errors import CompositionError
+from ..machine.spec import MachineSpec
+from ..simulator.serving import ReplayTemplate, make_template
+from .arrivals import poisson_trace
+from .driver import RequestClass, ServingResult, simulate_serving
+
+#: Default anchor payload for serving scenarios: 1 MiB.  Serving requests
+#: move per-token activations and KV pages, not the GB-scale saturation
+#: buffers of the training sweeps; individual classes scale this down.
+DEFAULT_PAYLOAD_BYTES = 1 << 20
+
+#: Element size used by every scenario communicator (float32).
+ELEM_BYTES = 4
+
+
+def _template(machine: MachineSpec, ranks, collective: str,
+              payload_bytes: int, name: str,
+              pipeline: int = 1) -> ReplayTemplate:
+    """Compose + init one collective over ``ranks`` and compile its replay.
+
+    Serving plans default to ``pipeline=1``: latency-bound payloads are too
+    small to amortize pipelining, and shallow schedules replay fastest.
+    """
+    ranks = tuple(ranks)
+    if ranks == tuple(range(machine.world_size)):
+        comm = Communicator(machine, materialize=False)
+    else:
+        comm = SubCommunicator(machine, ranks, materialize=False)
+    count = max(1, payload_bytes // (comm.world_size * ELEM_BYTES))
+    compose(comm, collective, count)
+    comm.init(**workload_config(comm.machine, pipeline=pipeline).init_kwargs())
+    return make_template(name, comm.global_schedule, machine,
+                         comm.plan.libraries, ELEM_BYTES)
+
+
+# ------------------------------------------------------------------ scenarios
+def build_prefill_decode(
+        machine: MachineSpec,
+        payload_bytes: int = DEFAULT_PAYLOAD_BYTES) -> tuple[
+            tuple[RequestClass, ...], dict]:
+    """Disaggregated prefill/decode pools with KV-cache hand-off.
+
+    The low node half is the prefill pool (compute-bound, large activation
+    all-gathers), the high half the decode pool (token-at-a-time, the same
+    all-gather at 1/64 the payload).  A migrating sequence ships its KV
+    cache point-to-point from the prefill head to the decode head — a
+    two-rank broadcast crossing the inter-node fabric.  Returns the request
+    classes and the arrival-mix weights (decode-heavy, as real serving
+    traffic is).
+    """
+    g = machine.gpus_per_node
+    half = machine.nodes // 2
+    lo = tuple(range(0, half * g))
+    hi = tuple(range(half * g, machine.nodes * g))
+    classes = (
+        RequestClass(
+            "prefill",
+            _template(machine, lo, "all_gather", payload_bytes, "prefill"),
+            "prompt-chunk activation all-gather on the prefill pool"),
+        RequestClass(
+            "decode",
+            _template(machine, hi, "all_gather", max(ELEM_BYTES,
+                                                     payload_bytes // 64),
+                      "decode"),
+            "per-token activation all-gather on the decode pool"),
+        RequestClass(
+            "kv_transfer",
+            _template(machine, (lo[0], hi[0]), "broadcast",
+                      max(ELEM_BYTES, payload_bytes // 4), "kv_transfer"),
+            "KV-cache page hand-off, prefill head to decode head"),
+    )
+    weights = {"prefill": 0.25, "decode": 0.55, "kv_transfer": 0.20}
+    return classes, weights
+
+
+def build_continuous_batch(
+        machine: MachineSpec,
+        payload_bytes: int = DEFAULT_PAYLOAD_BYTES) -> tuple[
+            tuple[RequestClass, ...], dict]:
+    """Continuous batching on one shared engine, bucketed by payload size.
+
+    Every request is the same full-machine all-gather; what varies is the
+    payload bucket — small (1/16 of the anchor), medium (1/4), large (the
+    anchor).  One plan per bucket, exactly the shape
+    :func:`repro.planner.plan_table` optimizes; :func:`classes_from_table`
+    swaps these defaults for a table's per-class winners.
+    """
+    world = tuple(range(machine.world_size))
+    buckets = (
+        ("small", max(ELEM_BYTES, payload_bytes // 16)),
+        ("medium", max(ELEM_BYTES, payload_bytes // 4)),
+        ("large", payload_bytes),
+    )
+    classes = tuple(
+        RequestClass(
+            name, _template(machine, world, "all_gather", size, name),
+            f"batched all-gather, {size} B payload bucket")
+        for name, size in buckets
+    )
+    weights = {"small": 0.6, "medium": 0.3, "large": 0.1}
+    return classes, weights
+
+
+def classes_from_table(machine: MachineSpec, table) -> tuple[RequestClass, ...]:
+    """Request classes running a :class:`~repro.planner.PlanTable`'s winners.
+
+    One class per table entry, its template compiled from the entry's
+    materialized plan (a plan-cache hit under the entry's
+    ``("size_class", name)`` key) — how a serving deployment swaps
+    latency- vs bandwidth-optimal plans by payload bucket.
+    """
+    from ..planner.table import materialize_entry
+
+    classes = []
+    for entry in table.entries:
+        comm = materialize_entry(machine, table.collective, entry)
+        classes.append(RequestClass(
+            entry.size_class,
+            make_template(entry.size_class, comm.global_schedule, machine,
+                          comm.plan.libraries, ELEM_BYTES),
+            f"{table.collective} via plan-table entry "
+            f"{entry.size_class} (<= {entry.payload_bytes} B)"))
+    return tuple(classes)
+
+
+# ------------------------------------------------------------------- registry
+@dataclass(frozen=True)
+class ServingScenario:
+    """One parameterized serving traffic pattern of the suite."""
+
+    name: str
+    description: str
+    build: Callable
+    default_rate: float  # arrivals per second, chosen for modest contention
+    min_nodes: int = 2
+
+    def supports(self, machine: MachineSpec) -> str | None:
+        """``None`` when the scenario fits ``machine``, else the reason."""
+        n = machine.nodes
+        if n < self.min_nodes:
+            return f"needs >= {self.min_nodes} nodes, machine has {n}"
+        if n & (n - 1):
+            return f"needs a power-of-two node count, machine has {n}"
+        return None
+
+
+#: Name -> scenario, in presentation order.
+SERVING_SCENARIOS: dict[str, ServingScenario] = {
+    s.name: s
+    for s in (
+        ServingScenario(
+            "prefill_decode",
+            "disaggregated prefill/decode pools with point-to-point "
+            "KV-cache hand-off between the pool heads",
+            build_prefill_decode,
+            default_rate=100.0,
+        ),
+        ServingScenario(
+            "continuous_batch",
+            "continuous batching: one full-machine all-gather in three "
+            "plan-table payload buckets",
+            build_continuous_batch,
+            default_rate=100.0,
+        ),
+    )
+}
+
+
+def run_serving_scenario(
+    name: str,
+    machine: MachineSpec,
+    *,
+    arrivals: int = 512,
+    rate: float | None = None,
+    seed: int = 0,
+    payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+    mode: str = "replay",
+    fallback_engine: str = "auto",
+) -> ServingResult:
+    """Build one named scenario, draw its seeded trace, and drive it."""
+    try:
+        scenario = SERVING_SCENARIOS[name]
+    except KeyError:
+        raise CompositionError(
+            f"unknown serving scenario {name!r}; "
+            f"available: {sorted(SERVING_SCENARIOS)}"
+        ) from None
+    reason = scenario.supports(machine)
+    if reason is not None:
+        raise CompositionError(
+            f"serving scenario {name!r} does not fit {machine.describe()}: "
+            f"{reason}")
+    classes, weights = scenario.build(machine, payload_bytes)
+    trace = poisson_trace(
+        rate if rate is not None else scenario.default_rate,
+        arrivals, weights, seed=seed)
+    return simulate_serving(machine, classes, trace, mode=mode,
+                            fallback_engine=fallback_engine, name=name)
+
+
+def applicable_serving_scenarios(machine: MachineSpec) -> list[str]:
+    """Names of the serving scenarios that fit ``machine``, registry order."""
+    return [name for name, s in SERVING_SCENARIOS.items()
+            if s.supports(machine) is None]

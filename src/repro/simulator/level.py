@@ -31,7 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.schedule import toposort_levels
-from .timing import PricedColumns
+from .timing import PricedColumns, booking_columns, bookings_at
 
 #: Below this op count the event loop is already fast and the leveling
 #: setup isn't worth it; ``engine="auto"`` skips the attempt.
@@ -88,15 +88,10 @@ def solve_levels(
 def _bookings(cols: PricedColumns, start: np.ndarray
               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Flatten per-op resource slots into (id, start, occupancy) streams,
-    sorted by resource then chronologically — certificate order."""
-    slots = cols.res_id.shape[1]
-    rid = cols.res_id.reshape(-1)
-    mask = rid >= 0
-    rid = rid[mask]
-    occ = (cols.overhead()[:, None] + cols.res_dur).reshape(-1)[mask]
-    st = np.repeat(start, slots)[mask]
-    order = np.lexsort((st, rid))
-    return rid[order], st[order], occ[order]
+    sorted by resource then chronologically — certificate order.  Delegates
+    to the shared :func:`repro.simulator.timing.bookings_at` flatten so the
+    serving replay engine certifies against the exact same streams."""
+    return bookings_at(booking_columns(cols), start)
 
 
 def certificate_ok(rid: np.ndarray, st: np.ndarray, occ: np.ndarray) -> bool:

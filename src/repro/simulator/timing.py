@@ -692,6 +692,50 @@ def price_schedule_sweep(
     return out
 
 
+# ----------------------------------------------------------- booking replay
+@dataclass(frozen=True)
+class BookingColumns:
+    """Start-independent flattening of a pricing's resource bookings.
+
+    Everything about a booking except its start time — which resource it
+    occupies and for how long — is a function of the pricing alone.  The
+    serving replay engine prices each distinct plan once, captures this
+    static part, and then materializes concrete booking streams per arrival
+    with :func:`bookings_at`; the levelized certificate uses the same
+    flatten, so both consume identical float64 occupancies.
+    """
+
+    slots: int  # columns of the (n, s) resource-slot grid
+    mask: np.ndarray  # (n * slots,) bool; True where a slot is booked
+    rid: np.ndarray  # (k,) int64 booked resource ids, row-major slot order
+    occ: np.ndarray  # (k,) float64 occupancy (overhead + duration)
+
+
+def booking_columns(cols: PricedColumns) -> BookingColumns:
+    """The start-independent booking flatten of ``cols`` (computed once)."""
+    flat = cols.res_id.reshape(-1)
+    mask = flat >= 0
+    occ = (cols.overhead()[:, None] + cols.res_dur).reshape(-1)[mask]
+    return BookingColumns(slots=int(cols.res_id.shape[1]), mask=mask,
+                          rid=flat[mask], occ=occ)
+
+
+def bookings_at(static: BookingColumns, start: np.ndarray
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Booking streams at concrete op ``start`` times, certificate-sorted.
+
+    Returns ``(rid, start, occ)`` sorted by resource id first, start second
+    — the order the levelized certificate expects.  Because the primary sort
+    key is the start-independent ``rid``, the post-sort resource sequence
+    (and hence the per-resource segment structure) is identical for every
+    ``start`` vector, which is what lets the replay engine precompute
+    per-resource segments once per plan.
+    """
+    st = np.repeat(start, static.slots)[static.mask]
+    order = np.lexsort((st, static.rid))
+    return static.rid[order], st[order], static.occ[order]
+
+
 def columns_from_priced(priced: list[PricedOp]) -> PricedColumns | None:
     """Interned column form of already-priced ops (merged workload graphs).
 

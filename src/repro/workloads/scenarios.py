@@ -15,6 +15,7 @@ clocks, no randomness, so committed baseline outputs under
 
 from __future__ import annotations
 
+import random
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
@@ -102,17 +103,37 @@ def build_fsdp_step(machine: MachineSpec, payload_bytes: int) -> Workload:
     return wl
 
 
-def moe_token_matrix(p: int, payload_bytes: int) -> list[list[int]]:
+def moe_token_matrix(p: int, payload_bytes: int, *, skew: float = 0.0,
+                     seed: int = 0) -> list[list[int]]:
     """Deterministic imbalanced token-routing matrix for the MoE scenario.
 
     ``matrix[i][j]`` is the element count rank ``i`` dispatches to expert
     rank ``j``: a base slab scaled by ``1 + (3i + 5j) mod 4``, modeling the
     hot/cold expert imbalance of real routers while staying a pure function
     of the shape.  Total volume is close to ``payload_bytes``.
+
+    ``skew > 0`` adds a seeded Zipf-style hot-expert factor on top of the
+    modular pattern (GShard/Switch routers concentrate traffic on a few hot
+    experts): expert columns are ranked by a seeded shuffle and column ``j``
+    is scaled by ``1 / rank**skew``, renormalized to preserve the total
+    volume.  The default ``skew=0.0`` returns exactly the historical matrix,
+    so committed baselines are unaffected.
     """
     base = max(1, payload_bytes // (ELEM_BYTES * p * p * 3))
-    return [
+    matrix = [
         [base * (1 + (3 * i + 5 * j) % 4) for j in range(p)]
+        for i in range(p)
+    ]
+    if skew <= 0.0:
+        return matrix
+    order = list(range(p))
+    random.Random(seed).shuffle(order)  # order[k] = the k-th hottest expert
+    weights = [0.0] * p
+    for rank, expert in enumerate(order):
+        weights[expert] = 1.0 / float(rank + 1) ** skew
+    mean = sum(weights) / p
+    return [
+        [max(1, round(matrix[i][j] * weights[j] / mean)) for j in range(p)]
         for i in range(p)
     ]
 

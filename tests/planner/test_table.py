@@ -1,0 +1,173 @@
+"""Size-classed plan tables: never-worse contract, lookup, round-trips.
+
+The table contract (DESIGN.md Section 14): every per-size-class winner is
+warm-started with the single-plan baseline (the winner at the largest,
+bandwidth-anchor class), so it can never be worse than that baseline at its
+own size class.  Tables round-trip through the plan cache (``("size_class",
+name)`` key extras), through JSON (``table_to_dict``/``table_from_dict``),
+and through the plan-service ``plan_table`` protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import plancache
+from repro.machine.machines import by_name
+from repro.planner import (
+    DEFAULT_SIZE_CLASSES,
+    PlanTable,
+    SearchSpace,
+    SizeClass,
+    evaluate_candidate,
+    materialize_entry,
+    plan_table,
+)
+from repro.serving import classes_from_table, poisson_trace, simulate_serving
+from repro.service import PlanService, table_from_dict, table_to_dict
+from repro.service.protocol import machine_to_dict
+
+SYSTEMS = ("delta", "perlmutter")
+CLASSES = (("small", 1 << 14), ("medium", 1 << 18), ("large", 1 << 22))
+
+
+@pytest.fixture(scope="module")
+def tables():
+    """One small-space table per committed system (computed once)."""
+    out = {}
+    for system in SYSTEMS:
+        machine = by_name(system, nodes=2)
+        space = SearchSpace.build(machine, pipelines=(1, 4),
+                                  search_libraries=False)
+        out[system] = (machine,
+                       plan_table(machine, "all_gather", CLASSES, space=space))
+    return out
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_entries_never_worse_than_single_plan_baseline(tables, system):
+    _, table = tables[system]
+    assert len(table.entries) == len(CLASSES)
+    for entry in table.entries:
+        assert entry.plan_seconds <= entry.baseline_seconds * (1 + 1e-12)
+    # The largest class *is* the baseline, so there the two coincide.
+    anchor = table.entries[-1]
+    assert anchor.plan_seconds == anchor.baseline_seconds
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_entry_for_selects_the_covering_bucket(tables, system):
+    _, table = tables[system]
+    assert table.entry_for(1).size_class == "small"
+    assert table.entry_for(1 << 14).size_class == "small"  # inclusive bound
+    assert table.entry_for((1 << 14) + 1).size_class == "medium"
+    assert table.entry_for(1 << 30).size_class == "large"  # clamps to anchor
+
+
+def test_size_class_validation():
+    with pytest.raises(ValueError, match="positive"):
+        SizeClass("empty", 0)
+    machine = by_name("delta", nodes=2)
+    from repro.errors import InitializationError
+    with pytest.raises(InitializationError, match="size class"):
+        plan_table(machine, "all_gather", ())
+    with pytest.raises(InitializationError, match="distinct"):
+        plan_table(machine, "all_gather", (("a", 64), ("b", 64)))
+
+
+def test_default_size_classes_are_ascending():
+    payloads = [payload for _, payload in DEFAULT_SIZE_CLASSES]
+    assert payloads == sorted(payloads) and len(set(payloads)) == 3
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_table_is_deterministic(tables, system):
+    machine, table = tables[system]
+    space = SearchSpace.build(machine, pipelines=(1, 4),
+                              search_libraries=False)
+    again = plan_table(machine, "all_gather", CLASSES, space=space)
+    assert again == table
+
+
+def test_materialize_entry_reprices_the_winner_exactly(tables):
+    machine, table = tables["delta"]
+    for entry in table.entries:
+        comm = materialize_entry(machine, "all_gather", entry)
+        assert comm.timing.elapsed == pytest.approx(entry.plan_seconds,
+                                                    rel=1e-9)
+        # evaluate_candidate goes through the same cache-keyed init.
+        seconds = evaluate_candidate(machine, "all_gather",
+                                     entry.payload_bytes, entry.candidate,
+                                     size_class=entry.size_class)
+        assert seconds == comm.timing.elapsed
+
+
+def test_json_round_trip_preserves_the_table(tables):
+    _, table = tables["delta"]
+    doc = table_to_dict(table)
+    back = table_from_dict(doc)
+    assert isinstance(back, PlanTable)
+    assert back == table
+    assert back.describe() == table.describe()
+
+
+def test_classes_from_table_serve_a_trace(tables):
+    machine, table = tables["delta"]
+    classes = classes_from_table(machine, table)
+    assert [rc.name for rc in classes] == [e.size_class
+                                           for e in table.entries]
+    assert all(rc.template.replayable for rc in classes)
+    weights = {rc.name: 1.0 for rc in classes}
+    trace = poisson_trace(200.0, 32, weights, seed=0)
+    result = simulate_serving(machine, classes, trace, name="table")
+    assert result.arrivals == 32
+    assert np.all(result.latencies > 0.0)
+
+
+class TestServiceProtocol:
+    @pytest.fixture()
+    def service(self):
+        plancache.configure(disk_dir=None)
+        svc = PlanService(jobs=1)
+        yield svc
+        svc.close()
+        plancache.reset()
+
+    def _frame(self, machine, request_id="t1"):
+        return {
+            "id": request_id,
+            "type": "plan_table",
+            "machine": machine_to_dict(machine),
+            "collective": "all_gather",
+            "size_classes": [["small", 1 << 14], ["large", 1 << 20]],
+            "options": {"pipelines": [1, 4]},
+        }
+
+    def test_plan_table_round_trip_and_cache_hit(self, service):
+        machine = by_name("delta", nodes=2)
+        cold = service.handle(self._frame(machine))
+        assert cold["status"] == "ok" and cold["source"] == "cold"
+        table = table_from_dict(cold["table"])
+        assert [e.size_class for e in table.entries] == ["small", "large"]
+        for entry in table.entries:
+            assert entry.plan_seconds <= entry.baseline_seconds * (1 + 1e-12)
+        warm = service.handle(self._frame(machine, request_id="t2"))
+        assert warm["source"] == "hit"
+        assert table_from_dict(warm["table"]) == table
+
+    def test_plan_table_rejects_drained_machines(self, service):
+        from repro.machine.faults import FaultSet
+
+        machine = by_name("delta", nodes=2)
+        drained = FaultSet(drained_nodes=(1,)).apply(machine)
+        response = service.handle(self._frame(drained))
+        assert response["status"] == "error"
+        assert "drained" in response["message"]
+
+    def test_plan_table_rejects_empty_class_list(self, service):
+        machine = by_name("delta", nodes=2)
+        frame = self._frame(machine)
+        frame["size_classes"] = []
+        response = service.handle(frame)
+        assert response["status"] == "error"

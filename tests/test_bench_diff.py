@@ -206,6 +206,77 @@ def test_cli_roundtrip(tmp_path, capsys):
     assert "regressed" in capsys.readouterr().err
 
 
+SERVING_REF = {
+    "arrivals": 1000,
+    "seed": 0,
+    "scenarios": [
+        {
+            "system": "delta",
+            "scenario": "prefill_decode",
+            "latency": {
+                "classes": [{"name": "prefill", "count": 250,
+                             "p50": 7.8e-05, "p90": 8.1e-05, "p99": 8.4e-05,
+                             "mean": 7.9e-05, "worst": 9.0e-05}],
+                "overall": {"name": "overall", "count": 1000,
+                            "p50": 5.7e-05, "p90": 7.9e-05, "p99": 8.3e-05,
+                            "mean": 6.0e-05, "worst": 9.0e-05},
+            },
+            "replay_stats": {"arrivals": 1000, "accepted": 997,
+                             "rejected": 3, "fallbacks": 1,
+                             "merged_requests": 3, "replayed": 997,
+                             "epochs": 960},
+            "bit_identical": True,
+            "speedup": 12.0,
+        },
+    ],
+}
+
+
+def test_serving_identical_run_passes():
+    assert _run("serving", SERVING_REF, copy.deepcopy(SERVING_REF)) == []
+
+
+def test_serving_latency_percentiles_are_exact():
+    new = copy.deepcopy(SERVING_REF)
+    new["scenarios"][0]["latency"]["overall"]["p99"] *= 1.0001
+    failures = _run("serving", SERVING_REF, new)
+    assert any("latency percentiles" in f for f in failures)
+
+
+def test_serving_replay_counters_are_exact():
+    new = copy.deepcopy(SERVING_REF)
+    new["scenarios"][0]["replay_stats"]["fallbacks"] += 1
+    failures = _run("serving", SERVING_REF, new)
+    assert any("replay counters" in f for f in failures)
+
+
+def test_serving_bit_identity_is_mandatory():
+    new = copy.deepcopy(SERVING_REF)
+    new["scenarios"][0]["bit_identical"] = False
+    failures = _run("serving", SERVING_REF, new)
+    assert any("bit-identity" in f for f in failures)
+
+
+def test_serving_speedup_drift_is_one_sided():
+    faster = copy.deepcopy(SERVING_REF)
+    faster["scenarios"][0]["speedup"] = 24.0
+    assert _run("serving", SERVING_REF, faster) == []
+    noisy = copy.deepcopy(SERVING_REF)
+    noisy["scenarios"][0]["speedup"] = 10.5  # -12.5%: within budget
+    assert _run("serving", SERVING_REF, noisy) == []
+    slower = copy.deepcopy(SERVING_REF)
+    slower["scenarios"][0]["speedup"] = 9.0  # -25%: fails
+    failures = _run("serving", SERVING_REF, slower)
+    assert any("speedup drifted" in f for f in failures)
+
+
+def test_serving_leg_set_must_match():
+    new = copy.deepcopy(SERVING_REF)
+    new["scenarios"][0]["scenario"] = "continuous_batch"
+    failures = _run("serving", SERVING_REF, new)
+    assert any("scenario legs changed" in f for f in failures)
+
+
 def test_every_ci_matrix_bench_has_a_rule():
     assert sorted(bench_diff.DIFFS) == ["faults", "lowering", "planservice",
-                                        "simulator"]
+                                        "serving", "simulator"]

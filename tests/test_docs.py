@@ -148,6 +148,27 @@ def test_readme_serving_plans_quickstart_runs():
     assert len(stats["cache"]["shards"]) >= 1
 
 
+def test_readme_serving_latency_quickstart_runs():
+    """The README "Serving latency" snippet executes as written."""
+    readme = CHECKER.parent.parent / "README.md"
+    section = readme.read_text().split("## Serving latency")[1]
+    section = section.split("\n## ")[0]
+    blocks = re.findall(r"```python\n(.*?)```", section, re.S)
+    assert blocks, "serving-latency python block missing"
+    namespace: dict = {}
+    exec(compile(blocks[0], str(readme), "exec"), namespace)  # noqa: S102
+    result = namespace["result"]
+    assert result.arrivals == 200
+    assert 0.0 < result.overall.p50 <= result.overall.p99
+    assert result.stats["replayed"] + result.stats["merged_requests"] == 200
+    table = namespace["table"]
+    for entry in table.entries:
+        assert entry.plan_seconds <= entry.baseline_seconds * (1 + 1e-12)
+    tabled = namespace["tabled"]
+    assert tabled.arrivals == 64
+    assert [s.name for s in tabled.classes] == ["small", "large"]
+
+
 def test_readme_figures_quickstart_runs():
     """The README "Figures and traces" snippet executes as written."""
     readme = CHECKER.parent.parent / "README.md"

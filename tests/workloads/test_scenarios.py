@@ -155,6 +155,47 @@ class TestScenarioDeterminism:
         assert a.render() == b.render()
 
 
+class TestMoeTokenMatrix:
+    def test_zero_skew_is_the_historical_matrix(self):
+        from repro.workloads.scenarios import ELEM_BYTES, moe_token_matrix
+
+        p, payload = 8, 1 << 20
+        matrix = moe_token_matrix(p, payload)
+        base = max(1, payload // (ELEM_BYTES * p * p * 3))
+        assert matrix == [
+            [base * (1 + (3 * i + 5 * j) % 4) for j in range(p)]
+            for i in range(p)
+        ]
+        assert matrix == moe_token_matrix(p, payload, skew=0.0, seed=99)
+
+    def test_skew_is_seeded_and_deterministic(self):
+        from repro.workloads.scenarios import moe_token_matrix
+
+        p, payload = 8, 1 << 20
+        a = moe_token_matrix(p, payload, skew=1.2, seed=3)
+        assert a == moe_token_matrix(p, payload, skew=1.2, seed=3)
+        assert a != moe_token_matrix(p, payload, skew=1.2, seed=4)
+        assert a != moe_token_matrix(p, payload)
+
+    def test_skew_concentrates_traffic_on_hot_experts(self):
+        from repro.workloads.scenarios import moe_token_matrix
+
+        p, payload = 8, 1 << 20
+        flat = moe_token_matrix(p, payload)
+        hot = moe_token_matrix(p, payload, skew=1.5, seed=0)
+        assert all(len(row) == p for row in hot)
+        assert all(v >= 1 for row in hot for v in row)
+        # Zipf reweighting widens the spread of per-expert column volume.
+        def spread(matrix):
+            cols = [sum(row[j] for row in matrix) for j in range(p)]
+            return max(cols) / min(cols)
+
+        assert spread(hot) > spread(flat)
+        # Renormalization keeps total volume in the same ballpark.
+        total = sum(map(sum, flat))
+        assert 0.5 * total < sum(map(sum, hot)) < 2.0 * total
+
+
 @pytest.mark.slow
 class TestParallelScenarios:
     def test_run_scenarios_across_workers_matches_serial(self):

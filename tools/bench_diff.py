@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Diff a benchmark run against its committed reference.
 
-One entry point for the four benchmark-diff CI legs (see
+One entry point for the five benchmark-diff CI legs (see
 .github/workflows/ci.yml's ``bench-diff`` matrix job)::
 
     python tools/bench_diff.py lowering     # BENCH_lowering.json vs .ci.json
@@ -148,12 +148,50 @@ def diff_planservice(ref: dict, new: dict) -> list:
     return failures
 
 
+def diff_serving(ref: dict, new: dict) -> list:
+    """Serving bench: exact latencies and counters, 20% wall drift.
+
+    Every simulated latency figure is a deterministic model output (the
+    replay engine is bit-identical to the event engine), so *any* change
+    to a percentile, a replay counter, or the bit-identity flag fails; the
+    replay-vs-naive wall speedup is host-dependent and tolerates 20%
+    one-sided drift (only slower fails).
+    """
+    failures = []
+    ref_legs = {(leg["system"], leg["scenario"]): leg
+                for leg in ref["scenarios"]}
+    new_legs = {(leg["system"], leg["scenario"]): leg
+                for leg in new["scenarios"]}
+    if sorted(ref_legs) != sorted(new_legs):
+        return [f"scenario legs changed: committed {sorted(ref_legs)} vs "
+                f"run {sorted(new_legs)}"]
+    for key, r_leg in ref_legs.items():
+        n_leg = new_legs[key]
+        label = "/".join(key)
+        if n_leg["latency"] != r_leg["latency"]:
+            failures.append(
+                f"{label}: latency percentiles changed (simulated "
+                "latencies must not move)")
+        if n_leg["replay_stats"] != r_leg["replay_stats"]:
+            failures.append(f"{label}: replay counters changed")
+        if not n_leg["bit_identical"]:
+            failures.append(f"{label}: replay lost bit-identity with the "
+                            "event engine")
+        r, n = r_leg["speedup"], n_leg["speedup"]
+        d = drift(r, n, "lower")
+        print(f"{label} speedup: committed {r} vs run {n} ({d:+.1%} worse)")
+        if d > THRESHOLD:
+            failures.append(f"{label}: replay speedup drifted {d:+.1%}")
+    return failures
+
+
 #: Benchmark name -> diff rule.  Matrix entries in ci.yml key into this.
 DIFFS = {
     "lowering": diff_lowering,
     "simulator": diff_simulator,
     "faults": diff_faults,
     "planservice": diff_planservice,
+    "serving": diff_serving,
 }
 
 

@@ -28,6 +28,7 @@ CHECKED_DIRS = (
     "src/repro/model",
     "src/repro/core/passes",
     "src/repro/service",
+    "src/repro/serving",
     "src/repro/analysis",
 )
 
